@@ -1,0 +1,110 @@
+// shrimp-asm assembles a routine in the simulated i386-subset and runs
+// it on a single-node machine, reporting registers, flags, instruction
+// counts and simulated time — a workbench for writing message-passing
+// primitives like those of Table 1.
+//
+// The program gets one private data page (symbol DATA) and a stack
+// (symbol STKTOP preloaded into ESP). Example:
+//
+//	shrimp-asm -entry sum -src 'sum:
+//	        mov ecx, 10
+//	        xor eax, eax
+//	loop:   add eax, ecx
+//	        dec ecx
+//	        jnz loop
+//	        hlt'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	shrimp "repro"
+	"repro/internal/isa"
+)
+
+func main() {
+	src := flag.String("src", "", "assembly source text (or -file)")
+	file := flag.String("file", "", "assembly source file")
+	entry := flag.String("entry", "main", "entry label")
+	list := flag.Bool("list", false, "print the assembled listing")
+	maxInstr := flag.Uint64("max", 1_000_000, "instruction budget")
+	flag.Parse()
+
+	text := *src
+	if *file != "" {
+		b, err := os.ReadFile(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		text = string(b)
+	}
+	if text == "" {
+		fmt.Fprintln(os.Stderr, "need -src or -file")
+		os.Exit(1)
+	}
+
+	m := shrimp.New(shrimp.ConfigFor(1, 1, shrimp.GenXpress))
+	node := m.Node(0)
+	proc := node.K.CreateProcess()
+	data, err := proc.AllocPages(4)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	stack, err := proc.AllocPages(1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	syms := map[string]int64{
+		"DATA":   int64(data),
+		"STKTOP": int64(stack) + shrimp.PageSize,
+	}
+	prog, err := shrimp.Assemble("cli", text, syms)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *list {
+		fmt.Print(prog.Listing())
+	}
+
+	node.K.BindProcess(proc)
+	cpu := node.CPU
+	cpu.Load(prog)
+	cpu.R[isa.ESP] = uint32(syms["STKTOP"])
+	start := m.Eng.Now()
+	if err := cpu.Start(*entry); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for !cpu.Halted() {
+		if !m.Eng.Step() {
+			fmt.Fprintln(os.Stderr, "deadlock: nothing left to simulate")
+			os.Exit(1)
+		}
+		if cpu.Counters().Total() > *maxInstr {
+			fmt.Fprintf(os.Stderr, "instruction budget (%d) exceeded at eip=%d\n", *maxInstr, cpu.EIP())
+			os.Exit(1)
+		}
+	}
+	if err := cpu.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "aborted:", err)
+		os.Exit(1)
+	}
+
+	c := cpu.Counters()
+	fmt.Printf("halted after %d instruction(s) (%d rep iterations), simulated time %v\n",
+		c.Total(), c.RepIters, m.Eng.Now()-start)
+	names := []string{"eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi"}
+	for i, n := range names {
+		fmt.Printf("%s=%#-10x ", n, cpu.R[i])
+		if i == 3 {
+			fmt.Println()
+		}
+	}
+	fmt.Printf("\nflags: ZF=%v SF=%v CF=%v OF=%v\n", cpu.ZF, cpu.SF, cpu.CF, cpu.OF)
+}

@@ -1,0 +1,238 @@
+// Package bus models the two buses of a SHRIMP node (paper §3):
+//
+//   - the Xpress memory bus, which connects CPU, DRAM and the I/O bridge
+//     and which the network interface snoops through the memory extension
+//     connector — every write transaction is visible to registered
+//     snoopers, which is how automatic update works;
+//   - the EISA expansion bus, over which the prototype network interface
+//     DMA-transfers incoming data to main memory at a burst-mode peak of
+//     33 Mbytes/second — the bandwidth bottleneck of the whole system.
+//
+// Both buses are single-tenancy timed resources: each transaction
+// occupies the bus for a duration derived from its size, and back-to-back
+// transactions serialize. Memory side effects happen eagerly (the DES is
+// single-threaded and components observe memory only through bus
+// transactions), while the returned completion time carries the cost.
+package bus
+
+import (
+	"fmt"
+
+	"repro/internal/phys"
+	"repro/internal/sim"
+)
+
+// Initiator identifies which agent mastered a bus transaction. Snoopers
+// use it to tell CPU stores (forwarded by the NIC if mapped out) from DMA
+// traffic (invalidated by the cache, ignored by the NIC's outgoing path).
+type Initiator uint8
+
+const (
+	// InitCPU marks transactions issued by the node's processor.
+	InitCPU Initiator = iota
+	// InitNIC marks transactions mastered by the network interface
+	// (deliberate-update DMA reads, next-generation incoming deposits).
+	InitNIC
+	// InitBridge marks transactions from the EISA-to-Xpress bridge
+	// (prototype incoming DMA deposits).
+	InitBridge
+)
+
+func (i Initiator) String() string {
+	switch i {
+	case InitCPU:
+		return "cpu"
+	case InitNIC:
+		return "nic"
+	case InitBridge:
+		return "bridge"
+	}
+	return fmt.Sprintf("Initiator(%d)", uint8(i))
+}
+
+// Snooper observes write transactions on the Xpress bus.
+type Snooper interface {
+	SnoopWrite(init Initiator, a phys.PAddr, data []byte)
+}
+
+// CommandTarget decodes accesses to the NIC command address space
+// (paper §4.2). Command reads and writes are bus transactions that no
+// RAM responds to; the network interface claims them.
+type CommandTarget interface {
+	// CmdRead returns the NIC's response to a read of command address a.
+	CmdRead(a phys.PAddr) uint32
+	// CmdWrite delivers a write of v to command address a. It reports
+	// whether the NIC accepted the command.
+	CmdWrite(a phys.PAddr, v uint32) bool
+}
+
+// XpressConfig holds the memory bus timing parameters.
+type XpressConfig struct {
+	Arbitration sim.Time // per-transaction arbitration/overhead
+	WordTime    sim.Time // per-8-byte beat
+}
+
+// DefaultXpressConfig approximates a ~266 MB/s Xpress bus: 30 ns per
+// 8-byte beat plus 30 ns arbitration.
+func DefaultXpressConfig() XpressConfig {
+	return XpressConfig{Arbitration: 30 * sim.Nanosecond, WordTime: 30 * sim.Nanosecond}
+}
+
+// XpressStats aggregates memory bus activity.
+type XpressStats struct {
+	Reads, Writes  uint64
+	CmdReads       uint64
+	CmdWrites      uint64
+	BytesRead      uint64
+	BytesWritten   uint64
+	ContentionWait sim.Time
+	BusyTime       sim.Time
+}
+
+// Xpress is one node's memory bus.
+type Xpress struct {
+	eng      *sim.Engine
+	cfg      XpressConfig
+	mem      *phys.Memory
+	snoopers []Snooper
+	cmd      CommandTarget
+	busyTill sim.Time
+	stats    XpressStats
+}
+
+// NewXpress builds the memory bus over the given DRAM.
+func NewXpress(eng *sim.Engine, cfg XpressConfig, mem *phys.Memory) *Xpress {
+	return &Xpress{eng: eng, cfg: cfg, mem: mem}
+}
+
+// AddSnooper registers a bus snooper (the NIC, the cache's invalidation
+// port). Registration order is the notification order.
+func (x *Xpress) AddSnooper(s Snooper) { x.snoopers = append(x.snoopers, s) }
+
+// SetCommandTarget registers the decoder for the command address space.
+func (x *Xpress) SetCommandTarget(t CommandTarget) { x.cmd = t }
+
+// Memory returns the DRAM behind the bus.
+func (x *Xpress) Memory() *phys.Memory { return x.mem }
+
+// Stats returns a snapshot of bus statistics.
+func (x *Xpress) Stats() XpressStats { return x.stats }
+
+// BusyUntil returns the time at which all issued transactions complete.
+// The cache's posted-write (write buffer) model uses it to decide when
+// the CPU must stall behind its own store traffic.
+func (x *Xpress) BusyUntil() sim.Time { return x.busyTill }
+
+// cost returns the tenure duration for an n-byte transaction.
+func (x *Xpress) cost(n int) sim.Time {
+	beats := sim.Time((n + 7) / 8)
+	if beats == 0 {
+		beats = 1
+	}
+	return x.cfg.Arbitration + beats*x.cfg.WordTime
+}
+
+// acquire serializes a transaction of the given size behind current bus
+// traffic, returning its completion time.
+func (x *Xpress) acquire(n int) sim.Time {
+	start := x.eng.Now()
+	if x.busyTill > start {
+		x.stats.ContentionWait += x.busyTill - start
+		start = x.busyTill
+	}
+	d := x.cost(n)
+	x.busyTill = start + d
+	x.stats.BusyTime += d
+	return x.busyTill
+}
+
+// Write performs a write transaction: DRAM is updated and all snoopers
+// observe it. Writes to the command space are routed to the command
+// target instead (only 32-bit command writes are meaningful).
+func (x *Xpress) Write(init Initiator, a phys.PAddr, data []byte) (done sim.Time) {
+	done = x.acquire(len(data))
+	if x.mem.IsCmd(a) {
+		if x.cmd == nil {
+			panic(fmt.Sprintf("bus: command write %#x with no command target", uint32(a)))
+		}
+		x.stats.CmdWrites++
+		var v uint32
+		for i := 0; i < len(data) && i < 4; i++ {
+			v |= uint32(data[i]) << (8 * i)
+		}
+		x.cmd.CmdWrite(a, v)
+		return done
+	}
+	x.stats.Writes++
+	x.stats.BytesWritten += uint64(len(data))
+	x.mem.Write(a, data)
+	for _, s := range x.snoopers {
+		s.SnoopWrite(init, a, data)
+	}
+	return done
+}
+
+// Write32 is a convenience 32-bit Write.
+func (x *Xpress) Write32(init Initiator, a phys.PAddr, v uint32) sim.Time {
+	return x.Write(init, a, []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)})
+}
+
+// Read performs a read transaction of n bytes at a.
+func (x *Xpress) Read(init Initiator, a phys.PAddr, n int) (data []byte, done sim.Time) {
+	done = x.acquire(n)
+	if x.mem.IsCmd(a) {
+		if x.cmd == nil {
+			panic(fmt.Sprintf("bus: command read %#x with no command target", uint32(a)))
+		}
+		x.stats.CmdReads++
+		v := x.cmd.CmdRead(a)
+		return []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)}[:min(n, 4)], done
+	}
+	x.stats.Reads++
+	x.stats.BytesRead += uint64(n)
+	return x.mem.Read(a, n), done
+}
+
+// Read32 is a convenience 32-bit Read.
+func (x *Xpress) Read32(init Initiator, a phys.PAddr) (uint32, sim.Time) {
+	b, done := x.Read(init, a, 4)
+	var v uint32
+	for i := 0; i < len(b); i++ {
+		v |= uint32(b[i]) << (8 * i)
+	}
+	return v, done
+}
+
+// LockedCmpxchg performs the locked compare-and-exchange bus sequence of
+// §4.3: a read cycle, then — iff the read value equals expect — a write
+// cycle, all in one bus tenure. It reports the value returned by the read
+// cycle and whether the write cycle was generated.
+func (x *Xpress) LockedCmpxchg(init Initiator, a phys.PAddr, expect, repl uint32) (read uint32, swapped bool, done sim.Time) {
+	// One tenure covering both cycles (LOCK holds the bus).
+	done = x.acquire(8)
+	if x.mem.IsCmd(a) {
+		if x.cmd == nil {
+			panic(fmt.Sprintf("bus: locked cmpxchg %#x with no command target", uint32(a)))
+		}
+		x.stats.CmdReads++
+		read = x.cmd.CmdRead(a)
+		if read == expect {
+			x.stats.CmdWrites++
+			if x.cmd.CmdWrite(a, repl) {
+				swapped = true
+			}
+		}
+		return read, swapped, done
+	}
+	x.stats.Reads++
+	read = x.mem.Read32(a)
+	if read == expect {
+		x.stats.Writes++
+		x.mem.Write32(a, repl)
+		for _, s := range x.snoopers {
+			s.SnoopWrite(init, a, []byte{byte(repl), byte(repl >> 8), byte(repl >> 16), byte(repl >> 24)})
+		}
+		swapped = true
+	}
+	return read, swapped, done
+}

@@ -1,0 +1,248 @@
+package bus
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/phys"
+	"repro/internal/sim"
+)
+
+type recordingSnooper struct {
+	inits []Initiator
+	addrs []phys.PAddr
+	data  [][]byte
+}
+
+func (r *recordingSnooper) SnoopWrite(init Initiator, a phys.PAddr, data []byte) {
+	r.inits = append(r.inits, init)
+	r.addrs = append(r.addrs, a)
+	r.data = append(r.data, append([]byte(nil), data...))
+}
+
+type fakeCmd struct {
+	readVal  uint32
+	accepted bool
+	writes   []uint32
+	reads    int
+}
+
+func (f *fakeCmd) CmdRead(a phys.PAddr) uint32 { f.reads++; return f.readVal }
+func (f *fakeCmd) CmdWrite(a phys.PAddr, v uint32) bool {
+	f.writes = append(f.writes, v)
+	return f.accepted
+}
+
+func newBus() (*sim.Engine, *Xpress, *recordingSnooper) {
+	eng := sim.NewEngine()
+	mem := phys.NewMemory(4)
+	x := NewXpress(eng, DefaultXpressConfig(), mem)
+	s := &recordingSnooper{}
+	x.AddSnooper(s)
+	return eng, x, s
+}
+
+func TestWriteUpdatesMemoryAndSnoops(t *testing.T) {
+	_, x, s := newBus()
+	done := x.Write32(InitCPU, 64, 0xaabbccdd)
+	if done <= 0 {
+		t.Fatal("no time charged")
+	}
+	if x.Memory().Read32(64) != 0xaabbccdd {
+		t.Fatal("memory not updated")
+	}
+	if len(s.inits) != 1 || s.inits[0] != InitCPU || s.addrs[0] != 64 {
+		t.Fatalf("snoop record %+v", s)
+	}
+	if !bytes.Equal(s.data[0], []byte{0xdd, 0xcc, 0xbb, 0xaa}) {
+		t.Fatal("snooped data wrong")
+	}
+}
+
+func TestInitiatorPropagates(t *testing.T) {
+	_, x, s := newBus()
+	x.Write32(InitNIC, 0, 1)
+	x.Write32(InitBridge, 4, 2)
+	if s.inits[0] != InitNIC || s.inits[1] != InitBridge {
+		t.Fatalf("initiators %v", s.inits)
+	}
+	if InitCPU.String() != "cpu" || InitNIC.String() != "nic" || InitBridge.String() != "bridge" {
+		t.Fatal("initiator names")
+	}
+}
+
+func TestBusSerializesTransactions(t *testing.T) {
+	eng, x, _ := newBus()
+	d1 := x.Write32(InitCPU, 0, 1)
+	d2 := x.Write32(InitCPU, 4, 2)
+	if d2 <= d1 {
+		t.Fatalf("second transaction did not queue: %v %v", d1, d2)
+	}
+	st := x.Stats()
+	if st.Writes != 2 || st.ContentionWait == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	// After time passes, a new transaction starts fresh.
+	eng.RunUntil(d2 + 10*sim.Microsecond)
+	d3 := x.Write32(InitCPU, 8, 3)
+	cost := x.cost(4)
+	if d3 != eng.Now()+cost {
+		t.Fatalf("idle bus charged %v, want %v", d3-eng.Now(), cost)
+	}
+}
+
+func TestLargerTransfersCostMore(t *testing.T) {
+	_, x, _ := newBus()
+	small := x.cost(4)
+	big := x.cost(64)
+	if big <= small {
+		t.Fatal("cost not size dependent")
+	}
+}
+
+func TestReadRoundTrip(t *testing.T) {
+	_, x, _ := newBus()
+	x.Memory().Write(128, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	data, _ := x.Read(InitCPU, 128, 8)
+	if !bytes.Equal(data, []byte{1, 2, 3, 4, 5, 6, 7, 8}) {
+		t.Fatal("read data")
+	}
+	v, _ := x.Read32(InitCPU, 128)
+	if v != 0x04030201 {
+		t.Fatalf("read32 %#x", v)
+	}
+	if x.Stats().BytesRead != 12 {
+		t.Fatalf("bytes read %d", x.Stats().BytesRead)
+	}
+}
+
+func TestCommandSpaceDecode(t *testing.T) {
+	_, x, s := newBus()
+	cmd := &fakeCmd{readVal: 77, accepted: true}
+	x.SetCommandTarget(cmd)
+	base := x.Memory().CmdBase()
+
+	v, _ := x.Read32(InitCPU, base+100)
+	if v != 77 || cmd.reads != 1 {
+		t.Fatal("command read not decoded")
+	}
+	x.Write32(InitCPU, base+100, 55)
+	if len(cmd.writes) != 1 || cmd.writes[0] != 55 {
+		t.Fatal("command write not decoded")
+	}
+	// Command traffic must not touch RAM or snoopers.
+	if len(s.inits) != 0 {
+		t.Fatal("command write reached snoopers")
+	}
+	st := x.Stats()
+	if st.CmdReads != 1 || st.CmdWrites != 1 || st.Writes != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestLockedCmpxchgOnMemory(t *testing.T) {
+	_, x, s := newBus()
+	x.Memory().Write32(16, 5)
+	// Mismatch: no write cycle.
+	read, swapped, _ := x.LockedCmpxchg(InitCPU, 16, 0, 9)
+	if swapped || read != 5 || x.Memory().Read32(16) != 5 {
+		t.Fatal("mismatched cmpxchg wrote")
+	}
+	if len(s.inits) != 0 {
+		t.Fatal("failed cmpxchg snooped a write")
+	}
+	// Match: write cycle, snooped.
+	read, swapped, _ = x.LockedCmpxchg(InitCPU, 16, 5, 9)
+	if !swapped || read != 5 || x.Memory().Read32(16) != 9 {
+		t.Fatal("matched cmpxchg failed")
+	}
+	if len(s.inits) != 1 {
+		t.Fatal("successful cmpxchg write not snooped")
+	}
+}
+
+func TestLockedCmpxchgOnCommandSpace(t *testing.T) {
+	_, x, _ := newBus()
+	cmd := &fakeCmd{readVal: 0, accepted: true}
+	x.SetCommandTarget(cmd)
+	base := x.Memory().CmdBase()
+
+	// Read returns 0, matches expect=0, write issued and accepted.
+	read, swapped, _ := x.LockedCmpxchg(InitCPU, base, 0, 64)
+	if !swapped || read != 0 || len(cmd.writes) != 1 || cmd.writes[0] != 64 {
+		t.Fatal("free-engine cmpxchg should start the command")
+	}
+	// Engine busy: read nonzero, expect 0 -> no write cycle.
+	cmd.readVal = 201
+	read, swapped, _ = x.LockedCmpxchg(InitCPU, base, 0, 64)
+	if swapped || read != 201 || len(cmd.writes) != 1 {
+		t.Fatal("busy-engine cmpxchg should not write")
+	}
+	// NIC may reject the write even when the read matched.
+	cmd.readVal = 0
+	cmd.accepted = false
+	_, swapped, _ = x.LockedCmpxchg(InitCPU, base, 0, 0)
+	if swapped {
+		t.Fatal("rejected command reported as swapped")
+	}
+}
+
+func TestEISATimingAndChaining(t *testing.T) {
+	eng := sim.NewEngine()
+	mem := phys.NewMemory(4)
+	x := NewXpress(eng, DefaultXpressConfig(), mem)
+	e := NewEISA(eng, DefaultEISAConfig(), x)
+
+	data := make([]byte, 1000)
+	for i := range data {
+		data[i] = byte(i + 1) // nonzero so deposits are distinguishable
+	}
+	d1 := e.DMAWrite(0, data)
+	stream := sim.PerByte(e.Config().BytesPerSecond, len(data))
+	if d1 != eng.Now()+e.Config().Setup+stream {
+		t.Fatalf("first burst time %v", d1)
+	}
+	// Memory lands at completion, not at start.
+	if mem.Read8(0) == data[0] {
+		t.Fatal("deposit visible before burst completion")
+	}
+	eng.RunUntil(d1)
+	if mem.Read8(0) != data[0] || mem.Read8(999) != data[999] {
+		t.Fatal("deposit missing after completion")
+	}
+	// A back-to-back burst chains at reduced setup.
+	d2 := e.DMAWrite(1024, data)
+	if d2-d1 != e.Config().ChainSetup+stream {
+		t.Fatalf("chained burst time %v", d2-d1)
+	}
+	st := e.Stats()
+	if st.Bursts != 2 || st.ChainedBursts != 1 || st.Bytes != 2000 {
+		t.Fatalf("stats %+v", st)
+	}
+	// After idle, full setup applies again.
+	eng.RunUntil(d2 + sim.Millisecond)
+	d3 := e.DMAWrite(2048, data[:4])
+	if d3-eng.Now() != e.Config().Setup+sim.PerByte(e.Config().BytesPerSecond, 4) {
+		t.Fatal("idle burst should pay full setup")
+	}
+}
+
+func TestEISABandwidthMatchesRating(t *testing.T) {
+	eng := sim.NewEngine()
+	mem := phys.NewMemory(64)
+	x := NewXpress(eng, DefaultXpressConfig(), mem)
+	e := NewEISA(eng, DefaultEISAConfig(), x)
+	total := 0
+	start := eng.Now()
+	var done sim.Time
+	for i := 0; i < 32; i++ {
+		chunk := make([]byte, 4096)
+		done = e.DMAWrite(phys.PAddr(i*4096), chunk)
+		total += len(chunk)
+		eng.RunUntil(done)
+	}
+	mbps := float64(total) / 1e6 / (done - start).Seconds()
+	if mbps > 33.0 || mbps < 30.0 {
+		t.Fatalf("sustained EISA bandwidth %.2f MB/s, rated 33", mbps)
+	}
+}

@@ -1,0 +1,377 @@
+// Package cache models a node CPU's cache in the way the SHRIMP design
+// depends on it (paper §3):
+//
+//   - memory can be cached write-through or write-back on a per-page
+//     basis, as specified in process page tables — the kernel configures
+//     mapped-out automatic-update pages as write-through so that every
+//     store appears on the Xpress bus where the NIC snoops it;
+//   - the cache snoops DMA transactions and invalidates the corresponding
+//     lines, so incoming network data deposited by DMA stays coherent
+//     with what the CPU reads;
+//   - write-through stores complete into a write buffer, so the CPU
+//     "suffers only the local write-through cache latency" while the bus
+//     transaction drains behind it.
+package cache
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/phys"
+	"repro/internal/sim"
+)
+
+// Config holds the cache geometry and timing.
+type Config struct {
+	Sets      int      // number of sets (power of two)
+	Ways      int      // associativity
+	LineBytes int      // line size (power of two)
+	HitTime   sim.Time // CPU-visible latency of a hit / buffered store
+	// WriteBufferWindow bounds how far the posted-write stream may run
+	// ahead of the bus; beyond it the CPU stalls until the bus drains.
+	WriteBufferWindow sim.Time
+}
+
+// DefaultConfig returns a 16 KB 2-way cache with 32-byte lines, a 15 ns
+// hit time (one 66 MHz CPU cycle) and an 8-write-deep buffer window.
+func DefaultConfig() Config {
+	return Config{
+		Sets:              256,
+		Ways:              2,
+		LineBytes:         32,
+		HitTime:           15 * sim.Nanosecond,
+		WriteBufferWindow: 8 * 90 * sim.Nanosecond,
+	}
+}
+
+// Stats aggregates cache activity.
+type Stats struct {
+	LoadHits, LoadMisses   uint64
+	StoreHits, StoreMisses uint64
+	SnoopInvalidations     uint64
+	WriteBacks             uint64
+	WriteBufferStall       sim.Time
+}
+
+type line struct {
+	valid bool
+	dirty bool
+	tag   uint32
+	data  []byte
+	lru   uint64
+}
+
+// Cache is one CPU's cache attached to an Xpress bus. It registers
+// itself as a bus snooper for DMA invalidations.
+type Cache struct {
+	eng   *sim.Engine
+	cfg   Config
+	xbus  *bus.Xpress
+	sets  [][]line
+	clock uint64
+	stats Stats
+
+	lineMask uint32
+	setMask  uint32
+	setShift uint32
+}
+
+// New builds a cache over the given bus and registers its snoop port.
+func New(eng *sim.Engine, cfg Config, xbus *bus.Xpress) *Cache {
+	if cfg.Sets&(cfg.Sets-1) != 0 || cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		panic("cache: sets and line size must be powers of two")
+	}
+	c := &Cache{eng: eng, cfg: cfg, xbus: xbus}
+	c.sets = make([][]line, cfg.Sets)
+	for i := range c.sets {
+		ways := make([]line, cfg.Ways)
+		for w := range ways {
+			ways[w].data = make([]byte, cfg.LineBytes)
+		}
+		c.sets[i] = ways
+	}
+	c.lineMask = uint32(cfg.LineBytes - 1)
+	c.setShift = uint32(trailingZeros(uint32(cfg.LineBytes)))
+	c.setMask = uint32(cfg.Sets - 1)
+	xbus.AddSnooper(snoopPort{c})
+	return c
+}
+
+func trailingZeros(v uint32) int {
+	n := 0
+	for v&1 == 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Stats returns a snapshot of cache statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+func (c *Cache) decompose(a phys.PAddr) (set, tag, off uint32) {
+	u := uint32(a)
+	return (u >> c.setShift) & c.setMask, u >> c.setShift >> log2u(uint32(c.cfg.Sets)), u & c.lineMask
+}
+
+func log2u(v uint32) uint32 {
+	var n uint32
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+func (c *Cache) lookup(a phys.PAddr) *line {
+	set, tag, _ := c.decompose(a)
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.valid && l.tag == tag {
+			c.clock++
+			l.lru = c.clock
+			return l
+		}
+	}
+	return nil
+}
+
+// victim picks the LRU way of a's set, writing it back if dirty.
+func (c *Cache) victim(a phys.PAddr) *line {
+	set, _, _ := c.decompose(a)
+	v := &c.sets[set][0]
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if !l.valid {
+			v = l
+			break
+		}
+		if l.lru < v.lru {
+			v = l
+		}
+	}
+	if v.valid && v.dirty {
+		c.stats.WriteBacks++
+		c.xbus.Write(bus.InitCPU, c.lineBase(set, v.tag), v.data)
+		v.dirty = false
+	}
+	return v
+}
+
+func (c *Cache) lineBase(set, tag uint32) phys.PAddr {
+	return phys.PAddr((tag<<log2u(uint32(c.cfg.Sets)) | set) << c.setShift)
+}
+
+// Load reads size (1, 2 or 4) bytes at a, returning the value and the
+// CPU-visible latency. Accesses that straddle a cache line split into
+// two line accesses.
+func (c *Cache) Load(a phys.PAddr, size int) (uint32, sim.Time) {
+	if first := c.cfg.LineBytes - int(uint32(a)&c.lineMask); size > first && !c.xbus.Memory().IsCmd(a) {
+		lo, t1 := c.load(a, first)
+		hi, t2 := c.load(a+phys.PAddr(first), size-first)
+		return lo | hi<<(8*uint(first)), t1 + t2
+	}
+	return c.load(a, size)
+}
+
+func (c *Cache) load(a phys.PAddr, size int) (uint32, sim.Time) {
+	if c.xbus.Memory().IsCmd(a) {
+		v, done := c.xbus.Read32(bus.InitCPU, a)
+		return truncate(v, size), done - c.eng.Now()
+	}
+	if l := c.lookup(a); l != nil {
+		c.stats.LoadHits++
+		_, _, off := c.decompose(a)
+		return truncate(read32(l.data, off), size), c.cfg.HitTime
+	}
+	c.stats.LoadMisses++
+	l := c.victim(a)
+	set, tag, off := c.decompose(a)
+	base := c.lineBase(set, tag)
+	data, done := c.xbus.Read(bus.InitCPU, base, c.cfg.LineBytes)
+	copy(l.data, data)
+	l.valid, l.dirty, l.tag = true, false, tag
+	c.clock++
+	l.lru = c.clock
+	return truncate(read32(l.data, off), size), done - c.eng.Now()
+}
+
+// Store writes size (1, 2 or 4) bytes at a. writeThrough selects the
+// policy for this access, which the caller derives from the page table
+// entry. The returned latency is what the CPU observes.
+func (c *Cache) Store(a phys.PAddr, v uint32, size int, writeThrough bool) sim.Time {
+	if c.xbus.Memory().IsCmd(a) {
+		// Command space writes are uncacheable bus transactions.
+		done := c.xbus.Write(bus.InitCPU, a, leBytes(v, size))
+		return done - c.eng.Now()
+	}
+	if first := c.cfg.LineBytes - int(uint32(a)&c.lineMask); size > first {
+		t1 := c.Store(a, truncate(v, first), first, writeThrough)
+		t2 := c.Store(a+phys.PAddr(first), v>>(8*uint(first)), size-first, writeThrough)
+		return t1 + t2
+	}
+	_, _, off := c.decompose(a)
+	if l := c.lookup(a); l != nil {
+		c.stats.StoreHits++
+		write32(l.data, off, v, size)
+		if !writeThrough {
+			l.dirty = true
+			return c.cfg.HitTime
+		}
+	} else if !writeThrough {
+		// Write-back pages write-allocate.
+		c.stats.StoreMisses++
+		l = c.victim(a)
+		set, tag, _ := c.decompose(a)
+		base := c.lineBase(set, tag)
+		data, _ := c.xbus.Read(bus.InitCPU, base, c.cfg.LineBytes)
+		copy(l.data, data)
+		l.valid, l.tag = true, tag
+		write32(l.data, off, v, size)
+		l.dirty = true
+		return c.cfg.HitTime
+	} else {
+		// Write-through without allocate: the store just goes to the bus.
+		c.stats.StoreMisses++
+	}
+	// Write-through: post the bus write; stall only if the write buffer
+	// has run too far ahead of the bus.
+	var stall sim.Time
+	if ahead := c.xbus.BusyUntil() - c.eng.Now(); ahead > c.cfg.WriteBufferWindow {
+		stall = ahead - c.cfg.WriteBufferWindow
+		c.stats.WriteBufferStall += stall
+	}
+	c.xbus.Write(bus.InitCPU, a, leBytes(v, size))
+	return c.cfg.HitTime + stall
+}
+
+// LockedCmpxchg forwards the §4.3 locked read-modify-write to the bus,
+// bypassing the cache (LOCK-prefixed operations and command space are
+// uncacheable).
+func (c *Cache) LockedCmpxchg(a phys.PAddr, expect, repl uint32) (read uint32, swapped bool, lat sim.Time) {
+	if !c.xbus.Memory().IsCmd(a) {
+		// Keep the cache coherent with a locked RMW on DRAM.
+		if l := c.lookup(a); l != nil {
+			cur := read32(l.data, uint32(a)&c.lineMask)
+			if cur == expect {
+				write32(l.data, uint32(a)&c.lineMask, repl, 4)
+			}
+		}
+	}
+	read, swapped, done := c.xbus.LockedCmpxchg(bus.InitCPU, a, expect, repl)
+	return read, swapped, done - c.eng.Now()
+}
+
+// FlushPage writes back and invalidates every line belonging to the
+// given physical page. The kernel uses it when a page's caching policy
+// changes (map to write-through) and around page replacement.
+func (c *Cache) FlushPage(page phys.PageNum) {
+	lo, hi := uint32(page.Addr(0)), uint32(page.Addr(0))+phys.PageSize
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			l := &c.sets[s][w]
+			if !l.valid {
+				continue
+			}
+			base := uint32(c.lineBase(uint32(s), l.tag))
+			if base < lo || base >= hi {
+				continue
+			}
+			if l.dirty {
+				c.stats.WriteBacks++
+				c.xbus.Write(bus.InitCPU, phys.PAddr(base), l.data)
+			}
+			l.valid, l.dirty = false, false
+		}
+	}
+}
+
+// Flush writes back all dirty lines and invalidates the cache.
+func (c *Cache) Flush() {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			l := &c.sets[s][w]
+			if l.valid && l.dirty {
+				c.stats.WriteBacks++
+				c.xbus.Write(bus.InitCPU, c.lineBase(uint32(s), l.tag), l.data)
+			}
+			l.valid, l.dirty = false, false
+		}
+	}
+}
+
+// snoopPort adapts the cache to the bus.Snooper interface: DMA writes
+// invalidate matching lines (paper §3: "the caches snoop DMA transactions
+// and automatically invalidate corresponding cache lines"). A dirty line
+// hit by a partial-line DMA write is merged the way snooping hardware
+// does: the cache supplies its dirty line during the snoop phase, the
+// DMA bytes win for the range they cover, and the line is invalidated.
+type snoopPort struct{ c *Cache }
+
+func (p snoopPort) SnoopWrite(init bus.Initiator, a phys.PAddr, data []byte) {
+	if init == bus.InitCPU {
+		return
+	}
+	c := p.c
+	first := uint32(a) &^ c.lineMask
+	last := (uint32(a) + uint32(len(data)) - 1) &^ c.lineMask
+	for base := first; base <= last; base += uint32(c.cfg.LineBytes) {
+		l := c.lookup(phys.PAddr(base))
+		if l == nil {
+			continue
+		}
+		if l.dirty {
+			// Merge: dirty line data underneath, DMA bytes on top.
+			c.xbus.Memory().Write(phys.PAddr(base), l.data)
+			lo, hi := uint32(a), uint32(a)+uint32(len(data))
+			if lo < base {
+				lo = base
+			}
+			if end := base + uint32(c.cfg.LineBytes); hi > end {
+				hi = end
+			}
+			c.xbus.Memory().Write(phys.PAddr(lo), data[lo-uint32(a):hi-uint32(a)])
+		}
+		l.valid = false
+		l.dirty = false
+		c.stats.SnoopInvalidations++
+	}
+}
+
+func read32(b []byte, off uint32) uint32 {
+	if int(off)+4 <= len(b) {
+		return binary.LittleEndian.Uint32(b[off:])
+	}
+	var v uint32
+	for i := uint32(0); int(off+i) < len(b); i++ {
+		v |= uint32(b[off+i]) << (8 * i)
+	}
+	return v
+}
+
+func write32(b []byte, off uint32, v uint32, size int) {
+	for i := 0; i < size; i++ {
+		if int(off)+i < len(b) {
+			b[off+uint32(i)] = byte(v >> (8 * i))
+		}
+	}
+}
+
+func truncate(v uint32, size int) uint32 {
+	if size <= 0 || size > 4 {
+		panic(fmt.Sprintf("cache: bad access size %d", size))
+	}
+	if size == 4 {
+		return v
+	}
+	return v & (1<<(8*uint(size)) - 1)
+}
+
+func leBytes(v uint32, size int) []byte {
+	b := make([]byte, size)
+	for i := 0; i < size; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	return b
+}

@@ -1,0 +1,239 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/phys"
+	"repro/internal/sim"
+)
+
+func newCache() (*sim.Engine, *bus.Xpress, *Cache) {
+	eng := sim.NewEngine()
+	mem := phys.NewMemory(16)
+	x := bus.NewXpress(eng, bus.DefaultXpressConfig(), mem)
+	c := New(eng, DefaultConfig(), x)
+	return eng, x, c
+}
+
+func TestLoadMissThenHit(t *testing.T) {
+	_, x, c := newCache()
+	x.Memory().Write32(256, 0x12345678)
+	v, missLat := c.Load(256, 4)
+	if v != 0x12345678 {
+		t.Fatalf("miss value %#x", v)
+	}
+	v, hitLat := c.Load(256, 4)
+	if v != 0x12345678 {
+		t.Fatalf("hit value %#x", v)
+	}
+	if hitLat >= missLat {
+		t.Fatalf("hit %v not faster than miss %v", hitLat, missLat)
+	}
+	st := c.Stats()
+	if st.LoadMisses != 1 || st.LoadHits != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestSubWordAccess(t *testing.T) {
+	_, x, c := newCache()
+	x.Memory().Write32(64, 0xddccbbaa)
+	if v, _ := c.Load(64, 1); v != 0xaa {
+		t.Fatalf("byte load %#x", v)
+	}
+	if v, _ := c.Load(65, 1); v != 0xbb {
+		t.Fatalf("byte load +1 %#x", v)
+	}
+	if v, _ := c.Load(64, 2); v != 0xbbaa {
+		t.Fatalf("half load %#x", v)
+	}
+	c.Store(65, 0x7e, 1, true)
+	if v, _ := c.Load(64, 4); v != 0xddcc7eaa {
+		t.Fatalf("after byte store %#x", v)
+	}
+	if x.Memory().Read32(64) != 0xddcc7eaa {
+		t.Fatal("write-through byte store missed memory")
+	}
+}
+
+func TestWriteThroughGoesToBus(t *testing.T) {
+	_, x, c := newCache()
+	before := x.Stats().Writes
+	c.Store(512, 77, 4, true)
+	if x.Stats().Writes != before+1 {
+		t.Fatal("write-through store did not reach the bus")
+	}
+	if x.Memory().Read32(512) != 77 {
+		t.Fatal("memory not updated")
+	}
+}
+
+func TestWriteBackDefersBusWrite(t *testing.T) {
+	_, x, c := newCache()
+	before := x.Stats().Writes
+	c.Store(512, 77, 4, false)
+	if x.Stats().Writes != before {
+		t.Fatal("write-back store went to the bus immediately")
+	}
+	if v, _ := c.Load(512, 4); v != 77 {
+		t.Fatal("write-back store lost")
+	}
+	// Memory is stale until eviction or flush.
+	if x.Memory().Read32(512) == 77 {
+		t.Fatal("memory updated before write-back")
+	}
+	c.Flush()
+	if x.Memory().Read32(512) != 77 {
+		t.Fatal("flush did not write back")
+	}
+	if c.Stats().WriteBacks == 0 {
+		t.Fatal("write-back not counted")
+	}
+}
+
+func TestEvictionWritesBackDirtyVictim(t *testing.T) {
+	eng := sim.NewEngine()
+	mem := phys.NewMemory(64)
+	x := bus.NewXpress(eng, bus.DefaultXpressConfig(), mem)
+	cfg := DefaultConfig()
+	cfg.Sets = 2 // tiny cache to force conflicts
+	cfg.Ways = 1
+	c := New(eng, cfg, x)
+
+	c.Store(0, 11, 4, false) // dirty line in set 0
+	// Same set, different tag: line size 32, sets 2 -> stride 64.
+	c.Store(64, 22, 4, false) // evicts the first line
+	if mem.Read32(0) != 11 {
+		t.Fatal("dirty victim not written back")
+	}
+	if v, _ := c.Load(64, 4); v != 22 {
+		t.Fatal("new line lost")
+	}
+}
+
+func TestDMASnoopInvalidates(t *testing.T) {
+	_, x, c := newCache()
+	x.Memory().Write32(128, 1)
+	c.Load(128, 4) // line cached
+	// DMA deposit (bridge-initiated) to the same line.
+	x.Write32(bus.InitBridge, 128, 99)
+	if c.Stats().SnoopInvalidations == 0 {
+		t.Fatal("no invalidation on DMA write")
+	}
+	if v, _ := c.Load(128, 4); v != 99 {
+		t.Fatalf("stale value %d after DMA", v)
+	}
+}
+
+func TestCPUWritesDoNotSelfInvalidate(t *testing.T) {
+	_, x, c := newCache()
+	c.Store(128, 5, 4, true)
+	c.Load(128, 4)
+	x.Write32(bus.InitCPU, 132, 6) // some other CPU-side bus write
+	if c.Stats().SnoopInvalidations != 0 {
+		t.Fatal("CPU write invalidated own cache")
+	}
+}
+
+func TestFlushPage(t *testing.T) {
+	_, x, c := newCache()
+	c.Store(phys.PageNum(2).Addr(0), 1, 4, false)
+	c.Store(phys.PageNum(2).Addr(64), 2, 4, false)
+	c.Store(phys.PageNum(3).Addr(0), 3, 4, false)
+	c.FlushPage(2)
+	if x.Memory().Read32(phys.PageNum(2).Addr(0)) != 1 ||
+		x.Memory().Read32(phys.PageNum(2).Addr(64)) != 2 {
+		t.Fatal("page 2 not written back")
+	}
+	if x.Memory().Read32(phys.PageNum(3).Addr(0)) == 3 {
+		t.Fatal("FlushPage touched another page")
+	}
+	// Page 2 lines are invalid now: a DMA write then load sees new data.
+	x.Write32(bus.InitBridge, phys.PageNum(2).Addr(0), 42)
+	if v, _ := c.Load(phys.PageNum(2).Addr(0), 4); v != 42 {
+		t.Fatal("stale line survived FlushPage")
+	}
+}
+
+func TestCommandSpaceUncacheable(t *testing.T) {
+	_, x, c := newCache()
+	cmd := &countingCmd{}
+	x.SetCommandTarget(cmd)
+	base := x.Memory().CmdBase()
+	c.Load(base+4, 4)
+	c.Load(base+4, 4)
+	if cmd.reads != 2 {
+		t.Fatalf("command reads cached: %d bus reads", cmd.reads)
+	}
+	c.Store(base+4, 1, 4, true)
+	if cmd.writes != 1 {
+		t.Fatal("command store not a bus write")
+	}
+}
+
+type countingCmd struct{ reads, writes int }
+
+func (c *countingCmd) CmdRead(a phys.PAddr) uint32          { c.reads++; return 0 }
+func (c *countingCmd) CmdWrite(a phys.PAddr, v uint32) bool { c.writes++; return true }
+
+func TestWriteBufferStallsWhenBusSaturated(t *testing.T) {
+	_, _, c := newCache()
+	var sawStall bool
+	for i := 0; i < 100; i++ {
+		lat := c.Store(phys.PAddr(i*4), uint32(i), 4, true)
+		if lat > DefaultConfig().HitTime {
+			sawStall = true
+		}
+	}
+	if !sawStall {
+		t.Fatal("no write-buffer stall under back-to-back stores")
+	}
+	if c.Stats().WriteBufferStall == 0 {
+		t.Fatal("stall time not accounted")
+	}
+}
+
+func TestCoherenceUnderRandomInterleaving(t *testing.T) {
+	// Property: a load through the cache always returns the most recent
+	// write, regardless of CPU store policy and interleaved DMA writes.
+	eng := sim.NewEngine()
+	mem := phys.NewMemory(8)
+	x := bus.NewXpress(eng, bus.DefaultXpressConfig(), mem)
+	c := New(eng, DefaultConfig(), x)
+	rng := rand.New(rand.NewSource(3))
+	shadow := make(map[phys.PAddr]uint32)
+
+	for i := 0; i < 5000; i++ {
+		a := phys.PAddr(rng.Intn(8*phys.PageSize/4)) * 4
+		switch rng.Intn(4) {
+		case 0: // write-through store
+			v := rng.Uint32()
+			c.Store(a, v, 4, true)
+			shadow[a] = v
+		case 1: // write-back store
+			v := rng.Uint32()
+			c.Store(a, v, 4, false)
+			shadow[a] = v
+		case 2: // DMA write (must invalidate)
+			v := rng.Uint32()
+			x.Write32(bus.InitBridge, a, v)
+			shadow[a] = v
+		case 3: // load and check
+			want, ok := shadow[a]
+			if !ok {
+				continue
+			}
+			if got, _ := c.Load(a, 4); got != want {
+				t.Fatalf("step %d: load %#x = %#x, want %#x", i, uint32(a), got, want)
+			}
+		}
+	}
+	// Final sweep: every address readable and correct.
+	for a, want := range shadow {
+		if got, _ := c.Load(a, 4); got != want {
+			t.Fatalf("final: %#x = %#x, want %#x", uint32(a), got, want)
+		}
+	}
+}

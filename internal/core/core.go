@@ -1,0 +1,302 @@
+// Package core assembles SHRIMP machines: N nodes — each a CPU, cache,
+// Xpress memory bus, EISA expansion bus, DRAM, network interface and
+// kernel — connected by a Paragon-style wormhole mesh (paper §3,
+// Figure 2). It also wires up the boot-time kernel message rings that
+// the map() system call and the §4.4 consistency protocol ride on.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/kernel"
+	"repro/internal/mesh"
+	"repro/internal/nic"
+	"repro/internal/nipt"
+	"repro/internal/packet"
+	"repro/internal/phys"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// Config describes a whole machine.
+type Config struct {
+	MeshWidth, MeshHeight int
+	MemPagesPerNode       int
+	Generation            nic.Generation
+	// TraceCapacity, when positive, attaches an event tracer retaining
+	// that many events across the whole machine.
+	TraceCapacity int
+
+	Mesh   mesh.Config
+	Xpress bus.XpressConfig
+	EISA   bus.EISAConfig
+	Cache  cache.Config
+	NIC    nic.Config
+	CPU    isa.Config
+	Kernel kernel.Config
+}
+
+// DefaultConfig returns the paper's prototype: a 4×4 mesh of EISA-based
+// nodes with 4 MB of DRAM each.
+func DefaultConfig() Config {
+	return ConfigFor(4, 4, nic.GenEISAPrototype)
+}
+
+// ConfigFor builds a config for the given mesh size and NIC generation.
+func ConfigFor(w, h int, gen nic.Generation) Config {
+	cfg := Config{
+		MeshWidth:       w,
+		MeshHeight:      h,
+		MemPagesPerNode: 1024, // 4 MB
+		Generation:      gen,
+		Mesh:            mesh.DefaultConfig(w, h),
+		Xpress:          bus.DefaultXpressConfig(),
+		EISA:            bus.DefaultEISAConfig(),
+		Cache:           cache.DefaultConfig(),
+		NIC:             nic.DefaultConfig(),
+		CPU:             isa.DefaultConfig(),
+		Kernel:          kernel.DefaultConfig(),
+	}
+	cfg.NIC.Generation = gen
+	return cfg
+}
+
+// Node is one SHRIMP node (Figure 2).
+type Node struct {
+	Eng   *sim.Engine
+	ID    packet.NodeID
+	Coord packet.Coord
+	Mem   *phys.Memory
+	Xbus  *bus.Xpress
+	EISA  *bus.EISA
+	Cache *cache.Cache
+	NIC   *nic.NIC
+	CPU   *isa.CPU
+	Box   *kernel.MemBox
+	K     *kernel.Kernel
+}
+
+// Machine is a booted SHRIMP multicomputer.
+type Machine struct {
+	Eng    *sim.Engine
+	Cfg    Config
+	Net    *mesh.Network
+	Nodes  []*Node
+	Tracer *trace.Tracer // nil unless Config.TraceCapacity > 0
+}
+
+// CoordOf maps a node id to its mesh coordinates (row-major).
+func (c Config) CoordOf(id packet.NodeID) packet.Coord {
+	return packet.Coord{X: int(id) % c.MeshWidth, Y: int(id) / c.MeshWidth}
+}
+
+// NodeCount returns the number of nodes in the machine.
+func (c Config) NodeCount() int { return c.MeshWidth * c.MeshHeight }
+
+// New boots a machine: builds every node, attaches them to the mesh, and
+// installs the kernel ring pages (the "firmware" step — the only
+// mappings not established through map()).
+func New(cfg Config) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	eng := sim.NewEngine()
+	net := mesh.New(eng, cfg.Mesh)
+	m := &Machine{Eng: eng, Cfg: cfg, Net: net}
+	if cfg.TraceCapacity > 0 {
+		m.Tracer = trace.New(eng, cfg.TraceCapacity)
+		net.Tracer = m.Tracer
+	}
+
+	for id := 0; id < cfg.NodeCount(); id++ {
+		coord := cfg.CoordOf(packet.NodeID(id))
+		mem := phys.NewMemory(cfg.MemPagesPerNode)
+		xbus := bus.NewXpress(eng, cfg.Xpress, mem)
+		var eisaBus *bus.EISA
+		if cfg.Generation == nic.GenEISAPrototype {
+			eisaBus = bus.NewEISA(eng, cfg.EISA, xbus)
+		}
+		ch := cache.New(eng, cfg.Cache, xbus)
+		table := nipt.New(cfg.MemPagesPerNode)
+		nicDev := nic.New(eng, cfg.NIC, packet.NodeID(id), coord, table, xbus, eisaBus, net)
+		box := &kernel.MemBox{Cache: ch}
+		cpu := isa.NewCPU(eng, cfg.CPU, box)
+		cpu.SetName(fmt.Sprintf("cpu%d", id))
+		k := kernel.New(eng, cfg.Kernel, packet.NodeID(id), coord, mem, xbus, nicDev, cpu, box)
+		nicDev.Tracer = m.Tracer
+		k.Tracer = m.Tracer
+		m.Nodes = append(m.Nodes, &Node{
+			Eng: eng, ID: packet.NodeID(id), Coord: coord, Mem: mem, Xbus: xbus,
+			EISA: eisaBus, Cache: ch, NIC: nicDev, CPU: cpu, Box: box, K: k,
+		})
+	}
+	m.installKernelRings()
+	return m
+}
+
+// installKernelRings reserves the boot pages for kernel↔kernel rings,
+// installs their NIPT mappings directly (the hardware-install substitute
+// for firmware), and seeds each kernel's page allocator with the rest.
+func (m *Machine) installKernelRings() {
+	n := len(m.Nodes)
+	// Page layout per node: outbox to each peer, then inbox from each
+	// peer, then general allocation.
+	ringPages := 2 * (n - 1)
+	if ringPages >= m.Cfg.MemPagesPerNode {
+		panic("core: not enough memory pages for kernel rings")
+	}
+	outFrame := func(a, b int) phys.PageNum { // outbox on a toward b
+		return phys.PageNum(peerIndex(a, b))
+	}
+	inFrame := func(a, b int) phys.PageNum { // inbox on a from b
+		return phys.PageNum(n - 1 + peerIndex(a, b))
+	}
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a == b {
+				continue
+			}
+			na, nb := m.Nodes[a], m.Nodes[b]
+			out, in := outFrame(a, b), inFrame(b, a)
+			// Sender side: the outbox page maps to the peer's inbox
+			// frame, blocked-write (ring records merge nicely), tagged
+			// as a kernel ring so arrivals raise the kernel IRQ.
+			na.NIC.Table().MapOut(out, nipt.OutMapping{
+				Mode:    nipt.BlockedWriteAU,
+				Dst:     nb.Coord,
+				DstNode: nb.ID,
+				DstPage: in,
+			})
+			na.NIC.Table().Entry(out).KernelRing = true
+			// Receiver side.
+			e := nb.NIC.Table().Entry(in)
+			e.MappedIn = true
+			e.KernelRing = true
+		}
+	}
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a == b {
+				continue
+			}
+			m.Nodes[a].K.AddPeer(m.Nodes[b].ID, m.Nodes[b].Coord,
+				outFrame(a, b), inFrame(a, b))
+		}
+	}
+	for _, node := range m.Nodes {
+		free := make([]phys.PageNum, 0, m.Cfg.MemPagesPerNode-ringPages)
+		// Descending so that the allocator (which pops the tail) hands
+		// out ascending frame numbers — friendlier diagnostics.
+		for p := m.Cfg.MemPagesPerNode - 1; p >= ringPages; p-- {
+			free = append(free, phys.PageNum(p))
+		}
+		node.K.SetFreePages(free)
+	}
+}
+
+// peerIndex numbers a's peers 0..n-2 in node order, skipping a itself.
+func peerIndex(a, b int) int {
+	if b < a {
+		return b
+	}
+	return b - 1
+}
+
+// Node returns node i.
+func (m *Machine) Node(i int) *Node { return m.Nodes[i] }
+
+// RunUntilIdle drains the event queue, panicking after limit events
+// (livelock guard).
+func (m *Machine) RunUntilIdle(limit uint64) { m.Eng.Drain(limit) }
+
+// Await drives the simulation until the future resolves, then returns
+// its error. It panics if the event queue runs dry first.
+func (m *Machine) Await(f *kernel.Future) error {
+	ok := m.Eng.RunWhile(func() bool { return !f.Done() })
+	if !ok && !f.Done() {
+		panic("core: Await ran out of events before future resolved")
+	}
+	return f.Err()
+}
+
+// MustMap drives the Map syscall to completion and returns the mapping
+// handle, panicking on any setup error. The map phase sits outside the
+// measured loops, per Figure 1.
+func (m *Machine) MustMap(p *kernel.Process, sendVA vm.VAddr, bytes int,
+	dst packet.NodeID, dstPID int, recvVA vm.VAddr, mode nipt.Mode) *kernel.Mapping {
+	mapping, fut := p.Kernel().Map(p, sendVA, bytes, dst, dstPID, recvVA, mode)
+	if err := m.Await(fut); err != nil {
+		panic(fmt.Sprintf("core: map failed: %v", err))
+	}
+	return mapping
+}
+
+// UserWrite32 performs a store to p's virtual memory exactly as the CPU
+// would: translated through p's page table and issued through the node's
+// cache and memory bus, where the NIC snoops it. Like the real CPU, the
+// caller experiences the store latency (simulated time advances) and is
+// held while the Outgoing FIFO is above its threshold — the §4 "the CPU
+// is interrupted and waits until the FIFO drains". Go-level examples and
+// tests use it in place of ISA store instructions.
+func (n *Node) UserWrite32(p *kernel.Process, va vm.VAddr, v uint32) error {
+	return n.userStore(p, va, v, 4)
+}
+
+func (n *Node) userStore(p *kernel.Process, va vm.VAddr, v uint32, size int) error {
+	for n.NIC.OutStalled() {
+		if !n.Eng.Step() {
+			break
+		}
+	}
+	tr, f := p.AS.Translate(va, true)
+	if f != nil {
+		return f
+	}
+	lat := n.Cache.Store(tr.PA, v, size, tr.WriteThrough)
+	n.Eng.RunFor(lat)
+	return nil
+}
+
+// UserRead32 is the load counterpart of UserWrite32.
+func (n *Node) UserRead32(p *kernel.Process, va vm.VAddr) (uint32, error) {
+	tr, f := p.AS.Translate(va, false)
+	if f != nil {
+		return 0, f
+	}
+	v, _ := n.Cache.Load(tr.PA, 4)
+	return v, nil
+}
+
+// UserWriteBytes stores a byte slice word by word (tail bytes singly).
+func (n *Node) UserWriteBytes(p *kernel.Process, va vm.VAddr, b []byte) error {
+	i := 0
+	for ; i+4 <= len(b); i += 4 {
+		v := uint32(b[i]) | uint32(b[i+1])<<8 | uint32(b[i+2])<<16 | uint32(b[i+3])<<24
+		if err := n.UserWrite32(p, va+vm.VAddr(i), v); err != nil {
+			return err
+		}
+	}
+	for ; i < len(b); i++ {
+		if err := n.userStore(p, va+vm.VAddr(i), uint32(b[i]), 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// UserReadBytes loads len(out) bytes from p's virtual memory.
+func (n *Node) UserReadBytes(p *kernel.Process, va vm.VAddr, out []byte) error {
+	for i := range out {
+		tr, f := p.AS.Translate(va+vm.VAddr(i), false)
+		if f != nil {
+			return f
+		}
+		v, _ := n.Cache.Load(tr.PA, 1)
+		out[i] = byte(v)
+	}
+	return nil
+}

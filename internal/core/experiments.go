@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/nipt"
+	"repro/internal/packet"
+	"repro/internal/phys"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// Experiment harnesses for §5.1 of the paper: communication latency
+// ("the time between a write operation by the sending CPU and the
+// arrival of the written data in the destination memory") and peak
+// bandwidth of deliberate-update transfers. Both cmd/shrimp-hwperf and
+// the benchmark suite drive these.
+
+// LatencyResult is one measured automatic-update store latency.
+type LatencyResult struct {
+	Src, Dst packet.NodeID
+	Hops     int
+	Latency  sim.Time
+}
+
+// pairSetup maps one page from a process on src to a process on dst and
+// returns everything needed to drive stores across it.
+type pairSetup struct {
+	m        *Machine
+	src, dst *Node
+	ps, pd   *kernel.Process
+	sendVA   vm.VAddr
+	recvVA   vm.VAddr
+}
+
+func setupPair(m *Machine, src, dst int, mode nipt.Mode) *pairSetup {
+	s := &pairSetup{m: m, src: m.Node(src), dst: m.Node(dst)}
+	s.ps = s.src.K.CreateProcess()
+	s.pd = s.dst.K.CreateProcess()
+	var err error
+	s.sendVA, err = s.ps.AllocPages(1)
+	if err != nil {
+		panic(err)
+	}
+	s.recvVA, err = s.pd.AllocPages(1)
+	if err != nil {
+		panic(err)
+	}
+	m.MustMap(s.ps, s.sendVA, phys.PageSize, s.dst.ID, s.pd.PID, s.recvVA, mode)
+	m.RunUntilIdle(10_000_000)
+	return s
+}
+
+// MeasureStoreLatency measures one single-write automatic-update store
+// from node src to node dst on a fresh machine of the given config.
+func MeasureStoreLatency(cfg Config, src, dst int) LatencyResult {
+	m := New(cfg)
+	s := setupPair(m, src, dst, nipt.SingleWriteAU)
+
+	const probe = 0x5a5a_5a5a
+	start := m.Eng.Now()
+	if err := s.src.UserWrite32(s.ps, s.sendVA+128, probe); err != nil {
+		panic(err)
+	}
+	// Poll physical memory directly: cache reads would perturb timing.
+	frame, _ := s.pd.FrameOf(s.recvVA)
+	arrived := func() bool { return s.dst.Mem.Read32(frame.Addr(128)) == probe }
+	for !arrived() {
+		if !m.Eng.Step() {
+			panic("core: latency probe never arrived")
+		}
+	}
+	return LatencyResult{
+		Src: s.src.ID, Dst: s.dst.ID,
+		Hops:    s.src.Coord.Hops(s.dst.Coord),
+		Latency: m.Eng.Now() - start,
+	}
+}
+
+// LatencySweep measures store latency from node 0 to every other node
+// of the configured mesh (the paper quotes the 16-node figure).
+func LatencySweep(cfg Config) []LatencyResult {
+	var out []LatencyResult
+	for dst := 1; dst < cfg.NodeCount(); dst++ {
+		out = append(out, MeasureStoreLatency(cfg, 0, dst))
+	}
+	return out
+}
+
+// MaxLatency returns the worst-case (corner-to-corner) store latency.
+func MaxLatency(cfg Config) LatencyResult {
+	return MeasureStoreLatency(cfg, 0, cfg.NodeCount()-1)
+}
+
+// BandwidthResult is one point of the deliberate-update bandwidth sweep.
+type BandwidthResult struct {
+	TransferBytes int
+	TotalBytes    int
+	Elapsed       sim.Time
+	Packets       uint64
+	MBps          float64
+}
+
+func (r BandwidthResult) String() string {
+	return fmt.Sprintf("%6d B transfers: %7.2f MB/s (%d bytes in %v, %d packets)",
+		r.TransferBytes, r.MBps, r.TotalBytes, r.Elapsed, r.Packets)
+}
+
+// MeasureDeliberateBandwidth streams totalBytes from node src to node
+// dst using back-to-back deliberate-update transfers of transferBytes
+// each (≤ one page), and reports the sustained bandwidth.
+func MeasureDeliberateBandwidth(cfg Config, src, dst, transferBytes, totalBytes int) BandwidthResult {
+	if transferBytes <= 0 || transferBytes > phys.PageSize {
+		panic("core: transfer size must be within one page")
+	}
+	m := New(cfg)
+	s := setupPair(m, src, dst, nipt.DeliberateUpdate)
+	if err := s.src.K.GrantCommandPages(s.ps, s.sendVA, s.sendVA+0x4000_0000, 1); err != nil {
+		panic(err)
+	}
+	// Fill the page once (content is irrelevant to timing).
+	for off := 0; off < phys.PageSize; off += 4 {
+		if err := s.src.UserWrite32(s.ps, s.sendVA+vm.VAddr(off), uint32(off)); err != nil {
+			panic(err)
+		}
+	}
+	m.RunUntilIdle(10_000_000)
+
+	cmdVA := s.sendVA + 0x4000_0000
+	tr, f := s.ps.AS.Translate(cmdVA, true)
+	if f != nil {
+		panic(f)
+	}
+	words := uint32(transferBytes / 4)
+	transfers := totalBytes / transferBytes
+	startPkts := s.dst.NIC.Stats().PacketsIn
+	start := m.Eng.Now()
+	for i := 0; i < transfers; i++ {
+		// The §4.3 protocol: locked CMPXCHG until the engine accepts.
+		for {
+			_, swapped, _ := s.src.Cache.LockedCmpxchg(tr.PA, 0, words)
+			if swapped {
+				break
+			}
+			// Engine busy: let simulated time advance (user-level
+			// backoff would spin; stepping the engine models the time
+			// passing between retries).
+			if !m.Eng.Step() {
+				panic("core: DMA engine never freed")
+			}
+		}
+	}
+	m.RunUntilIdle(200_000_000)
+	elapsed := m.Eng.Now() - start
+	delivered := transfers * transferBytes
+	return BandwidthResult{
+		TransferBytes: transferBytes,
+		TotalBytes:    delivered,
+		Elapsed:       elapsed,
+		Packets:       s.dst.NIC.Stats().PacketsIn - startPkts,
+		MBps:          float64(delivered) / 1e6 / elapsed.Seconds(),
+	}
+}
+
+// BandwidthSweep measures sustained deliberate-update bandwidth across
+// transfer sizes.
+func BandwidthSweep(cfg Config, sizes []int, totalBytes int) []BandwidthResult {
+	out := make([]BandwidthResult, 0, len(sizes))
+	for _, sz := range sizes {
+		out = append(out, MeasureDeliberateBandwidth(cfg, 0, 1, sz, totalBytes))
+	}
+	return out
+}
+
+// AUBandwidthResult is one point of the automatic-update ablation
+// (single-write vs blocked-write, §4.1).
+type AUBandwidthResult struct {
+	Mode        nipt.Mode
+	Stores      int
+	Elapsed     sim.Time
+	Packets     uint64
+	WireBytes   uint64
+	MBps        float64 // payload bandwidth
+	PktPerStore float64
+}
+
+func (r AUBandwidthResult) String() string {
+	return fmt.Sprintf("%-13s: %7.2f MB/s, %.3f packets/store, %d wire bytes for %d stores",
+		r.Mode, r.MBps, r.PktPerStore, r.WireBytes, r.Stores)
+}
+
+// MeasureAUBandwidth streams sequential 4-byte stores through an
+// automatic-update mapping and reports delivered bandwidth and packet
+// efficiency. This is the A1 ablation: blocked-write merging exists
+// precisely because single-write packetization is wildly inefficient
+// for bulk data.
+func MeasureAUBandwidth(cfg Config, mode nipt.Mode, stores int) AUBandwidthResult {
+	m := New(cfg)
+	s := setupPair(m, 0, 1, mode)
+	before := s.dst.NIC.Stats()
+	beforeWire := m.Net.Stats().TotalWireByte
+	start := m.Eng.Now()
+	off := vm.VAddr(0)
+	for i := 0; i < stores; i++ {
+		if err := s.src.UserWrite32(s.ps, s.sendVA+off, uint32(i)); err != nil {
+			panic(err)
+		}
+		off += 4
+		if off >= phys.PageSize {
+			off = 0
+		}
+	}
+	m.RunUntilIdle(500_000_000)
+	elapsed := m.Eng.Now() - start
+	after := s.dst.NIC.Stats()
+	payload := 4 * stores
+	return AUBandwidthResult{
+		Mode:        mode,
+		Stores:      stores,
+		Elapsed:     elapsed,
+		Packets:     after.PacketsIn - before.PacketsIn,
+		WireBytes:   m.Net.Stats().TotalWireByte - beforeWire,
+		MBps:        float64(payload) / 1e6 / elapsed.Seconds(),
+		PktPerStore: float64(after.PacketsIn-before.PacketsIn) / float64(stores),
+	}
+}

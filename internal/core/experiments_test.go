@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/nic"
+	"repro/internal/nipt"
+	"repro/internal/sim"
+)
+
+func TestLatencyUnder2usEISA(t *testing.T) {
+	r := MaxLatency(ConfigFor(4, 4, nic.GenEISAPrototype))
+	t.Logf("EISA prototype corner-to-corner (%d hops): %v", r.Hops, r.Latency)
+	if r.Latency >= 2*sim.Microsecond {
+		t.Errorf("latency %v, paper says slightly less than 2us", r.Latency)
+	}
+	if r.Latency < sim.Microsecond {
+		t.Errorf("latency %v suspiciously low for the EISA prototype", r.Latency)
+	}
+}
+
+func TestLatencyUnder1usXpress(t *testing.T) {
+	r := MaxLatency(ConfigFor(4, 4, nic.GenXpress))
+	t.Logf("next-gen corner-to-corner (%d hops): %v", r.Hops, r.Latency)
+	if r.Latency >= sim.Microsecond {
+		t.Errorf("latency %v, paper says less than 1us for the next generation", r.Latency)
+	}
+}
+
+func TestBandwidthPlateaus(t *testing.T) {
+	e := MeasureDeliberateBandwidth(ConfigFor(2, 1, nic.GenEISAPrototype), 0, 1, 4096, 512*1024)
+	t.Logf("EISA page transfers: %s", e)
+	if e.MBps < 28 || e.MBps > 33 {
+		t.Errorf("EISA peak %v MB/s, paper bottleneck is 33 MB/s", e.MBps)
+	}
+	x := MeasureDeliberateBandwidth(ConfigFor(2, 1, nic.GenXpress), 0, 1, 4096, 512*1024)
+	t.Logf("Xpress page transfers: %s", x)
+	if x.MBps < 60 || x.MBps > 70 {
+		t.Errorf("next-gen peak %v MB/s, paper predicts about 70 MB/s", x.MBps)
+	}
+}
+
+func TestAUAblation(t *testing.T) {
+	single := MeasureAUBandwidth(ConfigFor(2, 1, nic.GenEISAPrototype), nipt.SingleWriteAU, 2000)
+	blocked := MeasureAUBandwidth(ConfigFor(2, 1, nic.GenEISAPrototype), nipt.BlockedWriteAU, 2000)
+	t.Logf("%s", single)
+	t.Logf("%s", blocked)
+	if blocked.MBps <= single.MBps {
+		t.Error("blocked-write should beat single-write for bulk stores")
+	}
+	if blocked.PktPerStore >= single.PktPerStore {
+		t.Error("blocked-write should emit fewer packets per store")
+	}
+}
+
+func TestOverlapClaim(t *testing.T) {
+	// §4.1: automatic update overlaps communication with computation —
+	// the CPU sees (nearly) only the write-through latency.
+	r := MeasureOverlap(ConfigFor(2, 1, nic.GenEISAPrototype), nipt.BlockedWriteAU, 400)
+	t.Logf("overlap: %s", r)
+	// 1600 payload bytes plus a little kernel-ring traffic (the map
+	// handshake) also lands on the destination NIC.
+	if r.BytesMoved < 1600 || r.BytesMoved > 1800 {
+		t.Fatalf("delivered %d bytes, want ~1600", r.BytesMoved)
+	}
+	if r.OverheadPct > 25 {
+		t.Fatalf("CPU-visible overhead %.1f%% — communication is not overlapped", r.OverheadPct)
+	}
+}
+
+func TestMergeWindowSweep(t *testing.T) {
+	cfg := ConfigFor(2, 1, nic.GenEISAPrototype)
+	gap := 100 * sim.Nanosecond
+	narrow := MeasureMergeWindow(cfg, 20*sim.Nanosecond, gap, 256)
+	wide := MeasureMergeWindow(cfg, 2*sim.Microsecond, gap, 256)
+	t.Logf("window 20ns: %.3f pkts/store; window 2us: %.3f pkts/store",
+		narrow.PktPerStore, wide.PktPerStore)
+	if narrow.PktPerStore < 0.9 {
+		t.Fatal("a window shorter than the store gap should not merge")
+	}
+	if wide.PktPerStore > 0.2 {
+		t.Fatal("a wide window should merge most stores")
+	}
+}
+
+func TestLatencyLinearInHops(t *testing.T) {
+	// §5.1: propagation latency grows by a constant per hop (router +
+	// link); the deposit leg is hop-independent.
+	cfg := ConfigFor(4, 1, nic.GenEISAPrototype)
+	l1 := MeasureStoreLatency(cfg, 0, 1).Latency
+	l2 := MeasureStoreLatency(cfg, 0, 2).Latency
+	l3 := MeasureStoreLatency(cfg, 0, 3).Latency
+	d1, d2 := l2-l1, l3-l2
+	if d1 != d2 {
+		t.Fatalf("per-hop deltas differ: %v vs %v", d1, d2)
+	}
+	if d1 <= 0 {
+		t.Fatal("latency not increasing with distance")
+	}
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/kernel"
+	"repro/internal/nic"
+	"repro/internal/nipt"
+	"repro/internal/phys"
+	"repro/internal/sim"
+)
+
+// gangWorker: each process streams values through its own mapping and
+// then spins on the echo, so progress requires its peer to be scheduled
+// too — the workload gang scheduling is designed for.
+const gangPing = `
+main:
+	mov	ecx, ROUNDS
+	mov	ebx, 1
+loop:	mov	[OUT], ebx
+wait:	mov	eax, [ECHO]
+	cmp	eax, ebx
+	jne	wait
+	inc	ebx
+	dec	ecx
+	jnz	loop
+	hlt
+`
+
+const gangPong = `
+main:
+	mov	ecx, ROUNDS
+	mov	ebx, 1
+loop:	mov	eax, [IN]
+	cmp	eax, ebx
+	jne	loop
+	mov	[OUT], eax
+	inc	ebx
+	dec	ecx
+	jnz	loop
+	hlt
+`
+
+// stageGang builds one communicating job: a pinger on node a and a
+// ponger on node b, with forward and echo mappings.
+func stageGang(t *testing.T, m *Machine, a, b *Node, rounds int) (*kernel.Process, *kernel.Process) {
+	t.Helper()
+	pp := a.K.CreateProcess()
+	qq := b.K.CreateProcess()
+	out, err := pp.AllocPages(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := qq.AllocPages(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := qq.AllocPages(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	echo, err := pp.AllocPages(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.MustMap(pp, out, phys.PageSize, b.ID, qq.PID, in, nipt.SingleWriteAU)
+	m.MustMap(qq, back, phys.PageSize, a.ID, pp.PID, echo, nipt.SingleWriteAU)
+
+	pstack, _ := pp.AllocPages(1)
+	qstack, _ := qq.AllocPages(1)
+	pp.SetupRun(isa.MustAssemble("ping", gangPing, map[string]int64{
+		"OUT": int64(out), "ECHO": int64(echo), "ROUNDS": int64(rounds),
+	}), "main", pstack+phys.PageSize)
+	qq.SetupRun(isa.MustAssemble("pong", gangPong, map[string]int64{
+		"IN": int64(in), "OUT": int64(back), "ROUNDS": int64(rounds),
+	}), "main", qstack+phys.PageSize)
+	return pp, qq
+}
+
+func TestGangSchedulingRunsCommunicatingJobs(t *testing.T) {
+	const rounds = 40
+	m := New(ConfigFor(2, 1, nic.GenEISAPrototype))
+	a, b := m.Node(0), m.Node(1)
+	// Two jobs share the machine; each needs both of its halves
+	// scheduled to make progress.
+	p1, q1 := stageGang(t, m, a, b, rounds)
+	p2, q2 := stageGang(t, m, a, b, rounds)
+	a.K.AddRunnable(p1)
+	a.K.AddRunnable(p2)
+	b.K.AddRunnable(q1)
+	b.K.AddRunnable(q2)
+
+	g, err := m.StartGangScheduling(10 * sim.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run until all four processes have halted (each job finishes its
+	// rounds) or the budget expires.
+	deadline := m.Eng.Now() + 50*sim.Millisecond
+	done := func() bool {
+		for _, p := range []*kernel.Process{p1, q1, p2, q2} {
+			v, err := finalEBX(m, p)
+			if err != nil || v != rounds+1 {
+				return false
+			}
+		}
+		return true
+	}
+	for !done() && m.Eng.Now() < deadline {
+		if !m.Eng.Step() {
+			break
+		}
+	}
+	g.Stop()
+	if !done() {
+		t.Fatalf("jobs incomplete after %v (gang ticks %d)", m.Eng.Now(), g.Ticks())
+	}
+	if g.Ticks() < 2 {
+		t.Fatalf("only %d gang rounds; test vacuous", g.Ticks())
+	}
+	if a.K.Stats().ContextSwitches < 3 || b.K.Stats().ContextSwitches < 3 {
+		t.Fatal("no real multiprogramming happened")
+	}
+}
+
+// finalEBX reads the EBX a process last saw: live from the CPU if the
+// process is current, otherwise from its saved context.
+func finalEBX(m *Machine, p *kernel.Process) (uint32, error) {
+	k := p.Kernel()
+	if k.Current() == p {
+		return k.CPU().R[isa.EBX], nil
+	}
+	return p.SavedReg(isa.EBX), nil
+}

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"fmt"
+	"io"
+)
+
+// Report writes a machine-wide statistics summary: backplane counters,
+// per-node NIC and kernel activity, and aggregate totals. shrimp-sim
+// uses it; tests use it as a smoke check that accounting is coherent.
+func (m *Machine) Report(w io.Writer) error {
+	ns := m.Net.Stats()
+	if _, err := fmt.Fprintf(w,
+		"backplane: injected=%d delivered=%d parked=%d wire-bytes=%d flit-hops=%d max-latency=%v\n",
+		ns.Injected, ns.Delivered, ns.Parked, ns.TotalWireByte, ns.FlitHops, ns.MaxLatency); err != nil {
+		return err
+	}
+	var out, in, drops, stalls, merged uint64
+	for _, n := range m.Nodes {
+		s := n.NIC.Stats()
+		k := n.K.Stats()
+		out += s.PacketsOut
+		in += s.PacketsIn
+		drops += s.DropNotMappedIn + s.DropWrongDest + s.DropCRC
+		stalls += s.OutFullEvents
+		merged += s.MergedWrites
+		if _, err := fmt.Fprintf(w,
+			"node %2d: out=%d (kernel %d) in=%d bytes-in=%d drops=%d/%d/%d dma=%d stalls=%d | maps=%d unmaps=%d evictions=%d ring-sent=%d\n",
+			n.ID, s.PacketsOut, s.KernelPacketsOut, s.PacketsIn, s.BytesIn,
+			s.DropNotMappedIn, s.DropWrongDest, s.DropCRC, s.DMATransfers,
+			s.OutFullEvents, k.Maps, k.Unmaps, k.Evictions, k.RingRecordsSent); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w,
+		"totals: packets out=%d in=%d drops=%d merged-writes=%d out-stall-events=%d (delivered+dropped=%d)\n",
+		out, in, drops, merged, stalls, in+drops)
+	return err
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/phys"
+)
+
+// Validate checks a configuration for shapes the models cannot operate
+// under. New panics on an invalid config; callers that assemble configs
+// programmatically can call Validate first for a graceful error.
+func (c Config) Validate() error {
+	if c.MeshWidth < 1 || c.MeshHeight < 1 {
+		return fmt.Errorf("core: mesh %dx%d invalid", c.MeshWidth, c.MeshHeight)
+	}
+	if c.Mesh.Width != c.MeshWidth || c.Mesh.Height != c.MeshHeight {
+		return fmt.Errorf("core: mesh config %dx%d disagrees with machine %dx%d",
+			c.Mesh.Width, c.Mesh.Height, c.MeshWidth, c.MeshHeight)
+	}
+	n := c.NodeCount()
+	if ring := 2 * (n - 1); ring+8 > c.MemPagesPerNode {
+		return fmt.Errorf("core: %d pages/node cannot hold %d kernel ring pages plus working memory",
+			c.MemPagesPerNode, ring)
+	}
+	if c.NIC.MaxPayload <= 0 || c.NIC.MaxPayload > phys.PageSize {
+		return fmt.Errorf("core: NIC max payload %d outside (0,%d]", c.NIC.MaxPayload, phys.PageSize)
+	}
+	// The §4 thresholds need headroom: everything that can still arrive
+	// after the threshold trips must fit. A full page plus header is the
+	// largest single packet.
+	maxWire := (&packet.Packet{Payload: make([]byte, c.NIC.MaxPayload)}).WireSize()
+	if c.NIC.OutThreshold <= 0 || c.NIC.OutThreshold >= c.NIC.OutFIFOBytes {
+		return fmt.Errorf("core: outgoing FIFO threshold %d outside (0,%d)",
+			c.NIC.OutThreshold, c.NIC.OutFIFOBytes)
+	}
+	if c.NIC.OutFIFOBytes-c.NIC.OutThreshold < 8*maxWire {
+		return fmt.Errorf("core: outgoing FIFO headroom %d cannot absorb in-flight packetization (need %d)",
+			c.NIC.OutFIFOBytes-c.NIC.OutThreshold, 8*maxWire)
+	}
+	if c.NIC.InThreshold <= 0 || c.NIC.InThreshold >= c.NIC.InFIFOBytes {
+		return fmt.Errorf("core: incoming FIFO threshold %d outside (0,%d)",
+			c.NIC.InThreshold, c.NIC.InFIFOBytes)
+	}
+	if c.NIC.InFIFOBytes-c.NIC.InThreshold < maxWire {
+		return fmt.Errorf("core: incoming FIFO headroom %d cannot absorb one max packet (%d)",
+			c.NIC.InFIFOBytes-c.NIC.InThreshold, maxWire)
+	}
+	if c.Generation == 0 && c.EISA.BytesPerSecond <= 0 {
+		return fmt.Errorf("core: EISA generation needs a positive deposit rate")
+	}
+	if c.Cache.Sets&(c.Cache.Sets-1) != 0 || c.Cache.LineBytes&(c.Cache.LineBytes-1) != 0 {
+		return fmt.Errorf("core: cache sets (%d) and line size (%d) must be powers of two",
+			c.Cache.Sets, c.Cache.LineBytes)
+	}
+	if c.CPU.CycleTime <= 0 {
+		return fmt.Errorf("core: CPU cycle time must be positive")
+	}
+	if c.Mesh.FlitBytes <= 0 || c.Mesh.FlitCycle <= 0 {
+		return fmt.Errorf("core: mesh flit parameters must be positive")
+	}
+	return nil
+}

@@ -1,0 +1,409 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses assembly text into a Program. The syntax is a small
+// Intel-style dialect:
+//
+//	; line comment
+//	label:
+//	        mov     eax, [esi+4]
+//	        mov     dword [edi], 16
+//	        movzx   eax, word [esi+ecx*2]
+//	        lock cmpxchg [edi], ecx
+//	        rep movsd
+//	        jne     label
+//
+// syms supplies named constants (buffer addresses, sizes) usable
+// anywhere an immediate or displacement may appear.
+func Assemble(name, src string, syms map[string]int64) (*Program, error) {
+	a := &assembler{
+		prog: &Program{Labels: make(map[string]int), Name: name},
+		syms: syms,
+	}
+	for lineNo, raw := range strings.Split(src, "\n") {
+		if err := a.line(lineNo+1, raw); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w (in %q)", name, lineNo+1, err, strings.TrimSpace(raw))
+		}
+	}
+	if err := a.resolve(); err != nil {
+		return nil, err
+	}
+	return a.prog, nil
+}
+
+// MustAssemble is Assemble that panics on error; the routine library uses
+// it for its fixed, test-covered sources.
+func MustAssemble(name, src string, syms map[string]int64) *Program {
+	p, err := Assemble(name, src, syms)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type assembler struct {
+	prog *Program
+	syms map[string]int64
+}
+
+func (a *assembler) line(no int, raw string) error {
+	s := raw
+	if i := strings.IndexByte(s, ';'); i >= 0 {
+		s = s[:i]
+	}
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	// Labels: may share a line with an instruction ("loop: dec ecx").
+	for {
+		i := strings.IndexByte(s, ':')
+		if i < 0 || strings.ContainsAny(s[:i], " \t[,") {
+			break
+		}
+		label := s[:i]
+		if !validIdent(label) {
+			return fmt.Errorf("invalid label %q", label)
+		}
+		if _, dup := a.prog.Labels[label]; dup {
+			return fmt.Errorf("duplicate label %q", label)
+		}
+		a.prog.Labels[label] = len(a.prog.Instrs)
+		s = strings.TrimSpace(s[i+1:])
+		if s == "" {
+			return nil
+		}
+	}
+	return a.instr(no, s)
+}
+
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+var mnemonics = func() map[string]Op {
+	m := make(map[string]Op, int(numOps))
+	for o := Op(0); o < numOps; o++ {
+		m[o.String()] = o
+	}
+	// Aliases.
+	m["jz"] = JE
+	m["jnz"] = JNE
+	m["jnae"] = JB
+	m["jnb"] = JAE
+	m["jng"] = JLE
+	m["jnle"] = JG
+	return m
+}()
+
+func (a *assembler) instr(no int, s string) error {
+	in := Instr{Size: 4, Line: no}
+	fields := strings.Fields(s)
+	for len(fields) > 0 {
+		switch fields[0] {
+		case "lock":
+			in.Lock = true
+			fields = fields[1:]
+			continue
+		case "rep":
+			in.Rep = true
+			fields = fields[1:]
+			continue
+		}
+		break
+	}
+	if len(fields) == 0 {
+		return fmt.Errorf("prefix with no instruction")
+	}
+	mnem := fields[0]
+	rest := strings.TrimSpace(strings.TrimPrefix(s[strings.Index(s, mnem):], mnem))
+
+	// String-op width suffixes.
+	switch mnem {
+	case "movsb", "stosb":
+		mnem, in.Size = mnem[:4], 1
+	case "movsw", "stosw":
+		mnem, in.Size = mnem[:4], 2
+	case "movsd", "stosd":
+		mnem, in.Size = mnem[:4], 4
+	}
+	op, ok := mnemonics[mnem]
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", mnem)
+	}
+	in.Op = op
+
+	ops, err := splitOperands(rest)
+	if err != nil {
+		return err
+	}
+	if op.IsJump() {
+		if len(ops) != 1 || !validIdent(ops[0]) {
+			return fmt.Errorf("%s needs one label operand", op)
+		}
+		in.Label = ops[0]
+		a.prog.Instrs = append(a.prog.Instrs, in)
+		return nil
+	}
+	want := operandCount(op)
+	if len(ops) != want {
+		return fmt.Errorf("%s takes %d operand(s), got %d", op, want, len(ops))
+	}
+	if want >= 1 {
+		in.Dst, err = a.operand(ops[0], &in)
+		if err != nil {
+			return err
+		}
+	}
+	if want >= 2 {
+		in.Src, err = a.operand(ops[1], &in)
+		if err != nil {
+			return err
+		}
+	}
+	return a.validate(&in)
+}
+
+func operandCount(op Op) int {
+	switch op {
+	case NOP, CLD, STD, IRET, HLT, MOVS, STOS, RET:
+		return 0
+	case INC, DEC, NEG, NOT, PUSH, POP, INT:
+		return 1
+	default:
+		return 2
+	}
+}
+
+func splitOperands(s string) ([]string, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("unbalanced ']'")
+			}
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("unbalanced '['")
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	for _, o := range out {
+		if o == "" {
+			return nil, fmt.Errorf("empty operand")
+		}
+	}
+	return out, nil
+}
+
+var regByName = func() map[string]Reg {
+	m := make(map[string]Reg, int(numRegs))
+	for r := Reg(0); r < numRegs; r++ {
+		m[r.String()] = r
+	}
+	return m
+}()
+
+func (a *assembler) operand(s string, in *Instr) (Operand, error) {
+	// Width override prefixes.
+	for prefix, size := range map[string]int{"byte": 1, "word": 2, "dword": 4} {
+		if strings.HasPrefix(s, prefix+" ") || strings.HasPrefix(s, prefix+"[") {
+			in.Size = size
+			s = strings.TrimSpace(strings.TrimPrefix(s, prefix))
+			break
+		}
+	}
+	if r, ok := regByName[s]; ok {
+		return R(r), nil
+	}
+	if strings.HasPrefix(s, "[") {
+		if !strings.HasSuffix(s, "]") {
+			return Operand{}, fmt.Errorf("bad memory operand %q", s)
+		}
+		return a.memOperand(s[1 : len(s)-1])
+	}
+	v, err := a.value(s)
+	if err != nil {
+		return Operand{}, err
+	}
+	return I(v), nil
+}
+
+func (a *assembler) memOperand(s string) (Operand, error) {
+	op := Operand{Kind: KindMem, Base: NoReg, Index: NoReg, Scale: 1}
+	terms, err := splitTerms(s)
+	if err != nil {
+		return Operand{}, err
+	}
+	for _, t := range terms {
+		body, neg := t.body, t.neg
+		if r, ok := regByName[body]; ok && !neg {
+			if op.Base == NoReg {
+				op.Base = r
+			} else if op.Index == NoReg {
+				op.Index = r
+			} else {
+				return Operand{}, fmt.Errorf("too many registers in %q", s)
+			}
+			continue
+		}
+		if i := strings.IndexByte(body, '*'); i >= 0 && !neg {
+			r, rok := regByName[strings.TrimSpace(body[:i])]
+			sc, serr := strconv.Atoi(strings.TrimSpace(body[i+1:]))
+			if !rok || serr != nil || (sc != 1 && sc != 2 && sc != 4 && sc != 8) {
+				return Operand{}, fmt.Errorf("bad scaled index %q", body)
+			}
+			if op.Index != NoReg {
+				return Operand{}, fmt.Errorf("two index registers in %q", s)
+			}
+			op.Index, op.Scale = r, uint8(sc)
+			continue
+		}
+		v, err := a.value(body)
+		if err != nil {
+			return Operand{}, err
+		}
+		if neg {
+			v = -v
+		}
+		op.Disp += v
+	}
+	return op, nil
+}
+
+type term struct {
+	body string
+	neg  bool
+}
+
+func splitTerms(s string) ([]term, error) {
+	var out []term
+	neg := false
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '+' || s[i] == '-' {
+			body := strings.TrimSpace(s[start:i])
+			if body != "" {
+				out = append(out, term{body, neg})
+			} else if i > 0 && i < len(s) {
+				return nil, fmt.Errorf("empty term in %q", s)
+			}
+			if i < len(s) {
+				neg = s[i] == '-'
+			}
+			start = i + 1
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty memory operand")
+	}
+	return out, nil
+}
+
+func (a *assembler) value(s string) (int32, error) {
+	s = strings.TrimSpace(s)
+	if v, ok := a.syms[s]; ok {
+		return int32(v), nil
+	}
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	v, err := strconv.ParseUint(strings.TrimPrefix(s, "+"), 0, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate or unknown symbol %q", s)
+	}
+	if neg {
+		return int32(-int64(v)), nil
+	}
+	return int32(v), nil
+}
+
+func (a *assembler) validate(in *Instr) error {
+	bothMem := in.Dst.Kind == KindMem && in.Src.Kind == KindMem
+	if bothMem {
+		return fmt.Errorf("%s: memory-to-memory operands not encodable", in.Op)
+	}
+	switch in.Op {
+	case LEA, MOVZX:
+		if in.Dst.Kind != KindReg || in.Src.Kind != KindMem {
+			return fmt.Errorf("%s needs reg, mem operands", in.Op)
+		}
+	case CMPXCHG:
+		if in.Dst.Kind != KindMem || in.Src.Kind != KindReg {
+			return fmt.Errorf("cmpxchg needs mem, reg operands")
+		}
+	case XCHG:
+		if in.Dst.Kind == KindImm || in.Src.Kind == KindImm {
+			return fmt.Errorf("xchg operands must be reg or mem")
+		}
+	case INT:
+		if in.Dst.Kind != KindImm {
+			return fmt.Errorf("int needs an immediate vector")
+		}
+	case PUSH:
+		// reg, imm or mem all fine.
+	case POP, INC, DEC, NEG, NOT:
+		if in.Dst.Kind == KindImm {
+			return fmt.Errorf("%s operand must be writable", in.Op)
+		}
+	case MOV, ADD, ADC, SUB, SBB, AND, OR, XOR, SHL, SHR, SAR:
+		if in.Dst.Kind == KindImm {
+			return fmt.Errorf("%s destination must be writable", in.Op)
+		}
+	case CMP, TEST:
+		// Any combination except mem,mem (checked above).
+	}
+	a.prog.Instrs = append(a.prog.Instrs, *in)
+	return nil
+}
+
+func (a *assembler) resolve() error {
+	for i := range a.prog.Instrs {
+		in := &a.prog.Instrs[i]
+		if !in.Op.IsJump() {
+			continue
+		}
+		t, ok := a.prog.Labels[in.Label]
+		if !ok {
+			return fmt.Errorf("%s:%d: undefined label %q", a.prog.Name, in.Line, in.Label)
+		}
+		in.Target = t
+	}
+	return nil
+}

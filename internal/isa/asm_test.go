@@ -1,0 +1,215 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestAssembleBasics(t *testing.T) {
+	p, err := Assemble("t", `
+; a comment
+start:
+	mov	eax, 5
+	add	eax, ebx
+	mov	[esi+8], eax
+	mov	eax, [edi+ecx*4+12]
+	cmp	eax, 0
+	jne	start
+	hlt
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Instrs) != 7 {
+		t.Fatalf("%d instrs", len(p.Instrs))
+	}
+	if p.MustEntry("start") != 0 {
+		t.Fatal("label index")
+	}
+	in := p.Instrs[3]
+	if in.Op != MOV || in.Src.Kind != KindMem || in.Src.Base != EDI ||
+		in.Src.Index != ECX || in.Src.Scale != 4 || in.Src.Disp != 12 {
+		t.Fatalf("sib operand %+v", in.Src)
+	}
+	if p.Instrs[5].Target != 0 {
+		t.Fatal("jump target")
+	}
+}
+
+func TestAssembleSymbols(t *testing.T) {
+	p, err := Assemble("t", `
+	mov	esi, BUF
+	mov	eax, [BUF+4]
+	mov	ebx, [esi+OFF]
+	hlt
+`, map[string]int64{"BUF": 0x1000, "OFF": 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Instrs[0].Src.Imm != 0x1000 {
+		t.Fatal("symbol immediate")
+	}
+	if p.Instrs[1].Src.Disp != 0x1004 || p.Instrs[1].Src.Base != NoReg {
+		t.Fatalf("absolute mem %+v", p.Instrs[1].Src)
+	}
+	if p.Instrs[2].Src.Base != ESI || p.Instrs[2].Src.Disp != 64 {
+		t.Fatal("symbol displacement")
+	}
+}
+
+func TestAssembleSizesAndPrefixes(t *testing.T) {
+	p, err := Assemble("t", `
+	mov	byte [esi], 7
+	mov	word [esi], 7
+	mov	dword [esi], 7
+	movzx	eax, word [esi]
+	lock cmpxchg [edi], ecx
+	rep movsd
+	rep movsb
+	movsw
+	stosd
+	hlt
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int{1, 2, 4}
+	for i, want := range sizes {
+		if p.Instrs[i].Size != want {
+			t.Fatalf("instr %d size %d want %d", i, p.Instrs[i].Size, want)
+		}
+	}
+	if p.Instrs[3].Op != MOVZX || p.Instrs[3].Size != 2 {
+		t.Fatal("movzx")
+	}
+	if !p.Instrs[4].Lock || p.Instrs[4].Op != CMPXCHG {
+		t.Fatal("lock cmpxchg")
+	}
+	if !p.Instrs[5].Rep || p.Instrs[5].Op != MOVS || p.Instrs[5].Size != 4 {
+		t.Fatal("rep movsd")
+	}
+	if p.Instrs[6].Size != 1 || p.Instrs[7].Size != 2 {
+		t.Fatal("string widths")
+	}
+	if p.Instrs[8].Op != STOS {
+		t.Fatal("stosd")
+	}
+}
+
+func TestAssembleNegativeAndHex(t *testing.T) {
+	p, err := Assemble("t", `
+	mov	eax, -1
+	mov	ebx, 0xff
+	mov	ecx, [esi-8]
+	and	edx, -4
+	hlt
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Instrs[0].Src.Imm != -1 || p.Instrs[1].Src.Imm != 255 {
+		t.Fatal("immediates")
+	}
+	if p.Instrs[2].Src.Disp != -8 {
+		t.Fatal("negative displacement")
+	}
+	if p.Instrs[3].Src.Imm != -4 {
+		t.Fatal("negative mask")
+	}
+}
+
+func TestLabelOnSameLine(t *testing.T) {
+	p, err := Assemble("t", "loop: dec ecx\n jnz loop\n hlt", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MustEntry("loop") != 0 || p.Instrs[1].Target != 0 {
+		t.Fatal("inline label")
+	}
+}
+
+func TestAssemblerErrors(t *testing.T) {
+	cases := []string{
+		"bogus eax, 1",           // unknown mnemonic
+		"mov eax",                // missing operand
+		"mov 5, eax",             // immediate destination
+		"mov [esi], [edi]",       // mem-to-mem
+		"jmp",                    // jump without label
+		"jne nowhere\nhlt",       // undefined label
+		"mov eax, [esi",          // unbalanced bracket
+		"dup: nop\ndup: nop",     // duplicate label
+		"mov eax, nosuchsym",     // unknown symbol
+		"lea eax, ebx",           // lea needs mem
+		"cmpxchg eax, ecx",       // cmpxchg needs mem dst
+		"mov eax, [esi+edi+ebp]", // three registers
+		"int eax",                // int needs immediate
+	}
+	for _, src := range cases {
+		if _, err := Assemble("t", src, nil); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestListingRoundTrip(t *testing.T) {
+	src := `
+entry:
+	mov	eax, 1
+	jne	entry
+	rep movsd
+	hlt
+`
+	p, err := Assemble("t", src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := p.Listing()
+	for _, want := range []string{"entry:", "mov eax, 1", "jne entry", "rep movsd", "hlt"} {
+		if !strings.Contains(l, want) {
+			t.Fatalf("listing missing %q:\n%s", want, l)
+		}
+	}
+}
+
+func TestJccAliases(t *testing.T) {
+	p, err := Assemble("t", "x: jz x\n jnz x\n jnae x\n jnb x\n hlt", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := []Op{JE, JNE, JB, JAE}
+	for i, w := range wants {
+		if p.Instrs[i].Op != w {
+			t.Fatalf("alias %d: %v want %v", i, p.Instrs[i].Op, w)
+		}
+	}
+}
+
+func TestAssemblerNeverPanicsOnGarbage(t *testing.T) {
+	// Robustness: arbitrary input must produce a program or an error,
+	// never a panic.
+	rng := rand.New(rand.NewSource(5))
+	tokens := []string{
+		"mov", "add", "jmp", "lock", "rep", "eax", "ecx", "[esi", "esi]",
+		"[eax+ebx*4]", ",", ":", "label", "0x", "-", "12", "dword", "byte",
+		"cmpxchg", "hlt", ";comment", "\n", "\t", "movsd", "int", "*8",
+	}
+	for trial := 0; trial < 500; trial++ {
+		var b strings.Builder
+		n := rng.Intn(30)
+		for i := 0; i < n; i++ {
+			b.WriteString(tokens[rng.Intn(len(tokens))])
+			if rng.Intn(3) == 0 {
+				b.WriteByte(' ')
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", b.String(), r)
+				}
+			}()
+			_, _ = Assemble("fuzz", b.String(), nil)
+		}()
+	}
+}

@@ -1,0 +1,300 @@
+package isa
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// MemPort is the CPU's window onto the node: virtual-address loads and
+// stores that go through translation, the cache, and the memory bus
+// (where the network interface snoops them). The node glue in
+// internal/core implements it.
+type MemPort interface {
+	Load(a vm.VAddr, size int) (uint32, sim.Time, *vm.Fault)
+	Store(a vm.VAddr, v uint32, size int) (sim.Time, *vm.Fault)
+	// CmpxchgLocked performs the LOCK CMPXCHG bus protocol of §4.3:
+	// a locked read cycle followed by a write cycle iff the read value
+	// equals expect.
+	CmpxchgLocked(a vm.VAddr, expect, repl uint32) (read uint32, swapped bool, lat sim.Time, fault *vm.Fault)
+}
+
+// ReturnSentinel is the return address the harness pushes before starting
+// a routine; RET to it halts the CPU cleanly.
+const ReturnSentinel uint32 = 0xffff_fff0
+
+// FaultAction tells the CPU what to do after a translation fault.
+type FaultAction uint8
+
+const (
+	// FaultAbort halts the CPU and records the fault as its error.
+	FaultAbort FaultAction = iota
+	// FaultRetry re-executes the faulting instruction (possibly after
+	// the handler froze the CPU while it repaired the mapping).
+	FaultRetry
+)
+
+// Config holds CPU timing parameters.
+type Config struct {
+	CycleTime sim.Time // base cost per instruction
+	TrapCost  sim.Time // extra cost of INT, IRET and IRQ entry
+	// TakenBranchCycles is the extra cycles a taken jump/loop pays
+	// (pipeline refill); not-taken branches cost the base cycle only.
+	TakenBranchCycles int
+	// CallRetCycles is the extra cycles of CALL and RET beyond their
+	// stack memory traffic.
+	CallRetCycles int
+	// StringIterCycles is the extra cycles per string-op iteration
+	// beyond its memory traffic.
+	StringIterCycles int
+}
+
+// DefaultConfig models a 66 MHz i486-class CPU: one cycle per simple
+// instruction, two extra on taken branches, two extra on call/ret, one
+// extra per string iteration.
+func DefaultConfig() Config {
+	return Config{
+		CycleTime:         15 * sim.Nanosecond,
+		TrapCost:          300 * sim.Nanosecond,
+		TakenBranchCycles: 2,
+		CallRetCycles:     2,
+		StringIterCycles:  1,
+	}
+}
+
+// Counters are the measurement outputs of a run. Instructions executed in
+// kernel mode (between INT/IRQ entry and IRET) count separately, and REP
+// string iterations after the first are excluded from both — the paper
+// excludes "per-byte copying costs" from its overhead figures.
+type Counters struct {
+	User     uint64
+	Kernel   uint64
+	RepIters uint64
+	Traps    uint64
+	IRQs     uint64
+	Faults   uint64
+}
+
+// Total returns user + kernel instruction counts.
+func (c Counters) Total() uint64 { return c.User + c.Kernel }
+
+// CPU is one node's processor: an interpreter for assembled Programs
+// that advances the shared simulation clock as it executes.
+type CPU struct {
+	Eng *sim.Engine
+	Mem MemPort
+
+	// R holds the eight general-purpose registers.
+	R [8]uint32
+	// Flags.
+	ZF, SF, CF, OF, DF bool
+
+	// Syscall handles INT vectors with no ISA handler installed.
+	Syscall func(c *CPU, vector int)
+	// FaultHandler decides what happens on a translation fault. Nil
+	// means every fault aborts.
+	FaultHandler func(c *CPU, f *vm.Fault) FaultAction
+	// OnHalt fires when the CPU halts (HLT, sentinel RET, or abort).
+	OnHalt func(c *CPU)
+
+	cfg        Config
+	prog       *Program
+	eip        int
+	kernelMode bool
+	halted     bool
+	frozen     bool
+	started    bool
+	repActive  bool // inside a REP sequence (iterations beyond the first)
+	err        error
+	isrs       map[int]int // vector -> instruction index
+	goIRQ      map[int]func(c *CPU)
+	pendingIRQ []int
+	counters   Counters
+	name       string
+}
+
+// NewCPU builds a CPU over the given memory port.
+func NewCPU(eng *sim.Engine, cfg Config, mem MemPort) *CPU {
+	return &CPU{Eng: eng, Mem: mem, cfg: cfg, isrs: make(map[int]int), goIRQ: make(map[int]func(*CPU))}
+}
+
+// SetName labels the CPU in diagnostics.
+func (c *CPU) SetName(n string) { c.name = n }
+
+// InstallISR routes an interrupt/trap vector to an ISA handler label in
+// the currently loaded program.
+func (c *CPU) InstallISR(vector int, label string) {
+	c.isrs[vector] = c.prog.MustEntry(label)
+}
+
+// InstallGoIRQ routes a hardware interrupt vector to a Go handler (used
+// for kernel services that are not part of any measured fast path).
+func (c *CPU) InstallGoIRQ(vector int, fn func(c *CPU)) { c.goIRQ[vector] = fn }
+
+// Counters returns the current measurement counters.
+func (c *CPU) Counters() Counters { return c.counters }
+
+// ResetCounters zeroes the measurement counters.
+func (c *CPU) ResetCounters() { c.counters = Counters{} }
+
+// Halted reports whether the CPU has stopped.
+func (c *CPU) Halted() bool { return c.halted }
+
+// Err returns the error that aborted the CPU, if any.
+func (c *CPU) Err() error { return c.err }
+
+// Program returns the loaded program.
+func (c *CPU) Program() *Program { return c.prog }
+
+// EIP returns the current instruction index (diagnostics).
+func (c *CPU) EIP() int { return c.eip }
+
+// KernelMode reports whether the CPU is inside a trap/IRQ handler.
+func (c *CPU) KernelMode() bool { return c.kernelMode }
+
+// Load installs a program without starting execution.
+func (c *CPU) Load(p *Program) {
+	c.prog = p
+	c.isrs = make(map[int]int)
+}
+
+// Start begins executing the loaded program at the given label. The
+// caller should have set up ESP; Start pushes ReturnSentinel so the
+// routine may finish with RET.
+func (c *CPU) Start(entry string) error {
+	if c.prog == nil {
+		return fmt.Errorf("isa: no program loaded")
+	}
+	e, err := c.prog.Entry(entry)
+	if err != nil {
+		return err
+	}
+	c.eip = e
+	c.halted, c.frozen, c.started, c.err = false, false, true, nil
+	c.kernelMode = false
+	c.repActive = false
+	if _, f := c.push(ReturnSentinel); f != nil {
+		return fmt.Errorf("isa: cannot push return sentinel: %w", f)
+	}
+	c.Eng.After(0, c.step)
+	return nil
+}
+
+// Freeze pauses execution after the current instruction; the kernel uses
+// it while a fault repair or FIFO drain is outstanding.
+func (c *CPU) Freeze() { c.frozen = true }
+
+// Thaw resumes a frozen CPU.
+func (c *CPU) Thaw() {
+	if !c.frozen {
+		return
+	}
+	c.frozen = false
+	if c.started && !c.halted {
+		c.Eng.After(0, c.step)
+	}
+}
+
+// Frozen reports whether the CPU is paused.
+func (c *CPU) Frozen() bool { return c.frozen }
+
+// RaiseIRQ queues a hardware interrupt; it dispatches before the next
+// user-mode instruction.
+func (c *CPU) RaiseIRQ(vector int) {
+	c.pendingIRQ = append(c.pendingIRQ, vector)
+	if c.started && !c.halted && !c.frozen {
+		// Ensure a step is pending even if the CPU idles at a HLT-less
+		// boundary (it always is while started, so this is belt and
+		// braces for Go-handler reentry).
+		c.Eng.After(0, func() {})
+	}
+}
+
+func (c *CPU) halt() {
+	c.halted = true
+	if c.OnHalt != nil {
+		c.OnHalt(c)
+	}
+}
+
+func (c *CPU) abort(err error) {
+	c.err = err
+	c.halt()
+}
+
+func (c *CPU) step() {
+	if c.halted || c.frozen || !c.started {
+		return
+	}
+	// Hardware interrupts dispatch at instruction boundaries, outside
+	// handlers.
+	if len(c.pendingIRQ) > 0 && !c.kernelMode {
+		v := c.pendingIRQ[0]
+		c.pendingIRQ = c.pendingIRQ[1:]
+		c.dispatchIRQ(v)
+		if c.halted || c.frozen {
+			return
+		}
+	}
+	if c.eip < 0 || c.eip >= len(c.prog.Instrs) {
+		c.abort(fmt.Errorf("isa: %s: eip %d outside program %q", c.name, c.eip, c.prog.Name))
+		return
+	}
+	in := &c.prog.Instrs[c.eip]
+	cost, fault := c.execute(in)
+	if fault != nil {
+		c.counters.Faults++
+		action := FaultAbort
+		if c.FaultHandler != nil {
+			action = c.FaultHandler(c, fault)
+		}
+		if action == FaultAbort {
+			c.abort(fmt.Errorf("isa: %s at %q#%d (%s): %w", c.name, c.prog.Name, c.eip, in, fault))
+			return
+		}
+		// Retry: eip unchanged; the handler may have frozen us.
+		if !c.halted && !c.frozen {
+			c.Eng.After(c.cfg.CycleTime, c.step)
+		}
+		return
+	}
+	if c.halted {
+		return
+	}
+	if !c.frozen {
+		c.Eng.After(cost, c.step)
+	}
+}
+
+func (c *CPU) dispatchIRQ(vector int) {
+	c.counters.IRQs++
+	if fn, ok := c.goIRQ[vector]; ok {
+		fn(c)
+		return
+	}
+	target, ok := c.isrs[vector]
+	if !ok {
+		c.abort(fmt.Errorf("isa: %s: unhandled IRQ %d", c.name, vector))
+		return
+	}
+	if _, f := c.push(uint32(c.eip)); f != nil {
+		c.abort(fmt.Errorf("isa: %s: IRQ stack push: %w", c.name, f))
+		return
+	}
+	c.kernelMode = true
+	c.eip = target
+}
+
+// count records one successfully executed instruction.
+func (c *CPU) count(rep bool) {
+	if rep && c.repActive {
+		c.counters.RepIters++
+		return
+	}
+	if c.kernelMode {
+		c.counters.Kernel++
+	} else {
+		c.counters.User++
+	}
+}

@@ -1,0 +1,484 @@
+package isa
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// effAddr computes the effective virtual address of a memory operand.
+func (c *CPU) effAddr(o Operand) vm.VAddr {
+	a := uint32(o.Disp)
+	if o.Base != NoReg {
+		a += c.R[o.Base]
+	}
+	if o.Index != NoReg {
+		a += c.R[o.Index] * uint32(o.Scale)
+	}
+	return vm.VAddr(a)
+}
+
+// readOp evaluates an operand for reading.
+func (c *CPU) readOp(o Operand, size int) (uint32, sim.Time, *vm.Fault) {
+	switch o.Kind {
+	case KindReg:
+		return c.R[o.Reg], 0, nil
+	case KindImm:
+		return uint32(o.Imm), 0, nil
+	case KindMem:
+		return c.Mem.Load(c.effAddr(o), size)
+	}
+	panic("isa: read of empty operand")
+}
+
+// writeOp stores a result into an operand.
+func (c *CPU) writeOp(o Operand, v uint32, size int) (sim.Time, *vm.Fault) {
+	switch o.Kind {
+	case KindReg:
+		c.R[o.Reg] = v
+		return 0, nil
+	case KindMem:
+		return c.Mem.Store(c.effAddr(o), v, size)
+	}
+	panic("isa: write of non-writable operand")
+}
+
+func (c *CPU) push(v uint32) (sim.Time, *vm.Fault) {
+	sp := c.R[ESP] - 4
+	t, f := c.Mem.Store(vm.VAddr(sp), v, 4)
+	if f != nil {
+		return t, f
+	}
+	c.R[ESP] = sp
+	return t, nil
+}
+
+func (c *CPU) pop() (uint32, sim.Time, *vm.Fault) {
+	v, t, f := c.Mem.Load(vm.VAddr(c.R[ESP]), 4)
+	if f != nil {
+		return 0, t, f
+	}
+	c.R[ESP] += 4
+	return v, t, nil
+}
+
+func (c *CPU) setZS(v uint32) {
+	c.ZF = v == 0
+	c.SF = int32(v) < 0
+}
+
+func (c *CPU) add(a, b uint32, carryIn bool) uint32 {
+	ci := uint32(0)
+	if carryIn {
+		ci = 1
+	}
+	r := a + b + ci
+	c.CF = uint64(a)+uint64(b)+uint64(ci) > 0xffffffff
+	c.OF = (a^r)&(b^r)&0x80000000 != 0
+	c.setZS(r)
+	return r
+}
+
+func (c *CPU) sub(a, b uint32, borrowIn bool) uint32 {
+	bi := uint32(0)
+	if borrowIn {
+		bi = 1
+	}
+	r := a - b - bi
+	c.CF = uint64(a) < uint64(b)+uint64(bi)
+	c.OF = (a^b)&(a^r)&0x80000000 != 0
+	c.setZS(r)
+	return r
+}
+
+func (c *CPU) logic(r uint32) uint32 {
+	c.CF, c.OF = false, false
+	c.setZS(r)
+	return r
+}
+
+func (c *CPU) condition(op Op) bool {
+	switch op {
+	case JMP:
+		return true
+	case JE:
+		return c.ZF
+	case JNE:
+		return !c.ZF
+	case JL:
+		return c.SF != c.OF
+	case JGE:
+		return c.SF == c.OF
+	case JLE:
+		return c.ZF || c.SF != c.OF
+	case JG:
+		return !c.ZF && c.SF == c.OF
+	case JB:
+		return c.CF
+	case JAE:
+		return !c.CF
+	case JBE:
+		return c.CF || c.ZF
+	case JA:
+		return !c.CF && !c.ZF
+	case JS:
+		return c.SF
+	case JNS:
+		return !c.SF
+	}
+	panic(fmt.Sprintf("isa: not a condition: %s", op))
+}
+
+// execute runs one instruction, returning its time cost. On a fault,
+// architectural state is unchanged (register updates are ordered after
+// all memory accesses succeed) so the instruction can be retried.
+func (c *CPU) execute(in *Instr) (sim.Time, *vm.Fault) {
+	cost := c.cfg.CycleTime
+	next := c.eip + 1
+	size := in.Size
+	if size == 0 {
+		size = 4
+	}
+
+	switch in.Op {
+	case NOP:
+	case CLD:
+		c.DF = false
+	case STD:
+		c.DF = true
+	case HLT:
+		// The harness terminator: not counted, it is not part of any
+		// measured primitive.
+		c.halt()
+		return cost, nil
+
+	case MOV:
+		v, t, f := c.readOp(in.Src, size)
+		if f != nil {
+			return cost + t, f
+		}
+		cost += t
+		// Sub-word loads into registers zero-extend: this dialect has no
+		// partial registers (use "movzx" in source text for clarity).
+		t, f = c.writeOp(in.Dst, v, size)
+		if f != nil {
+			return cost + t, f
+		}
+		cost += t
+
+	case MOVZX:
+		v, t, f := c.readOp(in.Src, size)
+		if f != nil {
+			return cost + t, f
+		}
+		cost += t
+		c.R[in.Dst.Reg] = v
+
+	case LEA:
+		c.R[in.Dst.Reg] = uint32(c.effAddr(in.Src))
+
+	case ADD, ADC, SUB, SBB, AND, OR, XOR, CMP, TEST:
+		a, t, f := c.readOp(in.Dst, size)
+		if f != nil {
+			return cost + t, f
+		}
+		cost += t
+		b, t, f := c.readOp(in.Src, size)
+		if f != nil {
+			return cost + t, f
+		}
+		cost += t
+		var r uint32
+		write := true
+		switch in.Op {
+		case ADD:
+			r = c.add(a, b, false)
+		case ADC:
+			r = c.add(a, b, c.CF)
+		case SUB:
+			r = c.sub(a, b, false)
+		case SBB:
+			r = c.sub(a, b, c.CF)
+		case AND:
+			r = c.logic(a & b)
+		case OR:
+			r = c.logic(a | b)
+		case XOR:
+			r = c.logic(a ^ b)
+		case CMP:
+			c.sub(a, b, false)
+			write = false
+		case TEST:
+			c.logic(a & b)
+			write = false
+		}
+		if write {
+			t, f = c.writeOp(in.Dst, r, size)
+			if f != nil {
+				return cost + t, f
+			}
+			cost += t
+		}
+
+	case INC, DEC, NEG, NOT:
+		a, t, f := c.readOp(in.Dst, size)
+		if f != nil {
+			return cost + t, f
+		}
+		cost += t
+		var r uint32
+		switch in.Op {
+		case INC:
+			cf := c.CF // INC/DEC preserve CF
+			r = c.add(a, 1, false)
+			c.CF = cf
+		case DEC:
+			cf := c.CF
+			r = c.sub(a, 1, false)
+			c.CF = cf
+		case NEG:
+			r = c.sub(0, a, false)
+			c.CF = a != 0
+		case NOT:
+			r = ^a // NOT sets no flags
+		}
+		t, f = c.writeOp(in.Dst, r, size)
+		if f != nil {
+			return cost + t, f
+		}
+		cost += t
+
+	case SHL, SHR, SAR:
+		a, t, f := c.readOp(in.Dst, size)
+		if f != nil {
+			return cost + t, f
+		}
+		cost += t
+		b, t, f := c.readOp(in.Src, size)
+		if f != nil {
+			return cost + t, f
+		}
+		cost += t
+		n := b & 31
+		r := a
+		if n > 0 {
+			switch in.Op {
+			case SHL:
+				c.CF = a&(1<<(32-n)) != 0
+				r = a << n
+			case SHR:
+				c.CF = a&(1<<(n-1)) != 0
+				r = a >> n
+			case SAR:
+				c.CF = a&(1<<(n-1)) != 0
+				r = uint32(int32(a) >> n)
+			}
+			c.OF = false
+			c.setZS(r)
+		}
+		t, f = c.writeOp(in.Dst, r, size)
+		if f != nil {
+			return cost + t, f
+		}
+		cost += t
+
+	case JMP, JE, JNE, JL, JLE, JG, JGE, JB, JBE, JA, JAE, JS, JNS:
+		if c.condition(in.Op) {
+			next = in.Target
+			cost += sim.Time(c.cfg.TakenBranchCycles) * c.cfg.CycleTime
+		}
+
+	case LOOP:
+		c.R[ECX]-- // LOOP does not affect flags
+		if c.R[ECX] != 0 {
+			next = in.Target
+			cost += sim.Time(c.cfg.TakenBranchCycles) * c.cfg.CycleTime
+		}
+
+	case CALL:
+		cost += sim.Time(c.cfg.CallRetCycles) * c.cfg.CycleTime
+		t, f := c.push(uint32(next))
+		if f != nil {
+			return cost + t, f
+		}
+		cost += t
+		next = in.Target
+
+	case RET:
+		cost += sim.Time(c.cfg.CallRetCycles) * c.cfg.CycleTime
+		v, t, f := c.pop()
+		if f != nil {
+			return cost + t, f
+		}
+		cost += t
+		if v == ReturnSentinel {
+			// Returning to the harness: like HLT, not counted.
+			c.halt()
+			return cost, nil
+		}
+		next = int(v)
+
+	case PUSH:
+		v, t, f := c.readOp(in.Dst, size)
+		if f != nil {
+			return cost + t, f
+		}
+		cost += t
+		t, f = c.push(v)
+		if f != nil {
+			return cost + t, f
+		}
+		cost += t
+
+	case POP:
+		v, t, f := c.pop()
+		if f != nil {
+			return cost + t, f
+		}
+		cost += t
+		t, f = c.writeOp(in.Dst, v, size)
+		if f != nil {
+			return cost + t, f
+		}
+		cost += t
+
+	case XCHG:
+		a, t, f := c.readOp(in.Dst, size)
+		if f != nil {
+			return cost + t, f
+		}
+		cost += t
+		b, t, f := c.readOp(in.Src, size)
+		if f != nil {
+			return cost + t, f
+		}
+		cost += t
+		t, f = c.writeOp(in.Dst, b, size)
+		if f != nil {
+			return cost + t, f
+		}
+		cost += t
+		t, f = c.writeOp(in.Src, a, size)
+		if f != nil {
+			return cost + t, f
+		}
+		cost += t
+
+	case CMPXCHG:
+		// The §4.3 primitive: one locked bus tenure containing a read
+		// cycle and, iff the read matches EAX, a write cycle. ZF reports
+		// success; on failure EAX receives the read value.
+		read, swapped, t, f := c.Mem.CmpxchgLocked(c.effAddr(in.Dst), c.R[EAX], c.R[in.Src.Reg])
+		if f != nil {
+			return cost + t, f
+		}
+		cost += t
+		c.ZF = swapped
+		if !swapped {
+			c.R[EAX] = read
+		}
+
+	case MOVS, STOS:
+		iterCost, done, f := c.stringOp(in, size)
+		if f != nil {
+			return cost + iterCost, f
+		}
+		cost += iterCost + sim.Time(c.cfg.StringIterCycles)*c.cfg.CycleTime
+		c.count(in.Rep) // first iteration is the instruction; later ones are RepIters
+		if in.Rep && !done {
+			// Stay on this instruction; further iterations are separate
+			// micro-steps so bus/NIC events interleave realistically.
+			c.repActive = true
+			return cost, nil
+		}
+		c.repActive = false
+		c.eip = next
+		return cost, nil
+
+	case INT:
+		cost += c.cfg.TrapCost
+		c.counters.Traps++
+		vector := int(in.Dst.Imm)
+		c.count(false) // the INT itself executes in the outgoing mode
+		if target, ok := c.isrs[vector]; ok {
+			t, f := c.push(uint32(next))
+			if f != nil {
+				return cost + t, f
+			}
+			cost += t
+			c.kernelMode = true
+			c.eip = target
+			return cost, nil
+		}
+		if c.Syscall != nil {
+			c.eip = next
+			c.Syscall(c, vector)
+			return cost, nil
+		}
+		return cost, &vm.Fault{VA: 0, Write: false, Reason: vm.NotPresent}
+
+	case IRET:
+		cost += c.cfg.TrapCost
+		v, t, f := c.pop()
+		if f != nil {
+			return cost + t, f
+		}
+		cost += t
+		if v == ReturnSentinel {
+			c.kernelMode = false
+			c.halt()
+			return cost, nil
+		}
+		c.count(false) // counted in kernel mode
+		c.kernelMode = false
+		c.eip = int(v)
+		return cost, nil
+
+	default:
+		panic(fmt.Sprintf("isa: unimplemented op %s", in.Op))
+	}
+
+	c.count(in.Rep && (in.Op == MOVS || in.Op == STOS))
+	c.eip = next
+	return cost, nil
+}
+
+// stringOp performs one MOVS/STOS iteration. done reports whether a REP
+// sequence has finished (ECX reached zero).
+func (c *CPU) stringOp(in *Instr, size int) (sim.Time, bool, *vm.Fault) {
+	if in.Rep && c.R[ECX] == 0 {
+		return 0, true, nil
+	}
+	var cost sim.Time
+	var v uint32
+	if in.Op == MOVS {
+		var t sim.Time
+		var f *vm.Fault
+		v, t, f = c.Mem.Load(vm.VAddr(c.R[ESI]), size)
+		if f != nil {
+			return cost + t, false, f
+		}
+		cost += t
+	} else {
+		v = c.R[EAX]
+	}
+	t, f := c.Mem.Store(vm.VAddr(c.R[EDI]), v, size)
+	if f != nil {
+		return cost + t, false, f
+	}
+	cost += t
+	delta := uint32(size)
+	if c.DF {
+		delta = -delta
+	}
+	if in.Op == MOVS {
+		c.R[ESI] += delta
+	}
+	c.R[EDI] += delta
+	if !in.Rep {
+		return cost, true, nil
+	}
+	c.R[ECX]--
+	return cost, c.R[ECX] == 0, nil
+}

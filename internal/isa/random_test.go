@@ -1,0 +1,144 @@
+package isa
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// TestRandomALUProgramsAgainstModel generates random straight-line
+// register-only programs, executes them on the CPU, and compares every
+// register against a direct Go evaluation of the same sequence — a
+// differential test of the ALU, flags-free subset.
+func TestRandomALUProgramsAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	regs := []string{"eax", "ecx", "edx", "ebx", "ebp", "esi", "edi"} // not esp
+	regIdx := map[string]int{"eax": 0, "ecx": 1, "edx": 2, "ebx": 3, "ebp": 5, "esi": 6, "edi": 7}
+
+	for trial := 0; trial < 60; trial++ {
+		var src strings.Builder
+		src.WriteString("main:\n")
+		model := [8]uint32{}
+		n := 10 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			d := regs[rng.Intn(len(regs))]
+			di := regIdx[d]
+			switch rng.Intn(7) {
+			case 0: // mov reg, imm
+				v := rng.Uint32() % 100000
+				fmt.Fprintf(&src, "\tmov %s, %d\n", d, v)
+				model[di] = v
+			case 1: // mov reg, reg
+				s := regs[rng.Intn(len(regs))]
+				fmt.Fprintf(&src, "\tmov %s, %s\n", d, s)
+				model[di] = model[regIdx[s]]
+			case 2: // add
+				s := regs[rng.Intn(len(regs))]
+				fmt.Fprintf(&src, "\tadd %s, %s\n", d, s)
+				model[di] += model[regIdx[s]]
+			case 3: // sub
+				s := regs[rng.Intn(len(regs))]
+				fmt.Fprintf(&src, "\tsub %s, %s\n", d, s)
+				model[di] -= model[regIdx[s]]
+			case 4: // xor
+				s := regs[rng.Intn(len(regs))]
+				fmt.Fprintf(&src, "\txor %s, %s\n", d, s)
+				model[di] ^= model[regIdx[s]]
+			case 5: // and with immediate
+				v := rng.Uint32()
+				fmt.Fprintf(&src, "\tand %s, %d\n", d, int32(v))
+				model[di] &= v
+			case 6: // shl by small immediate
+				k := uint32(rng.Intn(8))
+				fmt.Fprintf(&src, "\tshl %s, %d\n", d, k)
+				model[di] <<= k
+			}
+		}
+		src.WriteString("\thlt\n")
+
+		eng := sim.NewEngine()
+		c := NewCPU(eng, DefaultConfig(), newFlatMem())
+		p, err := Assemble("rnd", src.String(), nil)
+		if err != nil {
+			t.Fatalf("trial %d assemble: %v\n%s", trial, err, src.String())
+		}
+		c.Load(p)
+		c.R[ESP] = 0x8000
+		if err := c.Start("main"); err != nil {
+			t.Fatal(err)
+		}
+		eng.Drain(1_000_000)
+		if c.Err() != nil {
+			t.Fatalf("trial %d: %v", trial, c.Err())
+		}
+		for _, r := range regs {
+			if c.R[regIdx[r]] != model[regIdx[r]] {
+				t.Fatalf("trial %d: %s = %#x, model %#x\n%s",
+					trial, r, c.R[regIdx[r]], model[regIdx[r]], src.String())
+			}
+		}
+		if got := c.Counters().User; got != uint64(n) {
+			t.Fatalf("trial %d: counted %d instructions, want %d", trial, got, n)
+		}
+	}
+}
+
+// TestRandomMemoryProgramsAgainstModel extends the differential test to
+// loads and stores through a shadowed flat memory.
+func TestRandomMemoryProgramsAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	for trial := 0; trial < 40; trial++ {
+		var src strings.Builder
+		src.WriteString("main:\n\tmov esi, 0x1000\n")
+		shadow := map[uint32]uint32{}
+		var acc uint32 // models eax
+		// esi fixed at 0x1000; eax is the accumulator.
+		src.WriteString("\txor eax, eax\n")
+		n := 10 + rng.Intn(30)
+		for i := 0; i < n; i++ {
+			off := uint32(rng.Intn(64)) * 4
+			if rng.Intn(2) == 0 {
+				fmt.Fprintf(&src, "\tmov [esi+%d], eax\n", off)
+				shadow[0x1000+off] = acc
+			} else {
+				fmt.Fprintf(&src, "\tadd eax, [esi+%d]\n", off)
+				acc += shadow[0x1000+off]
+			}
+			if rng.Intn(3) == 0 {
+				v := rng.Uint32() % 1000
+				fmt.Fprintf(&src, "\tadd eax, %d\n", v)
+				acc += v
+			}
+		}
+		src.WriteString("\thlt\n")
+
+		eng := sim.NewEngine()
+		mem := newFlatMem()
+		c := NewCPU(eng, DefaultConfig(), mem)
+		p, err := Assemble("rndmem", src.String(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Load(p)
+		c.R[ESP] = 0x8000
+		if err := c.Start("main"); err != nil {
+			t.Fatal(err)
+		}
+		eng.Drain(1_000_000)
+		if c.Err() != nil {
+			t.Fatalf("trial %d: %v", trial, c.Err())
+		}
+		if c.R[EAX] != acc {
+			t.Fatalf("trial %d: eax=%#x model=%#x\n%s", trial, c.R[EAX], acc, src.String())
+		}
+		for a, v := range shadow {
+			if got := mem.r32(vm.VAddr(a)); got != v {
+				t.Fatalf("trial %d: mem[%#x]=%#x model=%#x", trial, a, got, v)
+			}
+		}
+	}
+}

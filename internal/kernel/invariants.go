@@ -1,0 +1,123 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/nipt"
+	"repro/internal/phys"
+)
+
+// CheckInvariants audits the kernel's bookkeeping against the hardware
+// state it is supposed to mirror. Tests call it after churn; it returns
+// the first violation found.
+//
+// Invariants:
+//
+//  1. Every live (non-invalidated) export record's NIPT segment is
+//     installed on the frame currently backing its source page.
+//  2. Every mapped-out NIPT segment is owned by exactly one live export
+//     record, or is a boot kernel-ring outbox.
+//  3. Every frame marked MappedIn has importer bookkeeping, or is a
+//     boot kernel-ring inbox.
+//  4. No free-list frame has NIPT state or backs any process page.
+func (k *Kernel) CheckInvariants() error {
+	table := k.nic.Table()
+
+	// Ring pages are exempt from the record accounting.
+	ringOut := make(map[phys.PageNum]bool)
+	ringIn := make(map[phys.PageNum]bool)
+	for _, p := range k.peers {
+		ringOut[p.outFrame] = true
+		ringIn[p.inFrame] = true
+	}
+
+	// Index live export records by frame+segment-start.
+	type segKey struct {
+		frame phys.PageNum
+		start uint32
+	}
+	owned := make(map[segKey]*OutMapping)
+	for key, recs := range k.exports {
+		for _, rec := range recs {
+			if rec.Invalidated {
+				continue
+			}
+			frame, ok := rec.Proc.AS.FrameOf(rec.VPN)
+			if !ok {
+				// Paged out: no hardware state expected.
+				continue
+			}
+			sk := segKey{frame, rec.SegStart}
+			if prev, dup := owned[sk]; dup {
+				return fmt.Errorf("kernel%d: two live records own frame %d seg %d (%p, %p)",
+					k.id, frame, rec.SegStart, prev, rec)
+			}
+			owned[sk] = rec
+			// Invariant 1: the segment really is installed.
+			e := table.Entry(frame)
+			seg := e.Out(rec.SegmentOffset)
+			if seg.Mode != rec.Seg.Mode || seg.DstPage != rec.Seg.DstPage ||
+				seg.DstNode != rec.Seg.DstNode {
+				return fmt.Errorf("kernel%d: record for frame %d seg %d not installed (have %v->%d, want %v->%d)",
+					k.id, frame, rec.SegStart, seg.Mode, seg.DstPage, rec.Seg.Mode, rec.Seg.DstPage)
+			}
+			if key.node != rec.Dst || key.page != rec.Seg.DstPage {
+				return fmt.Errorf("kernel%d: export index key %v disagrees with record (%d,%d)",
+					k.id, key, rec.Dst, rec.Seg.DstPage)
+			}
+		}
+	}
+
+	// Invariant 2: walk the whole NIPT.
+	for f := phys.PageNum(0); int(f) < table.Pages(); f++ {
+		e := table.Entry(f)
+		if ringOut[f] {
+			continue
+		}
+		check := func(m *nipt.OutMapping, start uint32) error {
+			if m.Mode == nipt.Unmapped {
+				return nil
+			}
+			if _, ok := owned[segKey{f, start}]; !ok {
+				return fmt.Errorf("kernel%d: orphan NIPT segment on frame %d at %d (%v -> node %d page %d)",
+					k.id, f, start, m.Mode, m.DstNode, m.DstPage)
+			}
+			return nil
+		}
+		if err := check(&e.Lo, 0); err != nil {
+			return err
+		}
+		if e.Split != 0 {
+			if err := check(&e.Hi, e.Split); err != nil {
+				return err
+			}
+		}
+		// Invariant 3.
+		if e.MappedIn && !ringIn[f] && len(k.imports[f]) == 0 {
+			return fmt.Errorf("kernel%d: frame %d mapped in with no importer bookkeeping", k.id, f)
+		}
+		if !e.MappedIn && len(k.imports[f]) > 0 {
+			return fmt.Errorf("kernel%d: frame %d has importers but is not mapped in", k.id, f)
+		}
+	}
+
+	// Invariant 4: the free list is really free.
+	used := make(map[phys.PageNum]int)
+	for pid, proc := range k.procs {
+		for _, vpn := range proc.AS.Pages() {
+			if frame, ok := proc.AS.FrameOf(vpn); ok {
+				used[frame] = pid
+			}
+		}
+	}
+	for _, f := range k.free {
+		if pid, inUse := used[f]; inUse {
+			return fmt.Errorf("kernel%d: free frame %d backs a page of pid %d", k.id, f, pid)
+		}
+		e := table.Entry(f)
+		if e.MappedOut() || e.MappedIn {
+			return fmt.Errorf("kernel%d: free frame %d has NIPT state", k.id, f)
+		}
+	}
+	return nil
+}

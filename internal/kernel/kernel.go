@@ -1,0 +1,326 @@
+// Package kernel implements the operating system half of the SHRIMP
+// design: processes and per-process virtual memory, the map() system
+// call that separates protection from data movement (§2), command-page
+// grants (§4.2), the paging policies for mapping consistency (§4.4),
+// and a multiprogramming scheduler.
+//
+// Kernels on different nodes communicate only through kernel message
+// rings — pages wired up at boot with ordinary SHRIMP automatic-update
+// mappings and interrupt-on-arrival, so the OS control plane dogfoods
+// the network interface it manages.
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/nic"
+	"repro/internal/packet"
+	"repro/internal/phys"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// Config holds kernel policy and cost parameters.
+type Config struct {
+	// Policy selects how §4.4 mapping consistency is maintained.
+	Policy PagingPolicy
+	// PageInTime models the cost of restoring an evicted page (swap is
+	// simulated in-memory, so this is the whole charge).
+	PageInTime sim.Time
+	// MapSetupTime models the local kernel work of one map() call
+	// (validation, page-table edits) beyond the message round trip.
+	MapSetupTime sim.Time
+}
+
+// PagingPolicy is the §4.4 consistency policy for mapped-in pages.
+type PagingPolicy uint8
+
+const (
+	// PinPages pins every page with incoming mappings; eviction of such
+	// a page is refused. "This solution is satisfactory if there are not
+	// too many communication mappings."
+	PinPages PagingPolicy = iota
+	// InvalidateProtocol borrows the TLB-shootdown solution: remote NIPT
+	// entries referring to the page are invalidated (their source pages
+	// marked read-only) and acknowledged before the page is replaced;
+	// writers re-establish lazily via page faults.
+	InvalidateProtocol
+)
+
+func (p PagingPolicy) String() string {
+	if p == PinPages {
+		return "pin"
+	}
+	return "invalidate"
+}
+
+// DefaultConfig returns the default kernel parameters.
+func DefaultConfig() Config {
+	return Config{
+		Policy:       PinPages,
+		PageInTime:   200 * sim.Microsecond,
+		MapSetupTime: 20 * sim.Microsecond,
+	}
+}
+
+// Stats aggregates kernel activity.
+type Stats struct {
+	Maps              uint64
+	Unmaps            uint64
+	MapInRequests     uint64 // served for remote kernels
+	Evictions         uint64
+	EvictionsRefused  uint64 // pinned pages
+	PageIns           uint64
+	InvalidatesSent   uint64
+	InvalidatesServed uint64
+	ReestablishFaults uint64
+	RingRecordsSent   uint64
+	RingRecordsRcvd   uint64
+	ContextSwitches   uint64
+}
+
+// Kernel is one node's operating system.
+type Kernel struct {
+	eng   *sim.Engine
+	cfg   Config
+	id    packet.NodeID
+	coord packet.Coord
+	mem   *phys.Memory
+	xbus  *bus.Xpress
+	nic   *nic.NIC
+	cpu   *isa.CPU
+	box   *MemBox
+
+	procs   map[int]*Process
+	nextPID int
+	free    []phys.PageNum
+	swap    map[swapKey][]byte
+
+	peers     map[packet.NodeID]*peer
+	ringOwner map[phys.PageNum]packet.NodeID // inbox frame -> peer
+	pending   map[uint32]*Future
+	nextReq   uint32
+
+	// imports: which remote nodes map INTO each local frame (so the
+	// §4.4 invalidation protocol knows whom to shoot down).
+	imports map[phys.PageNum]map[packet.NodeID]int
+	// exports: local outgoing mapping records, for invalidation lookup
+	// and fault-driven re-establishment.
+	exports map[exportKey][]*OutMapping
+
+	// OnUserRecvIRQ, when set, receives §4.2 interrupt-on-arrival events
+	// for user pages (message libraries use it to dispatch receive
+	// interrupts).
+	OnUserRecvIRQ func(page phys.PageNum)
+	// Tracer, when set, records kernel events (nil-safe).
+	Tracer *trace.Tracer
+
+	sched scheduler
+	stats Stats
+}
+
+type swapKey struct {
+	pid int
+	vpn vm.VPN
+}
+
+type exportKey struct {
+	node packet.NodeID
+	page phys.PageNum
+}
+
+// New builds a kernel over the node's hardware. cpu may be nil for
+// pure-Go harness tests. The kernel claims the NIC's interrupt line and,
+// if a CPU is present, its fault handler.
+func New(eng *sim.Engine, cfg Config, id packet.NodeID, coord packet.Coord,
+	mem *phys.Memory, xbus *bus.Xpress, n *nic.NIC, cpu *isa.CPU, box *MemBox) *Kernel {
+	k := &Kernel{
+		eng: eng, cfg: cfg, id: id, coord: coord,
+		mem: mem, xbus: xbus, nic: n, cpu: cpu, box: box,
+		procs:     make(map[int]*Process),
+		nextPID:   1,
+		swap:      make(map[swapKey][]byte),
+		peers:     make(map[packet.NodeID]*peer),
+		ringOwner: make(map[phys.PageNum]packet.NodeID),
+		pending:   make(map[uint32]*Future),
+		imports:   make(map[phys.PageNum]map[packet.NodeID]int),
+		exports:   make(map[exportKey][]*OutMapping),
+	}
+	n.OnIRQ = k.handleNICIRQ
+	n.OnOutFull = k.handleOutFull
+	n.OnOutDrained = k.handleOutDrained
+	if cpu != nil {
+		cpu.FaultHandler = k.HandleFault
+	}
+	return k
+}
+
+// ID returns the node id.
+func (k *Kernel) ID() packet.NodeID { return k.id }
+
+// Coord returns the node's mesh coordinates.
+func (k *Kernel) Coord() packet.Coord { return k.coord }
+
+// Stats returns a snapshot of kernel statistics.
+func (k *Kernel) Stats() Stats { return k.stats }
+
+// NIC returns the node's network interface.
+func (k *Kernel) NIC() *nic.NIC { return k.nic }
+
+// CPU returns the node's processor (may be nil in harness tests).
+func (k *Kernel) CPU() *isa.CPU { return k.cpu }
+
+// SetFreePages seeds the physical page allocator; the machine
+// constructor calls it after reserving boot pages.
+func (k *Kernel) SetFreePages(pages []phys.PageNum) { k.free = pages }
+
+// FreePageCount returns the number of unallocated physical pages.
+func (k *Kernel) FreePageCount() int { return len(k.free) }
+
+func (k *Kernel) allocFrame() (phys.PageNum, error) {
+	if len(k.free) == 0 {
+		return 0, fmt.Errorf("kernel%d: out of physical pages", k.id)
+	}
+	f := k.free[len(k.free)-1]
+	k.free = k.free[:len(k.free)-1]
+	k.mem.ZeroPage(f)
+	return f, nil
+}
+
+func (k *Kernel) freeFrame(f phys.PageNum) { k.free = append(k.free, f) }
+
+// Process is one schedulable address space.
+type Process struct {
+	PID    int
+	AS     *vm.AddressSpace
+	kernel *Kernel
+
+	// Staged program and saved context for scheduling.
+	regs    [8]uint32
+	state   isa.State
+	prog    *isa.Program
+	entry   string
+	started bool
+	// outgoing mapping records by local virtual page.
+	outMaps map[vm.VPN][]*OutMapping
+	nextVA  vm.VAddr
+}
+
+// CreateProcess makes a new process with an empty address space.
+func (k *Kernel) CreateProcess() *Process {
+	p := &Process{
+		PID:     k.nextPID,
+		AS:      vm.NewAddressSpace(k.mem.CmdBase()),
+		kernel:  k,
+		outMaps: make(map[vm.VPN][]*OutMapping),
+		nextVA:  0x1000_0000,
+	}
+	k.nextPID++
+	k.procs[p.PID] = p
+	return p
+}
+
+// Process returns the process with the given pid, if it exists.
+func (k *Kernel) Process(pid int) (*Process, bool) {
+	p, ok := k.procs[pid]
+	return p, ok
+}
+
+// AllocPages maps n fresh, zeroed, writable write-back pages into the
+// process at the next free virtual range and returns the base address.
+func (p *Process) AllocPages(n int) (vm.VAddr, error) {
+	base := p.nextVA
+	for i := 0; i < n; i++ {
+		f, err := p.kernel.allocFrame()
+		if err != nil {
+			return 0, err
+		}
+		p.AS.Map(base.Page()+vm.VPN(i), vm.PTE{
+			Frame: f, Present: true, Writable: true, WriteThrough: false,
+		})
+	}
+	p.nextVA += vm.VAddr(n * phys.PageSize)
+	return base, nil
+}
+
+// AllocPagesAligned is AllocPages with the base virtual address aligned
+// to alignPages pages (a power of two). Routines that toggle between
+// buffers by flipping an address bit need aligned bases.
+func (p *Process) AllocPagesAligned(n, alignPages int) (vm.VAddr, error) {
+	alignBytes := vm.VAddr(alignPages * phys.PageSize)
+	if rem := p.nextVA % alignBytes; rem != 0 {
+		p.nextVA += alignBytes - rem
+	}
+	return p.AllocPages(n)
+}
+
+// Kernel returns the kernel that owns this process.
+func (p *Process) Kernel() *Kernel { return p.kernel }
+
+// FrameOf exposes the physical frame backing a virtual page (testing
+// and diagnostics).
+func (p *Process) FrameOf(va vm.VAddr) (phys.PageNum, bool) {
+	return p.AS.FrameOf(va.Page())
+}
+
+// MemBox is the node's MMU+cache port: it implements isa.MemPort by
+// translating through the current process's page table and accessing
+// memory through the cache. The kernel swaps CurrentAS on a context
+// switch; the network interface needs no action (Figure 3).
+type MemBox struct {
+	Cache     *cache.Cache
+	CurrentAS *vm.AddressSpace
+}
+
+// Load implements isa.MemPort.
+func (b *MemBox) Load(a vm.VAddr, size int) (uint32, sim.Time, *vm.Fault) {
+	tr, f := b.CurrentAS.Translate(a, false)
+	if f != nil {
+		return 0, 0, f
+	}
+	v, t := b.Cache.Load(tr.PA, size)
+	return v, t, nil
+}
+
+// Store implements isa.MemPort.
+func (b *MemBox) Store(a vm.VAddr, v uint32, size int) (sim.Time, *vm.Fault) {
+	tr, f := b.CurrentAS.Translate(a, true)
+	if f != nil {
+		return 0, f
+	}
+	return b.Cache.Store(tr.PA, v, size, tr.WriteThrough), nil
+}
+
+// CmpxchgLocked implements isa.MemPort (§4.3 command protocol).
+func (b *MemBox) CmpxchgLocked(a vm.VAddr, expect, repl uint32) (uint32, bool, sim.Time, *vm.Fault) {
+	tr, f := b.CurrentAS.Translate(a, true)
+	if f != nil {
+		return 0, false, 0, f
+	}
+	read, swapped, lat := b.Cache.LockedCmpxchg(tr.PA, expect, repl)
+	return read, swapped, lat, nil
+}
+
+// handleOutFull freezes the CPU while the Outgoing FIFO is above its
+// threshold: "the CPU is interrupted and waits until the FIFO drains."
+func (k *Kernel) handleOutFull() {
+	if k.cpu != nil {
+		k.cpu.Freeze()
+	}
+}
+
+func (k *Kernel) handleOutDrained() {
+	if k.cpu != nil {
+		k.cpu.Thaw()
+	}
+}
+
+// busWrite32 issues a CPU-initiated bus write; kernel stores go through
+// the bus so the NIC snoops them like any other store.
+func (k *Kernel) busWrite32(a phys.PAddr, v uint32) {
+	k.xbus.Write32(bus.InitCPU, a, v)
+}

@@ -1,0 +1,138 @@
+package kernel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/phys"
+	"repro/internal/vm"
+)
+
+func TestPlanSegmentsAligned(t *testing.T) {
+	segs, err := planSegments(0x10000000, 0x20000000, 2*phys.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 2 {
+		t.Fatalf("%d segments", len(segs))
+	}
+	for i, sg := range segs {
+		if sg.segStart != 0 || sg.segEnd != phys.PageSize {
+			t.Fatalf("segment %d not whole-page: [%d,%d)", i, sg.segStart, sg.segEnd)
+		}
+		if sg.remoteIdx != i || sg.dstShift != 0 {
+			t.Fatalf("segment %d remoteIdx=%d shift=%d", i, sg.remoteIdx, sg.dstShift)
+		}
+	}
+}
+
+func TestPlanSegmentsSameOffsetUnaligned(t *testing.T) {
+	// A 2-page range starting at offset 1024 on both sides: edge pages
+	// are partial but single-segment (one end at a page boundary).
+	segs, err := planSegments(0x10000400, 0x20000400, 2*phys.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 3 {
+		t.Fatalf("%d segments", len(segs))
+	}
+	if segs[0].segStart != 1024 || segs[0].segEnd != phys.PageSize {
+		t.Fatalf("head segment [%d,%d)", segs[0].segStart, segs[0].segEnd)
+	}
+	if segs[1].segStart != 0 || segs[1].segEnd != phys.PageSize {
+		t.Fatal("middle segment not whole page")
+	}
+	if segs[2].segStart != 0 || segs[2].segEnd != 1024 {
+		t.Fatalf("tail segment [%d,%d)", segs[2].segStart, segs[2].segEnd)
+	}
+	for _, sg := range segs {
+		if sg.dstShift != 0 {
+			t.Fatal("same-offset mapping should have zero shift")
+		}
+	}
+}
+
+func TestPlanSegmentsDifferentOffsets(t *testing.T) {
+	// Local page-aligned, remote at offset 512: every local page spans
+	// two remote pages -> split mappings with shifts (§3.2).
+	segs, err := planSegments(0x10000000, 0x20000200, phys.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 2 {
+		t.Fatalf("%d segments", len(segs))
+	}
+	lo, hi := segs[0], segs[1]
+	if lo.segStart != 0 || lo.segEnd != phys.PageSize-512 || lo.dstShift != 512 || lo.remoteIdx != 0 {
+		t.Fatalf("lo %+v", lo)
+	}
+	if hi.segStart != phys.PageSize-512 || hi.segEnd != phys.PageSize || hi.remoteIdx != 1 {
+		t.Fatalf("hi %+v", hi)
+	}
+	// hi covers local [3584,4096) -> remote page 1 offsets [0,512).
+	if hi.dstShift != -(phys.PageSize - 512) {
+		t.Fatalf("hi shift %d", hi.dstShift)
+	}
+}
+
+func TestPlanSegmentsRejectsInterior(t *testing.T) {
+	// A mapping strictly inside one page leaves both ends unmapped:
+	// three regions, not expressible with one split point.
+	if _, err := planSegments(0x10000100, 0x20000100, 64); err == nil {
+		t.Fatal("interior mapping accepted")
+	}
+	// Different offsets with partial edge pages need >2 segments.
+	if _, err := planSegments(0x10000400, 0x20000200, 2*phys.PageSize); err == nil {
+		t.Fatal("impossible shape accepted")
+	}
+	// Degenerate sizes.
+	if _, err := planSegments(0x10000000, 0x20000000, 0); err == nil {
+		t.Fatal("zero-byte mapping accepted")
+	}
+}
+
+func TestPlanSegmentsAddressAlgebra(t *testing.T) {
+	// Property: for every accepted plan, each local byte in the range
+	// maps to exactly the remote byte the linear relation demands, and
+	// segments tile the range without gaps or overlaps.
+	f := func(sOff, rOff uint16, pages uint8) bool {
+		sendVA := vm.VAddr(0x1000_0000 + uint32(sOff)%phys.PageSize)
+		recvVA := vm.VAddr(0x2000_0000 + uint32(rOff)%phys.PageSize)
+		bytes := (int(pages)%3 + 1) * phys.PageSize
+		segs, err := planSegments(sendVA, recvVA, bytes)
+		if err != nil {
+			return true // rejected shapes are fine; accepted ones must be exact
+		}
+		covered := 0
+		delta := int64(recvVA) - int64(sendVA)
+		for _, sg := range segs {
+			covered += int(sg.segEnd - sg.segStart)
+			// Check the two ends of the segment.
+			for _, off := range []uint32{sg.segStart, sg.segEnd - 1} {
+				local := int64(sg.vpn)*phys.PageSize + int64(off)
+				wantRemote := local + delta
+				gotPage := int64(recvVA.Page())*phys.PageSize + int64(sg.remoteIdx)*phys.PageSize
+				gotRemote := gotPage + int64(off) + int64(sg.dstShift)
+				if gotRemote != wantRemote {
+					return false
+				}
+			}
+		}
+		return covered == bytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemotePageCount(t *testing.T) {
+	if remotePageCount(0x20000000, phys.PageSize) != 1 {
+		t.Fatal("aligned single page")
+	}
+	if remotePageCount(0x20000800, phys.PageSize) != 2 {
+		t.Fatal("offset page spans two")
+	}
+	if remotePageCount(0x20000000, 3*phys.PageSize) != 3 {
+		t.Fatal("three pages")
+	}
+}

@@ -1,0 +1,204 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/nic"
+	"repro/internal/packet"
+	"repro/internal/phys"
+)
+
+// Kernel↔kernel message rings.
+//
+// Each ordered pair of nodes (A→B) shares one ring: a physical page on B
+// ("inbox") that a physical page on A ("outbox") maps onto with a
+// blocked-write automatic-update mapping and interrupt-on-arrival. A's
+// kernel writes records into its outbox through the memory bus — the NIC
+// snoops and propagates them like any other mapped store — and B's
+// kernel drains its inbox when the arrival interrupt fires.
+//
+// Record format (all words little-endian, layout per 4 KB ring page):
+//
+//	+0  seq     written LAST: per-pair in-order delivery means the
+//	            whole record is resident once seq matches
+//	+4  len     payload byte count, or wrapMark to restart at offset 0
+//	+8  payload padded to a word boundary
+//
+// Producers stop writing when the unacknowledged window would overflow
+// the ring; consumers return cumulative-consumed credits on their own
+// reverse ring. Credit records bypass the window check (they are tiny
+// and self-limiting), so the protocol cannot deadlock.
+
+const (
+	ringHeaderBytes = 8
+	wrapMark        = 0xffff_ffff
+	// maxRecordBytes bounds one RPC record (header + payload).
+	maxRecordBytes = 512
+	// creditEvery: send a credit once this many bytes have been consumed
+	// since the last one.
+	creditEvery = 1024
+)
+
+type peer struct {
+	node  packet.NodeID
+	coord packet.Coord
+
+	outFrame phys.PageNum
+	wcursor  uint32
+	wseq     uint32
+	written  uint64
+	acked    uint64
+	backlog  [][]byte
+
+	inFrame    phys.PageNum
+	rcursor    uint32
+	rseq       uint32
+	consumed   uint64
+	lastCredit uint64
+}
+
+// AddPeer wires up the ring pair with another node. The machine
+// constructor calls it at boot after installing the NIPT entries for
+// outFrame (mapped out to the peer's inbox) and inFrame (mapped in,
+// kernel-ring, interrupt-on-arrival).
+func (k *Kernel) AddPeer(node packet.NodeID, coord packet.Coord, outFrame, inFrame phys.PageNum) {
+	if _, dup := k.peers[node]; dup {
+		panic(fmt.Sprintf("kernel%d: duplicate peer %d", k.id, node))
+	}
+	p := &peer{node: node, coord: coord, outFrame: outFrame, inFrame: inFrame, wseq: 1, rseq: 1}
+	k.peers[node] = p
+	k.ringOwner[inFrame] = node
+}
+
+// Peers returns the node ids this kernel has rings with.
+func (k *Kernel) Peers() []packet.NodeID {
+	out := make([]packet.NodeID, 0, len(k.peers))
+	for id := range k.peers {
+		out = append(out, id)
+	}
+	return out
+}
+
+// ringSend queues one record for the peer, respecting the credit window
+// unless bypass is set (credit records only).
+func (k *Kernel) ringSend(p *peer, payload []byte, bypass bool) {
+	if len(payload)+ringHeaderBytes > maxRecordBytes {
+		panic(fmt.Sprintf("kernel%d: ring record too large (%d bytes)", k.id, len(payload)))
+	}
+	if !bypass && len(p.backlog) > 0 {
+		p.backlog = append(p.backlog, payload)
+		return
+	}
+	if !bypass && !k.ringFits(p, payload) {
+		p.backlog = append(p.backlog, payload)
+		return
+	}
+	k.ringWrite(p, payload)
+}
+
+// recordBytes pads records to 8-byte multiples so the write cursor is
+// always 8-aligned — an 8-byte wrap record therefore always fits before
+// the end of the ring page.
+func recordBytes(payload []byte) uint32 {
+	return ringHeaderBytes + (uint32(len(payload))+7)&^7
+}
+
+// ringFits reports whether the unacked window leaves room for the record
+// (including a possible wrap marker's wasted tail).
+func (k *Kernel) ringFits(p *peer, payload []byte) bool {
+	need := uint64(recordBytes(payload))
+	if p.wcursor+recordBytes(payload) > phys.PageSize {
+		need += uint64(phys.PageSize - p.wcursor) // wrap waste
+	}
+	return p.written-p.acked+need <= phys.PageSize-maxRecordBytes
+}
+
+// ringWrite emits the record through the memory bus, payload first and
+// sequence word last, so the consumer sees only complete records.
+func (k *Kernel) ringWrite(p *peer, payload []byte) {
+	rec := recordBytes(payload)
+	if p.wcursor+rec > phys.PageSize {
+		// Wrap record: len=wrapMark, then seq.
+		base := p.outFrame.Addr(p.wcursor)
+		k.busWrite32(base+4, wrapMark)
+		k.busWrite32(base, p.wseq)
+		p.written += uint64(phys.PageSize - p.wcursor)
+		p.wseq++
+		p.wcursor = 0
+	}
+	base := p.outFrame.Addr(p.wcursor)
+	for off := uint32(0); off < uint32(len(payload)); off += 4 {
+		var w uint32
+		for i := uint32(0); i < 4 && off+i < uint32(len(payload)); i++ {
+			w |= uint32(payload[off+i]) << (8 * i)
+		}
+		k.busWrite32(base+phys.PAddr(8+off), w)
+	}
+	k.busWrite32(base+4, uint32(len(payload)))
+	k.busWrite32(base, p.wseq)
+	p.wseq++
+	p.wcursor += rec
+	p.written += uint64(rec)
+	k.stats.RingRecordsSent++
+}
+
+// ringAck applies a cumulative credit from the peer and drains any
+// backlogged records that now fit.
+func (k *Kernel) ringAck(p *peer, cumulative uint64) {
+	if cumulative > p.acked {
+		p.acked = cumulative
+	}
+	for len(p.backlog) > 0 && k.ringFits(p, p.backlog[0]) {
+		rec := p.backlog[0]
+		p.backlog = p.backlog[1:]
+		k.ringWrite(p, rec)
+	}
+}
+
+// handleNICIRQ is the NIC interrupt line.
+func (k *Kernel) handleNICIRQ(cause nic.IRQCause, page phys.PageNum) {
+	switch cause {
+	case nic.IRQKernelRing:
+		node, ok := k.ringOwner[page]
+		if !ok {
+			panic(fmt.Sprintf("kernel%d: ring IRQ for unknown page %d", k.id, page))
+		}
+		k.drainRing(k.peers[node])
+	case nic.IRQRecv:
+		if k.OnUserRecvIRQ != nil {
+			k.OnUserRecvIRQ(page)
+		}
+	}
+}
+
+func (k *Kernel) drainRing(p *peer) {
+	for {
+		base := p.inFrame.Addr(p.rcursor)
+		seq := k.mem.Read32(base)
+		if seq != p.rseq {
+			break
+		}
+		length := k.mem.Read32(base + 4)
+		if length != wrapMark && (length == 0 || length+ringHeaderBytes > maxRecordBytes) {
+			panic(fmt.Sprintf("kernel%d: ring from node %d corrupted at %d (len=%d); "+
+				"the control plane requires reliable delivery", k.id, p.node, p.rcursor, length))
+		}
+		if length == wrapMark {
+			p.consumed += uint64(phys.PageSize - p.rcursor)
+			p.rcursor = 0
+			p.rseq++
+			continue
+		}
+		payload := k.mem.Read(base+8, int(length))
+		rec := recordBytes(payload)
+		p.rcursor += rec
+		p.consumed += uint64(rec)
+		p.rseq++
+		k.stats.RingRecordsRcvd++
+		k.dispatch(p, payload)
+	}
+	if p.consumed-p.lastCredit >= creditEvery {
+		p.lastCredit = p.consumed
+		k.sendCredit(p)
+	}
+}

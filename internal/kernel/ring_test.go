@@ -1,0 +1,197 @@
+package kernel_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/nic"
+	"repro/internal/nipt"
+	"repro/internal/phys"
+	"repro/internal/vm"
+)
+
+// TestRingWrapsUnderManyRPCs drives enough map/unmap round trips that
+// every kernel ring wraps several times, exercising wrap records,
+// sequence tracking and the credit protocol.
+func TestRingWrapsUnderManyRPCs(t *testing.T) {
+	m := core.New(core.ConfigFor(2, 1, nic.GenEISAPrototype))
+	a, b := m.Node(0), m.Node(1)
+	pa := a.K.CreateProcess()
+	pb := b.K.CreateProcess()
+	sendVA, _ := pa.AllocPages(1)
+	recvVA, _ := pb.AllocPages(1)
+
+	for i := 0; i < 300; i++ {
+		mp := m.MustMap(pa, sendVA, phys.PageSize, b.ID, pb.PID, recvVA, nipt.SingleWriteAU)
+		// Traffic through the fresh mapping each round.
+		if err := a.UserWrite32(pa, sendVA, uint32(i+1)); err != nil {
+			t.Fatal(err)
+		}
+		m.RunUntilIdle(5_000_000)
+		if v, _ := b.UserRead32(pb, recvVA); v != uint32(i+1) {
+			t.Fatalf("round %d: %d", i, v)
+		}
+		if err := m.Await(a.K.Unmap(mp)); err != nil {
+			t.Fatalf("round %d unmap: %v", i, err)
+		}
+	}
+	// 300 maps + 300 unmaps, each two records, far beyond one 4 KB ring.
+	sa := a.K.Stats()
+	if sa.RingRecordsSent < 600 {
+		t.Fatalf("sent only %d ring records", sa.RingRecordsSent)
+	}
+	if sa.Maps != 300 || sa.Unmaps != 300 {
+		t.Fatalf("map/unmap counts %+v", sa)
+	}
+}
+
+// TestRingsAcrossAllPairs makes every node pair talk, verifying the
+// boot wiring of N*(N-1) rings on a 3x3 machine.
+func TestRingsAcrossAllPairs(t *testing.T) {
+	m := core.New(core.ConfigFor(3, 3, nic.GenEISAPrototype))
+	n := len(m.Nodes)
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			ps := m.Node(s).K.CreateProcess()
+			pd := m.Node(d).K.CreateProcess()
+			sv, err := ps.AllocPages(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dv, err := pd.AllocPages(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.MustMap(ps, sv, phys.PageSize, m.Node(d).ID, pd.PID, dv, nipt.SingleWriteAU)
+			want := uint32(1000*s + d)
+			if err := m.Node(s).UserWrite32(ps, sv, want); err != nil {
+				t.Fatal(err)
+			}
+			m.RunUntilIdle(10_000_000)
+			if v, _ := m.Node(d).UserRead32(pd, dv); v != want {
+				t.Fatalf("pair %d->%d: %d", s, d, v)
+			}
+		}
+	}
+}
+
+// TestConcurrentBidirectionalMaps issues map() calls in both directions
+// at once; the kernels serve each other's requests while waiting for
+// their own responses (no control-plane deadlock).
+func TestConcurrentBidirectionalMaps(t *testing.T) {
+	m := core.New(core.ConfigFor(2, 1, nic.GenEISAPrototype))
+	a, b := m.Node(0), m.Node(1)
+	pa := a.K.CreateProcess()
+	pb := b.K.CreateProcess()
+	aBuf, _ := pa.AllocPages(1)
+	bBuf, _ := pb.AllocPages(1)
+	aIn, _ := pa.AllocPages(1)
+	bIn, _ := pb.AllocPages(1)
+
+	_, futAB := a.K.Map(pa, aBuf, phys.PageSize, b.ID, pb.PID, bIn, nipt.SingleWriteAU)
+	_, futBA := b.K.Map(pb, bBuf, phys.PageSize, a.ID, pa.PID, aIn, nipt.SingleWriteAU)
+	m.RunUntilIdle(20_000_000)
+	if !futAB.Done() || !futBA.Done() {
+		t.Fatal("concurrent maps did not complete")
+	}
+	if futAB.Err() != nil || futBA.Err() != nil {
+		t.Fatalf("errors: %v %v", futAB.Err(), futBA.Err())
+	}
+	// Both directions carry data.
+	if err := a.UserWrite32(pa, aBuf, 11); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.UserWrite32(pb, bBuf, 22); err != nil {
+		t.Fatal(err)
+	}
+	m.RunUntilIdle(10_000_000)
+	if v, _ := b.UserRead32(pb, bIn); v != 11 {
+		t.Fatalf("a->b: %d", v)
+	}
+	if v, _ := a.UserRead32(pa, aIn); v != 22 {
+		t.Fatalf("b->a: %d", v)
+	}
+}
+
+// TestSplitPageMappingThroughKernel maps with different page offsets on
+// the two sides, forcing §3.2 split NIPT entries, and verifies bytes
+// land at the exact linear addresses.
+func TestSplitPageMappingThroughKernel(t *testing.T) {
+	m := core.New(core.ConfigFor(2, 1, nic.GenEISAPrototype))
+	a, b := m.Node(0), m.Node(1)
+	pa := a.K.CreateProcess()
+	pb := b.K.CreateProcess()
+	sendVA, _ := pa.AllocPages(1) // page aligned
+	recvVA, _ := pb.AllocPages(2) // target starts at offset 512
+
+	target := recvVA + 512
+	m.MustMap(pa, sendVA, phys.PageSize, b.ID, pb.PID, target, nipt.SingleWriteAU)
+
+	// Probe both halves of the local page.
+	for _, off := range []vm.VAddr{0, 1024, phys.PageSize - 512, phys.PageSize - 4} {
+		want := uint32(0xc0de0000) | uint32(off)
+		if err := a.UserWrite32(pa, sendVA+off, want); err != nil {
+			t.Fatal(err)
+		}
+		m.RunUntilIdle(10_000_000)
+		if v, _ := b.UserRead32(pb, target+off); v != want {
+			t.Fatalf("offset %d: got %#x want %#x", off, v, want)
+		}
+	}
+}
+
+// TestCommandPageGrantAndRevoke covers §4.2's grant/revoke lifecycle.
+func TestCommandPageGrantAndRevoke(t *testing.T) {
+	m := core.New(core.ConfigFor(2, 1, nic.GenEISAPrototype))
+	a, b := m.Node(0), m.Node(1)
+	pa := a.K.CreateProcess()
+	pb := b.K.CreateProcess()
+	sendVA, _ := pa.AllocPages(1)
+	recvVA, _ := pb.AllocPages(1)
+	m.MustMap(pa, sendVA, phys.PageSize, b.ID, pb.PID, recvVA, nipt.DeliberateUpdate)
+
+	const cmdDelta = 0x4000_0000
+	if err := a.K.GrantCommandPages(pa, sendVA, sendVA+cmdDelta, 1); err != nil {
+		t.Fatal(err)
+	}
+	// The command page is usable...
+	tr, f := pa.AS.Translate(sendVA+cmdDelta, false)
+	if f != nil || !tr.Command {
+		t.Fatalf("command translation: %+v %v", tr, f)
+	}
+	// ...until revoked.
+	a.K.RevokeCommandPages(pa, sendVA+cmdDelta, 1)
+	if _, f := pa.AS.Translate(sendVA+cmdDelta, false); f == nil {
+		t.Fatal("revoked command page still mapped")
+	}
+	// Misaligned grants are rejected.
+	if err := a.K.GrantCommandPages(pa, sendVA+4, sendVA+cmdDelta, 1); err == nil {
+		t.Fatal("misaligned grant accepted")
+	}
+	// Grants for pages the process does not own are rejected.
+	if err := a.K.GrantCommandPages(pa, 0x7000_0000, 0x7800_0000, 1); err == nil {
+		t.Fatal("grant for foreign page accepted")
+	}
+}
+
+// TestMapRejectsOverlap: a second mapping over the same local bytes must
+// fail (one outgoing mapping per page region).
+func TestMapRejectsOverlap(t *testing.T) {
+	m := core.New(core.ConfigFor(3, 1, nic.GenEISAPrototype))
+	a := m.Node(0)
+	pa := a.K.CreateProcess()
+	pb := m.Node(1).K.CreateProcess()
+	pc := m.Node(2).K.CreateProcess()
+	sendVA, _ := pa.AllocPages(1)
+	r1, _ := pb.AllocPages(1)
+	r2, _ := pc.AllocPages(1)
+
+	m.MustMap(pa, sendVA, phys.PageSize, m.Node(1).ID, pb.PID, r1, nipt.SingleWriteAU)
+	_, fut := a.K.Map(pa, sendVA, phys.PageSize, m.Node(2).ID, pc.PID, r2, nipt.SingleWriteAU)
+	if err := m.Await(fut); err == nil {
+		t.Fatal("overlapping outgoing mapping accepted")
+	}
+}

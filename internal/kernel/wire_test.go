@@ -1,0 +1,62 @@
+package kernel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWireRoundTrip(t *testing.T) {
+	f := func(a uint8, b uint32, c uint64, d uint32) bool {
+		w := newWire(mtMapInReq).u8(a).u32(b).u64(c).u32(d)
+		r := &reader{b: w.b}
+		if msgType(r.u8()) != mtMapInReq {
+			return false
+		}
+		return r.u8() == a && r.u32() == b && r.u64() == c && r.u32() == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatusErrors(t *testing.T) {
+	if statusErr(stOK, "x") != nil {
+		t.Fatal("stOK must be nil")
+	}
+	for _, st := range []uint8{stNoProcess, stNotMapped, stNoMemory, 99} {
+		if statusErr(st, "x") == nil {
+			t.Fatalf("status %d must error", st)
+		}
+	}
+}
+
+func TestRecordBytesAlignment(t *testing.T) {
+	f := func(n uint16) bool {
+		payload := make([]byte, int(n)%(maxRecordBytes-ringHeaderBytes))
+		rec := recordBytes(payload)
+		// 8-aligned and big enough.
+		return rec%8 == 0 && rec >= ringHeaderBytes+uint32(len(payload))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFutureCallbacks(t *testing.T) {
+	f := &Future{}
+	fired := 0
+	f.OnDone(func(*Future) { fired++ })
+	if f.Done() {
+		t.Fatal("fresh future done")
+	}
+	f.resolve(nil, nil)
+	if fired != 1 || !f.Done() {
+		t.Fatal("callback not fired on resolve")
+	}
+	// Late registration fires immediately; double resolve is a no-op.
+	f.OnDone(func(*Future) { fired++ })
+	f.resolve(nil, nil)
+	if fired != 2 {
+		t.Fatalf("fired=%d", fired)
+	}
+}

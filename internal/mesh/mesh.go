@@ -1,0 +1,350 @@
+// Package mesh models the Intel Paragon routing backplane: a 2-D mesh of
+// iMRC-style routers with deadlock-free, oblivious wormhole routing that
+// preserves the order of packets from each sender to each receiver
+// (paper §3).
+//
+// The model is worm-granular rather than flit-granular: a packet's worm
+// acquires the channels along its XY path one hop at a time (paying a
+// per-hop router latency), then streams its flits at the link rate once
+// the head has been accepted by the destination endpoint. A worm holds
+// every channel on its path until its tail drains, so a blocked receiver
+// backpressures the network exactly as wormhole routing does — which is
+// what the SHRIMP flow-control design relies on. XY routing plus FIFO
+// channel arbitration gives deadlock freedom and per-pair in-order
+// delivery.
+package mesh
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Config holds the backplane's physical parameters.
+type Config struct {
+	Width, Height int      // mesh dimensions
+	FlitBytes     int      // bytes carried per flit
+	FlitCycle     sim.Time // time for one flit to cross one link
+	RouterLatency sim.Time // per-hop header routing/arbitration latency
+}
+
+// DefaultConfig returns parameters loosely calibrated to the Paragon
+// backplane: ~400 MB/s links (8 bytes / 20 ns) and ~15 ns per-hop
+// routing latency.
+func DefaultConfig(w, h int) Config {
+	return Config{
+		Width:         w,
+		Height:        h,
+		FlitBytes:     8,
+		FlitCycle:     20 * sim.Nanosecond,
+		RouterLatency: 15 * sim.Nanosecond,
+	}
+}
+
+// Endpoint is the node-side consumer attached to a router's processor
+// port (the SHRIMP network interface).
+type Endpoint interface {
+	// Accept is called when a worm's head reaches the processor port.
+	// Returning false parks the worm — it keeps holding its channels,
+	// backpressuring the mesh — until the endpoint calls Network.Unpark.
+	Accept(p *packet.Packet, wire int) bool
+	// Deliver is called when the worm's tail has fully drained into the
+	// endpoint (Accept returned true WireTime earlier).
+	Deliver(p *packet.Packet, wire int)
+}
+
+// channel is one unidirectional link (or an injection/ejection port).
+// Worms own channels exclusively; waiters are granted in FIFO order.
+type channel struct {
+	name    string
+	owner   *worm
+	waiters []*worm
+	// injNode is the node index whose injection port this is, or -1.
+	injNode int
+}
+
+type worm struct {
+	pkt      *packet.Packet
+	wire     int
+	path     []*channel
+	acquired int  // number of channels currently owned (head is at path[acquired-1])
+	parked   bool // head at ejection, endpoint refused
+	injected sim.Time
+}
+
+// Stats aggregates backplane activity.
+type Stats struct {
+	Injected      uint64
+	Delivered     uint64
+	Parked        uint64 // Accept refusals (flow-control events)
+	FlitHops      uint64 // total flit·hop traffic
+	TotalLatency  sim.Time
+	MaxLatency    sim.Time
+	TotalWireByte uint64
+}
+
+// Network is the routing backplane.
+type Network struct {
+	eng  *sim.Engine
+	cfg  Config
+	eps  []Endpoint // indexed y*Width+x
+	link map[linkKey]*channel
+	inj  []*channel
+	ej   []*channel
+	park []*worm // parked worm per node index (at most one: it owns the ejection channel)
+	// injFree is called when a node's injection port frees up with no
+	// waiters; the NIC uses it to pace its outgoing FIFO drain.
+	injFree []func()
+	// Tracer, when set, records flow-control events (nil-safe).
+	Tracer *trace.Tracer
+
+	// corruptEvery, when positive, marks every Nth injected packet as
+	// having suffered a transmission error (fault injection: the
+	// receiving NIC's CRC check must catch and drop it).
+	corruptEvery int
+	injectCount  int
+
+	stats Stats
+}
+
+type linkKey struct {
+	from, to packet.Coord
+}
+
+// New builds the backplane. Endpoints are attached later with Attach.
+func New(eng *sim.Engine, cfg Config) *Network {
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		panic("mesh: dimensions must be positive")
+	}
+	if cfg.FlitBytes <= 0 {
+		panic("mesh: FlitBytes must be positive")
+	}
+	n := &Network{
+		eng:     eng,
+		cfg:     cfg,
+		eps:     make([]Endpoint, cfg.Width*cfg.Height),
+		link:    make(map[linkKey]*channel),
+		inj:     make([]*channel, cfg.Width*cfg.Height),
+		ej:      make([]*channel, cfg.Width*cfg.Height),
+		park:    make([]*worm, cfg.Width*cfg.Height),
+		injFree: make([]func(), cfg.Width*cfg.Height),
+	}
+	for y := 0; y < cfg.Height; y++ {
+		for x := 0; x < cfg.Width; x++ {
+			c := packet.Coord{X: x, Y: y}
+			i := n.index(c)
+			n.inj[i] = &channel{name: fmt.Sprintf("inj%v", c), injNode: i}
+			n.ej[i] = &channel{name: fmt.Sprintf("ej%v", c), injNode: -1}
+			for _, d := range n.neighbors(c) {
+				n.link[linkKey{c, d}] = &channel{name: fmt.Sprintf("%v->%v", c, d), injNode: -1}
+			}
+		}
+	}
+	return n
+}
+
+// OnInjectorFree registers a callback fired whenever c's injection port
+// becomes free with no waiters (the previous worm's tail has left the
+// node).
+func (n *Network) OnInjectorFree(c packet.Coord, fn func()) {
+	n.injFree[n.index(c)] = fn
+}
+
+func (n *Network) index(c packet.Coord) int { return c.Y*n.cfg.Width + c.X }
+
+// Contains reports whether c is a valid coordinate on this backplane.
+func (n *Network) Contains(c packet.Coord) bool {
+	return c.X >= 0 && c.X < n.cfg.Width && c.Y >= 0 && c.Y < n.cfg.Height
+}
+
+func (n *Network) neighbors(c packet.Coord) []packet.Coord {
+	var out []packet.Coord
+	candidates := []packet.Coord{
+		{X: c.X + 1, Y: c.Y}, {X: c.X - 1, Y: c.Y},
+		{X: c.X, Y: c.Y + 1}, {X: c.X, Y: c.Y - 1},
+	}
+	for _, d := range candidates {
+		if n.Contains(d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Attach connects an endpoint at coordinate c.
+func (n *Network) Attach(c packet.Coord, ep Endpoint) {
+	if !n.Contains(c) {
+		panic(fmt.Sprintf("mesh: attach outside mesh: %v", c))
+	}
+	n.eps[n.index(c)] = ep
+}
+
+// Stats returns a snapshot of backplane statistics.
+func (n *Network) Stats() Stats { return n.stats }
+
+// Config returns the backplane configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// flits returns the flit count of a wire-size packet.
+func (n *Network) flits(wire int) int {
+	return (wire + n.cfg.FlitBytes - 1) / n.cfg.FlitBytes
+}
+
+// WireTime returns the time for a packet of the given wire size to
+// stream across one link.
+func (n *Network) WireTime(wire int) sim.Time {
+	return sim.Time(n.flits(wire)) * n.cfg.FlitCycle
+}
+
+// route computes the XY path of channels from src to dst: the injection
+// port, X-dimension links, Y-dimension links, and the ejection port.
+// Oblivious single-path routing is what gives per-pair ordering.
+func (n *Network) route(src, dst packet.Coord) []*channel {
+	path := []*channel{n.inj[n.index(src)]}
+	cur := src
+	for cur.X != dst.X {
+		next := packet.Coord{X: cur.X + sign(dst.X-cur.X), Y: cur.Y}
+		path = append(path, n.link[linkKey{cur, next}])
+		cur = next
+	}
+	for cur.Y != dst.Y {
+		next := packet.Coord{X: cur.X, Y: cur.Y + sign(dst.Y-cur.Y)}
+		path = append(path, n.link[linkKey{cur, next}])
+		cur = next
+	}
+	return append(path, n.ej[n.index(cur)])
+}
+
+func sign(v int) int {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}
+
+// InjectorBusy reports whether the injection port at c is still held by
+// an earlier worm. The NIC drains its outgoing FIFO one packet at a time
+// and uses this to pace injection.
+func (n *Network) InjectorBusy(c packet.Coord) bool {
+	return n.inj[n.index(c)].owner != nil || len(n.inj[n.index(c)].waiters) > 0
+}
+
+// CorruptEvery enables fault injection: every nth injected packet is
+// marked as damaged in flight (n <= 0 disables).
+func (n *Network) CorruptEvery(every int) { n.corruptEvery = every }
+
+// Inject launches a packet from src toward p.Dst. The caller must have
+// checked InjectorBusy; injecting into a busy port queues behind the
+// current owner (permitted, but it defeats FIFO pacing).
+func (n *Network) Inject(src packet.Coord, p *packet.Packet, wire int) {
+	if !n.Contains(src) || !n.Contains(p.Dst) {
+		panic(fmt.Sprintf("mesh: inject %v->%v outside mesh", src, p.Dst))
+	}
+	n.injectCount++
+	if n.corruptEvery > 0 && n.injectCount%n.corruptEvery == 0 {
+		p.Corrupt = true
+	}
+	w := &worm{pkt: p, wire: wire, path: n.route(src, p.Dst), injected: n.eng.Now()}
+	n.stats.Injected++
+	n.stats.TotalWireByte += uint64(wire)
+	n.request(w)
+}
+
+// request asks for the next channel on w's path.
+func (n *Network) request(w *worm) {
+	ch := w.path[w.acquired]
+	if ch.owner == nil && len(ch.waiters) == 0 {
+		n.grant(ch, w)
+		return
+	}
+	ch.waiters = append(ch.waiters, w)
+}
+
+// grant gives ch to w and advances the worm's head.
+func (n *Network) grant(ch *channel, w *worm) {
+	ch.owner = w
+	w.acquired++
+	n.stats.FlitHops += uint64(n.flits(w.wire))
+	if w.acquired < len(w.path) {
+		// Head crosses this channel and arbitrates at the next router.
+		n.eng.After(n.cfg.RouterLatency+n.cfg.FlitCycle, func() { n.request(w) })
+		return
+	}
+	// Head is at the destination processor port.
+	n.eng.After(n.cfg.RouterLatency, func() { n.arrive(w) })
+}
+
+// arrive offers the worm's head to the destination endpoint.
+func (n *Network) arrive(w *worm) {
+	i := n.index(w.pkt.Dst)
+	ep := n.eps[i]
+	if ep == nil {
+		panic(fmt.Sprintf("mesh: no endpoint at %v", w.pkt.Dst))
+	}
+	if !ep.Accept(w.pkt, w.wire) {
+		w.parked = true
+		n.park[i] = w
+		n.stats.Parked++
+		n.Tracer.Record(i, trace.Park, 0, uint64(i))
+		return
+	}
+	n.stream(w)
+}
+
+// Unpark retries delivery of the worm parked at c, if any. Endpoints call
+// this when receive space frees up.
+func (n *Network) Unpark(c packet.Coord) {
+	i := n.index(c)
+	w := n.park[i]
+	if w == nil {
+		return
+	}
+	n.park[i] = nil
+	w.parked = false
+	n.arrive(w)
+}
+
+// stream drains the accepted worm into the endpoint and releases its
+// channels once the tail has passed.
+func (n *Network) stream(w *worm) {
+	t := n.WireTime(w.wire)
+	n.eng.After(t, func() {
+		for _, ch := range w.path {
+			n.release(ch, w)
+		}
+		n.stats.Delivered++
+		lat := n.eng.Now() - w.injected
+		n.stats.TotalLatency += lat
+		if lat > n.stats.MaxLatency {
+			n.stats.MaxLatency = lat
+		}
+		n.eps[n.index(w.pkt.Dst)].Deliver(w.pkt, w.wire)
+	})
+}
+
+// release frees ch from w and grants the next FIFO waiter.
+func (n *Network) release(ch *channel, w *worm) {
+	if ch.owner != w {
+		panic(fmt.Sprintf("mesh: %s released by non-owner", ch.name))
+	}
+	ch.owner = nil
+	if len(ch.waiters) > 0 {
+		next := ch.waiters[0]
+		ch.waiters = ch.waiters[1:]
+		n.grant(ch, next)
+		return
+	}
+	if ch.injNode >= 0 && n.injFree[ch.injNode] != nil {
+		n.injFree[ch.injNode]()
+	}
+}
+
+// HeadLatency estimates the no-contention head latency between two
+// coordinates for a packet of the given wire size: per-channel routing
+// plus one final stream. Used by calibration tests.
+func (n *Network) HeadLatency(src, dst packet.Coord) sim.Time {
+	channels := sim.Time(src.Hops(dst) + 2)
+	return channels*(n.cfg.RouterLatency+n.cfg.FlitCycle) - n.cfg.FlitCycle
+}

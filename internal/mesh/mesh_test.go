@@ -1,0 +1,371 @@
+package mesh
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// collector is a test endpoint with controllable acceptance.
+type collector struct {
+	net      *Network
+	coord    packet.Coord
+	accept   bool
+	got      []*packet.Packet
+	accepted int
+	refused  int
+}
+
+func (c *collector) Accept(p *packet.Packet, wire int) bool {
+	if !c.accept {
+		c.refused++
+		return false
+	}
+	c.accepted++
+	return true
+}
+
+func (c *collector) Deliver(p *packet.Packet, wire int) { c.got = append(c.got, p) }
+
+func build(t *testing.T, w, h int) (*sim.Engine, *Network, [][]*collector) {
+	t.Helper()
+	eng := sim.NewEngine()
+	n := New(eng, DefaultConfig(w, h))
+	cols := make([][]*collector, h)
+	for y := 0; y < h; y++ {
+		cols[y] = make([]*collector, w)
+		for x := 0; x < w; x++ {
+			c := &collector{net: n, coord: packet.Coord{X: x, Y: y}, accept: true}
+			cols[y][x] = c
+			n.Attach(c.coord, c)
+		}
+	}
+	return eng, n, cols
+}
+
+func pkt(src, dst packet.Coord, seq uint32) *packet.Packet {
+	return &packet.Packet{Src: src, Dst: dst, DstAddr: 0, Payload: []byte{byte(seq), byte(seq >> 8), byte(seq >> 16), byte(seq >> 24)}}
+}
+
+func TestSingleDelivery(t *testing.T) {
+	eng, n, cols := build(t, 3, 3)
+	src, dst := packet.Coord{X: 0, Y: 0}, packet.Coord{X: 2, Y: 2}
+	p := pkt(src, dst, 1)
+	n.Inject(src, p, p.WireSize())
+	eng.Run()
+	c := cols[2][2]
+	if len(c.got) != 1 || c.got[0] != p {
+		t.Fatalf("delivered %d packets", len(c.got))
+	}
+	s := n.Stats()
+	if s.Injected != 1 || s.Delivered != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.MaxLatency == 0 {
+		t.Fatal("latency not recorded")
+	}
+}
+
+func TestSelfDelivery(t *testing.T) {
+	// A node can send to itself through its injection/ejection ports.
+	eng, n, cols := build(t, 2, 2)
+	c := packet.Coord{X: 1, Y: 1}
+	p := pkt(c, c, 9)
+	n.Inject(c, p, p.WireSize())
+	eng.Run()
+	if len(cols[1][1].got) != 1 {
+		t.Fatal("self delivery failed")
+	}
+}
+
+func TestHeadLatencyScalesWithHops(t *testing.T) {
+	cfg := DefaultConfig(4, 4)
+	eng := sim.NewEngine()
+	n := New(eng, cfg)
+	near := n.HeadLatency(packet.Coord{X: 0, Y: 0}, packet.Coord{X: 1, Y: 0})
+	far := n.HeadLatency(packet.Coord{X: 0, Y: 0}, packet.Coord{X: 3, Y: 3})
+	if far <= near {
+		t.Fatalf("head latency near=%v far=%v", near, far)
+	}
+	// 6 hops vs 1 hop: 5 extra channels.
+	if far-near != 5*(cfg.RouterLatency+cfg.FlitCycle) {
+		t.Fatalf("delta %v", far-near)
+	}
+}
+
+func TestInOrderPerPair(t *testing.T) {
+	eng, n, cols := build(t, 4, 1)
+	src, dst := packet.Coord{X: 0, Y: 0}, packet.Coord{X: 3, Y: 0}
+	const count = 50
+	sent := 0
+	// Pace injection off the injector-free callback, as the NIC does.
+	var next func()
+	next = func() {
+		if sent >= count {
+			return
+		}
+		p := pkt(src, dst, uint32(sent))
+		sent++
+		n.Inject(src, p, p.WireSize())
+	}
+	n.OnInjectorFree(src, next)
+	next()
+	eng.Run()
+	c := cols[0][3]
+	if len(c.got) != count {
+		t.Fatalf("delivered %d/%d", len(c.got), count)
+	}
+	for i, p := range c.got {
+		if p.Payload[0] != byte(i) {
+			t.Fatalf("out of order at %d", i)
+		}
+	}
+}
+
+func TestBackpressureParksAndResumes(t *testing.T) {
+	eng, n, cols := build(t, 2, 1)
+	src, dst := packet.Coord{X: 0, Y: 0}, packet.Coord{X: 1, Y: 0}
+	rcv := cols[0][1]
+	rcv.accept = false
+
+	p1 := pkt(src, dst, 1)
+	n.Inject(src, p1, p1.WireSize())
+	eng.Run()
+	if len(rcv.got) != 0 || rcv.refused == 0 {
+		t.Fatal("packet should be parked")
+	}
+	if n.Stats().Parked == 0 {
+		t.Fatal("park not counted")
+	}
+	// The injector is still held by the parked worm: backpressure.
+	if !n.InjectorBusy(src) {
+		t.Fatal("parked worm released its channels")
+	}
+	rcv.accept = true
+	n.Unpark(dst)
+	eng.Run()
+	if len(rcv.got) != 1 {
+		t.Fatal("unpark did not deliver")
+	}
+	if n.InjectorBusy(src) {
+		t.Fatal("channels not released after delivery")
+	}
+}
+
+func TestBlockedReceiverStallsUnrelatedTrafficThroughSharedChannels(t *testing.T) {
+	// Wormhole semantics: a worm blocked at (2,0) holds the (0,0)->(1,0)
+	// link, so a second worm needing that link waits, while traffic on
+	// disjoint paths flows.
+	eng, n, cols := build(t, 3, 2)
+	blocked := cols[0][2]
+	blocked.accept = false
+
+	a := pkt(packet.Coord{X: 0, Y: 0}, packet.Coord{X: 2, Y: 0}, 1)
+	n.Inject(packet.Coord{X: 0, Y: 0}, a, a.WireSize())
+	eng.Run()
+
+	// Same-path packet from (1,0): needs the (1,0)->(2,0) link held by a.
+	b := pkt(packet.Coord{X: 1, Y: 0}, packet.Coord{X: 2, Y: 0}, 2)
+	n.Inject(packet.Coord{X: 1, Y: 0}, b, b.WireSize())
+	// Disjoint packet on the other row.
+	c := pkt(packet.Coord{X: 0, Y: 1}, packet.Coord{X: 2, Y: 1}, 3)
+	n.Inject(packet.Coord{X: 0, Y: 1}, c, c.WireSize())
+	eng.Run()
+
+	if len(cols[1][2].got) != 1 {
+		t.Fatal("disjoint traffic was blocked")
+	}
+	if len(blocked.got) != 0 {
+		t.Fatal("blocked receiver got data")
+	}
+	blocked.accept = true
+	n.Unpark(packet.Coord{X: 2, Y: 0})
+	eng.Run()
+	if len(blocked.got) != 2 {
+		t.Fatalf("after unblock: %d", len(blocked.got))
+	}
+	if blocked.got[0].Payload[0] != 1 || blocked.got[1].Payload[0] != 2 {
+		t.Fatal("FIFO order violated across blocked worms")
+	}
+}
+
+func TestConservationUnderRandomTraffic(t *testing.T) {
+	// Property: every injected packet is delivered exactly once, with
+	// per-pair order preserved, under random all-to-all traffic.
+	eng, n, cols := build(t, 4, 4)
+	rng := rand.New(rand.NewSource(99))
+	type key struct{ s, d packet.Coord }
+	sent := map[key][]uint32{}
+	injected := 0
+
+	// Pace per-source injection with the injector-free callback.
+	var pump func(src packet.Coord)
+	queue := map[packet.Coord][]*packet.Packet{}
+	for i := 0; i < 400; i++ {
+		src := packet.Coord{X: rng.Intn(4), Y: rng.Intn(4)}
+		dst := packet.Coord{X: rng.Intn(4), Y: rng.Intn(4)}
+		p := pkt(src, dst, uint32(i))
+		p.Payload = append(p.Payload, make([]byte, rng.Intn(200))...)
+		queue[src] = append(queue[src], p)
+		sent[key{src, dst}] = append(sent[key{src, dst}], uint32(i))
+	}
+	pump = func(src packet.Coord) {
+		q := queue[src]
+		if len(q) == 0 {
+			return
+		}
+		queue[src] = q[1:]
+		injected++
+		n.Inject(src, q[0], q[0].WireSize())
+	}
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			src := packet.Coord{X: x, Y: y}
+			n.OnInjectorFree(src, func() { pump(src) })
+			pump(src)
+		}
+	}
+	eng.Run()
+
+	got := map[key][]uint32{}
+	total := 0
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			for _, p := range cols[y][x].got {
+				k := key{p.Src, p.Dst}
+				seq := uint32(p.Payload[0]) | uint32(p.Payload[1])<<8 | uint32(p.Payload[2])<<16 | uint32(p.Payload[3])<<24
+				got[k] = append(got[k], seq)
+				total++
+			}
+		}
+	}
+	if total != 400 || injected != 400 {
+		t.Fatalf("conservation: injected %d delivered %d", injected, total)
+	}
+	for k, seqs := range sent {
+		g := got[k]
+		if len(g) != len(seqs) {
+			t.Fatalf("pair %v: %d vs %d", k, len(g), len(seqs))
+		}
+		for i := range seqs {
+			if g[i] != seqs[i] {
+				t.Fatalf("pair %v out of order at %d", k, i)
+			}
+		}
+	}
+	if n.Stats().FlitHops == 0 {
+		t.Fatal("flit-hop accounting missing")
+	}
+}
+
+func TestWireTime(t *testing.T) {
+	cfg := DefaultConfig(2, 2)
+	eng := sim.NewEngine()
+	n := New(eng, cfg)
+	// 19 wire bytes at 8 B/flit = 3 flits.
+	if n.WireTime(19) != 3*cfg.FlitCycle {
+		t.Fatalf("WireTime(19) = %v", n.WireTime(19))
+	}
+	if n.WireTime(16) != 2*cfg.FlitCycle {
+		t.Fatalf("WireTime(16) = %v", n.WireTime(16))
+	}
+}
+
+func TestInjectOutsideMeshPanics(t *testing.T) {
+	eng, n, _ := build(t, 2, 2)
+	_ = eng
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	p := pkt(packet.Coord{X: 0, Y: 0}, packet.Coord{X: 5, Y: 5}, 0)
+	n.Inject(packet.Coord{X: 0, Y: 0}, p, p.WireSize())
+}
+
+func TestEventualDeliveryUnderFlakyReceivers(t *testing.T) {
+	// Endpoints refuse a random number of times before accepting (the
+	// receiving NIC's FIFO repeatedly full); the deadlock-free routing
+	// plus unparking must still deliver every packet exactly once.
+	eng, n, cols := build(t, 3, 3)
+	rng := rand.New(rand.NewSource(1234))
+
+	refusals := map[packet.Coord]int{}
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 3; x++ {
+			c := packet.Coord{X: x, Y: y}
+			cols[y][x].accept = false
+			refusals[c] = 1 + rng.Intn(4)
+		}
+	}
+	// A background "drain" process unparks flaky endpoints over time.
+	var pump func()
+	pump = func() {
+		for y := 0; y < 3; y++ {
+			for x := 0; x < 3; x++ {
+				c := packet.Coord{X: x, Y: y}
+				col := cols[y][x]
+				if !col.accept && col.refused >= refusals[c] {
+					col.accept = true
+				}
+				// Retry regardless: a parked worm's Accept is re-asked,
+				// counting another refusal until the endpoint relents.
+				n.Unpark(c)
+			}
+		}
+		eng.After(200*sim.Nanosecond, pump)
+	}
+	eng.After(200*sim.Nanosecond, pump)
+
+	const total = 120
+	sentCount := 0
+	queues := map[packet.Coord][]*packet.Packet{}
+	for i := 0; i < total; i++ {
+		src := packet.Coord{X: rng.Intn(3), Y: rng.Intn(3)}
+		dst := packet.Coord{X: rng.Intn(3), Y: rng.Intn(3)}
+		queues[src] = append(queues[src], pkt(src, dst, uint32(i)))
+	}
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 3; x++ {
+			src := packet.Coord{X: x, Y: y}
+			push := func() {
+				q := queues[src]
+				if len(q) == 0 {
+					return
+				}
+				queues[src] = q[1:]
+				sentCount++
+				n.Inject(src, q[0], q[0].WireSize())
+			}
+			n.OnInjectorFree(src, push)
+			push()
+		}
+	}
+	// Run with a hard ceiling; the pump reschedules forever, so step a
+	// bounded number of times and then verify.
+	for i := 0; i < 2_000_000; i++ {
+		if !eng.Step() {
+			break
+		}
+		if n.Stats().Delivered == total {
+			break
+		}
+	}
+	if got := n.Stats().Delivered; got != total {
+		t.Fatalf("delivered %d/%d under flaky receivers", got, total)
+	}
+	received := 0
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 3; x++ {
+			received += len(cols[y][x].got)
+		}
+	}
+	if received != total {
+		t.Fatalf("endpoints saw %d packets", received)
+	}
+	if n.Stats().Parked == 0 {
+		t.Fatal("no parks: flakiness never engaged, test vacuous")
+	}
+}

@@ -1,0 +1,127 @@
+package msg
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/nic"
+)
+
+func endpointsOn(m *core.Machine, nodes ...int) []Endpoint {
+	out := make([]Endpoint, len(nodes))
+	for i, n := range nodes {
+		out[i] = NewEndpoint(m.Node(n))
+	}
+	return out
+}
+
+func TestBarrierRounds(t *testing.T) {
+	m := core.New(core.ConfigFor(2, 2, nic.GenEISAPrototype))
+	b, err := NewBarrier(m, endpointsOn(m, 0, 1, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 1; round <= 10; round++ {
+		if err := b.Sync(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if b.Generation() != uint32(round) {
+			t.Fatalf("generation %d", b.Generation())
+		}
+	}
+}
+
+func TestBarrierOrdersWork(t *testing.T) {
+	// A value written before the barrier on one node is visible after
+	// the barrier on another, when sent through a mapping: the barrier
+	// provides the synchronization double-buffering case 1 assumes.
+	m := core.New(core.ConfigFor(2, 1, nic.GenEISAPrototype))
+	parts := endpointsOn(m, 0, 1)
+	b, err := NewBarrier(m, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := NewChannel(m, parts[0], parts[1], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.Send([]byte("pre-barrier payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ch.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "pre-barrier payload" {
+		t.Fatal("payload lost across barrier")
+	}
+}
+
+func TestBarrierNeedsTwo(t *testing.T) {
+	m := core.New(core.ConfigFor(1, 1, nic.GenXpress))
+	if _, err := NewBarrier(m, endpointsOn(m, 0)); err == nil {
+		t.Fatal("single-participant barrier accepted")
+	}
+}
+
+func TestBroadcastTree(t *testing.T) {
+	m := core.New(core.ConfigFor(4, 2, nic.GenEISAPrototype))
+	parts := endpointsOn(m, 0, 1, 2, 3, 4, 5, 6, 7)
+	bc, err := NewBroadcast(m, parts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bc.Depth() != 3 { // 8 nodes -> log2 = 3 hops
+		t.Fatalf("depth %d", bc.Depth())
+	}
+	payload := []byte("broadcast through the binomial tree")
+	got, err := bc.Send(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range got {
+		if !bytes.Equal(g, payload) {
+			t.Fatalf("endpoint %d got %q", i, g)
+		}
+	}
+	// Reusable.
+	payload2 := []byte("second wave")
+	got, err = bc.Send(payload2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range got {
+		if !bytes.Equal(g, payload2) {
+			t.Fatalf("round 2 endpoint %d got %q", i, g)
+		}
+	}
+}
+
+func TestBroadcastVariousSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5} {
+		m := core.New(core.ConfigFor(3, 2, nic.GenXpress))
+		nodes := make([]int, n)
+		for i := range nodes {
+			nodes[i] = i
+		}
+		bc, err := NewBroadcast(m, endpointsOn(m, nodes...), 1)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		payload := []byte(fmt.Sprintf("fanout %d", n))
+		got, err := bc.Send(payload)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := 0; i < n; i++ {
+			if !bytes.Equal(got[i], payload) {
+				t.Fatalf("n=%d endpoint %d", n, i)
+			}
+		}
+	}
+}

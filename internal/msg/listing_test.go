@@ -1,0 +1,95 @@
+package msg
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// TestListingsReassemble round-trips every embedded routine through the
+// disassembler: assemble → Listing() → strip indices → reassemble, and
+// require an identical instruction stream. This pins the measured
+// Table 1 programs against accidental drift and exercises the
+// assembler/disassembler pair on real code.
+func TestListingsReassemble(t *testing.T) {
+	syms := map[string]int64{
+		"PRIV": 0x1000_0000, "PRIVCOPY": 0x1000_0040, "STKTOP": 0x1000_2000,
+		"RBUF": 0x1000_3000, "FLAG": 0x1000_4000, "BUF": 0x1000_5000,
+		"TOGGLE": 4096, "FLAGOFF": flagOff, "CMDDELTA": CmdDelta,
+		"CHTAB": 0x1000_6800, "KDATA": 0x1000_7000, "KRING": 0x1000_8000,
+		"ITERS": 40, "ROUNDS": 25, "POUT": 0x1000_9000, "PECHO": 0x1000_a000,
+		"QIN": 0x1000_b000, "QOUT": 0x1000_c000, "DBUF": 0x1000_d000,
+	}
+	nx2Consts(syms)
+	baseConsts(syms)
+	syms["K_CTLOUT"] = 96
+	syms["K_CONSMIR"] = 100
+	syms["K_PRODMIR"] = 104
+
+	sources := map[string]string{
+		"singleBufSender4":      singleBufSender4,
+		"singleBufReceiver":     singleBufReceiver,
+		"singleBufReceiverCopy": singleBufReceiverCopy,
+		"doubleBufCase1Sender":  doubleBufCase1Sender,
+		"doubleBufCase2Sender":  doubleBufCase2Sender,
+		"doubleBufCase3Sender":  doubleBufCase3Sender,
+		"doubleBufCase1Recv":    doubleBufCase1Receiver,
+		"doubleBufCase2Recv":    doubleBufCase2Receiver,
+		"doubleBufCase3Recv":    doubleBufCase3Receiver,
+		"deliberateSend":        deliberateSend,
+		"deliberateCheck":       deliberateCheck,
+		"nx2Csend":              nx2Csend,
+		"nx2Crecv":              nx2Crecv,
+		"baseCsend":             baseCsend,
+		"baseCrecv":             baseCrecv,
+		"producerLoop":          producerLoop,
+		"consumerLoop":          consumerLoop,
+		"pingSrc":               pingSrc,
+		"pongSrc":               pongSrc,
+	}
+	for name, src := range sources {
+		orig, err := isa.Assemble(name, src, syms)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		stripped := stripListing(orig.Listing())
+		again, err := isa.Assemble(name+"-relisted", stripped, nil)
+		if err != nil {
+			t.Fatalf("%s relisted: %v\n%s", name, err, stripped)
+		}
+		if len(again.Instrs) != len(orig.Instrs) {
+			t.Fatalf("%s: %d instrs became %d", name, len(orig.Instrs), len(again.Instrs))
+		}
+		for i := range orig.Instrs {
+			a, b := orig.Instrs[i], again.Instrs[i]
+			if a.Op != b.Op || a.Size != b.Size || a.Lock != b.Lock || a.Rep != b.Rep ||
+				a.Dst != b.Dst || a.Src != b.Src || a.Target != b.Target {
+				t.Fatalf("%s instr %d: %s != %s", name, i, a.String(), b.String())
+			}
+		}
+	}
+}
+
+// stripListing removes the instruction-index column Listing adds.
+func stripListing(l string) string {
+	var out strings.Builder
+	for _, line := range strings.Split(l, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			continue
+		}
+		if strings.HasSuffix(trimmed, ":") {
+			out.WriteString(trimmed + "\n")
+			continue
+		}
+		fields := strings.SplitN(trimmed, " ", 2)
+		if _, err := strconv.Atoi(fields[0]); err == nil && len(fields) == 2 {
+			out.WriteString("\t" + strings.TrimSpace(fields[1]) + "\n")
+			continue
+		}
+		out.WriteString(line + "\n")
+	}
+	return out.String()
+}

@@ -1,0 +1,145 @@
+package msg
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/nipt"
+	"repro/internal/phys"
+	"repro/internal/vm"
+)
+
+// SharedRegion generalizes §4.1's PRAM-style shared memory to N nodes.
+//
+// Each participant holds a full local replica of the region. The region
+// is partitioned into N owner slices; a participant writes only its own
+// slice (the software convention that makes PRAM consistency usable),
+// and the library duplicates each local store to every other replica.
+//
+// The connection-oriented cost the paper's §7 discusses shows up
+// directly: a page maps to exactly one destination, so an N-way region
+// needs N-1 outgoing source pages per owner page — each write is issued
+// once per peer. In exchange, reads are always local and there is no
+// coherence traffic at all.
+type SharedRegion struct {
+	m     *core.Machine
+	parts []Endpoint
+	pages int
+	// replica[i] is participant i's local copy.
+	replica []vm.VAddr
+	// fan[i][j] is participant i's source page set mapped onto
+	// participant j's replica (nil for j == i).
+	fan [][]vm.VAddr
+}
+
+// NewSharedRegion builds a region of the given page count across the
+// endpoints (each on a distinct node). The owner slice of participant i
+// is bytes [i*SliceBytes, (i+1)*SliceBytes).
+func NewSharedRegion(m *core.Machine, parts []Endpoint, pages int) (*SharedRegion, error) {
+	if len(parts) < 2 {
+		return nil, fmt.Errorf("msg: shared region needs at least 2 participants")
+	}
+	if pages < 1 {
+		return nil, fmt.Errorf("msg: shared region needs at least one page")
+	}
+	r := &SharedRegion{
+		m: m, parts: parts, pages: pages,
+		replica: make([]vm.VAddr, len(parts)),
+		fan:     make([][]vm.VAddr, len(parts)),
+	}
+	var err error
+	for i, p := range parts {
+		if r.replica[i], err = p.Proc.AllocPages(pages); err != nil {
+			return nil, err
+		}
+	}
+	for i, p := range parts {
+		r.fan[i] = make([]vm.VAddr, len(parts))
+		for j, q := range parts {
+			if i == j {
+				continue
+			}
+			src, err := p.Proc.AllocPages(pages)
+			if err != nil {
+				return nil, err
+			}
+			_, fut := p.Node.K.Map(p.Proc, src, pages*phys.PageSize,
+				q.Node.ID, q.Proc.PID, r.replica[j], nipt.BlockedWriteAU)
+			if err := m.Await(fut); err != nil {
+				return nil, err
+			}
+			r.fan[i][j] = src
+		}
+	}
+	return r, nil
+}
+
+// SliceBytes returns the size of each owner slice.
+func (r *SharedRegion) SliceBytes() int {
+	return r.pages * phys.PageSize / len(r.parts)
+}
+
+// ownerOf returns which participant owns byte offset off.
+func (r *SharedRegion) ownerOf(off int) int {
+	return off / r.SliceBytes()
+}
+
+// Write32 stores v at region offset off on behalf of participant who.
+// The store lands in the local replica and is duplicated to every other
+// replica through the mappings. Writing outside one's owner slice is
+// rejected — that is the consistency convention.
+func (r *SharedRegion) Write32(who int, off int, v uint32) error {
+	if off < 0 || off+4 > r.pages*phys.PageSize {
+		return fmt.Errorf("msg: offset %d outside region", off)
+	}
+	if r.ownerOf(off) != who {
+		return fmt.Errorf("msg: participant %d writing into slice owned by %d", who, r.ownerOf(off))
+	}
+	p := r.parts[who]
+	// Local replica first (reads are local).
+	if err := p.Node.UserWrite32(p.Proc, r.replica[who]+vm.VAddr(off), v); err != nil {
+		return err
+	}
+	// Duplicate to every peer replica.
+	for j := range r.parts {
+		if j == who {
+			continue
+		}
+		if err := p.Node.UserWrite32(p.Proc, r.fan[who][j]+vm.VAddr(off), v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Read32 loads region offset off from who's local replica — no network
+// traffic, ever.
+func (r *SharedRegion) Read32(who int, off int) (uint32, error) {
+	if off < 0 || off+4 > r.pages*phys.PageSize {
+		return 0, fmt.Errorf("msg: offset %d outside region", off)
+	}
+	p := r.parts[who]
+	return p.Node.UserRead32(p.Proc, r.replica[who]+vm.VAddr(off))
+}
+
+// Settle runs the machine until all duplicated stores have deposited.
+func (r *SharedRegion) Settle() { r.m.RunUntilIdle(100_000_000) }
+
+// Consistent verifies every replica agrees on every word (testing aid);
+// it returns the first disagreeing (offset, participants) if any.
+func (r *SharedRegion) Consistent() (bool, int, int, int) {
+	words := r.pages * phys.PageSize / 4
+	for w := 0; w < words; w++ {
+		ref, err := r.Read32(0, 4*w)
+		if err != nil {
+			return false, 4 * w, 0, 0
+		}
+		for i := 1; i < len(r.parts); i++ {
+			v, err := r.Read32(i, 4*w)
+			if err != nil || v != ref {
+				return false, 4 * w, 0, i
+			}
+		}
+	}
+	return true, 0, 0, 0
+}

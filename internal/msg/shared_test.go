@@ -1,0 +1,101 @@
+package msg
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/nic"
+)
+
+func TestSharedRegionBasics(t *testing.T) {
+	m := core.New(core.ConfigFor(2, 2, nic.GenEISAPrototype))
+	parts := endpointsOn(m, 0, 1, 2, 3)
+	r, err := NewSharedRegion(m, parts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SliceBytes() != 1024 {
+		t.Fatalf("slice %d", r.SliceBytes())
+	}
+	// Each participant writes into its own slice.
+	for i := 0; i < 4; i++ {
+		if err := r.Write32(i, i*1024+4, uint32(100+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Settle()
+	// Everyone sees everything, locally.
+	for reader := 0; reader < 4; reader++ {
+		for owner := 0; owner < 4; owner++ {
+			v, err := r.Read32(reader, owner*1024+4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v != uint32(100+owner) {
+				t.Fatalf("reader %d sees %d at slice %d", reader, v, owner)
+			}
+		}
+	}
+	if ok, off, _, who := r.Consistent(); !ok {
+		t.Fatalf("replicas diverge at offset %d (participant %d)", off, who)
+	}
+}
+
+func TestSharedRegionEnforcesOwnership(t *testing.T) {
+	m := core.New(core.ConfigFor(2, 1, nic.GenEISAPrototype))
+	r, err := NewSharedRegion(m, endpointsOn(m, 0, 1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Write32(0, 3000, 1); err == nil {
+		t.Fatal("write into a foreign slice accepted")
+	}
+	if err := r.Write32(1, 100, 1); err == nil {
+		t.Fatal("write into a foreign slice accepted")
+	}
+	if err := r.Write32(0, -4, 1); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	if _, err := r.Read32(0, 4096); err == nil {
+		t.Fatal("out-of-range read accepted")
+	}
+}
+
+func TestSharedRegionRandomTraffic(t *testing.T) {
+	// Property: after any interleaving of owner-slice writes and a
+	// settle, all replicas agree and every written word holds its last
+	// value.
+	m := core.New(core.ConfigFor(3, 1, nic.GenEISAPrototype))
+	parts := endpointsOn(m, 0, 1, 2)
+	r, err := NewSharedRegion(m, parts, 3) // one page per owner slice
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	shadow := map[int]uint32{}
+	for step := 0; step < 600; step++ {
+		who := rng.Intn(3)
+		off := who*r.SliceBytes() + 4*rng.Intn(r.SliceBytes()/4)
+		v := rng.Uint32()
+		if err := r.Write32(who, off, v); err != nil {
+			t.Fatal(err)
+		}
+		shadow[off] = v
+		if step%97 == 0 {
+			r.Settle()
+		}
+	}
+	r.Settle()
+	if ok, off, _, who := r.Consistent(); !ok {
+		t.Fatalf("divergence at %d (participant %d)", off, who)
+	}
+	for off, want := range shadow {
+		for reader := 0; reader < 3; reader++ {
+			v, _ := r.Read32(reader, off)
+			if v != want {
+				t.Fatalf("reader %d: offset %d = %#x want %#x", reader, off, v, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package nic
+
+import (
+	"repro/internal/nipt"
+	"repro/internal/phys"
+	"repro/internal/sim"
+)
+
+// mergeState implements blocked-write automatic update (§4.1): the NIC
+// buffers a snooped write instead of sending it immediately, and merges
+// subsequent writes into the same packet if they are consecutive, stay
+// within the same page, and occur within a programmable time limit of
+// one another. Otherwise the packet is terminated and sent.
+type mergeState struct {
+	open     *openPacket
+	timerGen uint64
+}
+
+type openPacket struct {
+	m           *nipt.OutMapping
+	srcPage     phys.PageNum
+	startRemote phys.PAddr
+	buf         []byte
+	lastWrite   sim.Time
+}
+
+func (n *NIC) mergeWrite(m *nipt.OutMapping, remote phys.PAddr, data []byte, srcPage phys.PageNum) {
+	o := n.merge.open
+	now := n.eng.Now()
+	if o != nil {
+		mergeable := o.m == m &&
+			o.startRemote+phys.PAddr(len(o.buf)) == remote &&
+			len(o.buf)+len(data) <= n.cfg.MaxPayload &&
+			now-o.lastWrite <= n.cfg.MergeWindow
+		if mergeable {
+			o.buf = append(o.buf, data...)
+			o.lastWrite = now
+			n.stats.MergedWrites++
+			n.armMergeTimer()
+			return
+		}
+		n.flushMerge()
+	}
+	n.merge.open = &openPacket{
+		m:           m,
+		srcPage:     srcPage,
+		startRemote: remote,
+		buf:         append([]byte(nil), data...),
+		lastWrite:   now,
+	}
+	n.armMergeTimer()
+}
+
+// armMergeTimer schedules the §4.1 time-limit check. A generation counter
+// cancels timers that a newer write has superseded.
+func (n *NIC) armMergeTimer() {
+	n.merge.timerGen++
+	gen := n.merge.timerGen
+	n.eng.After(n.cfg.MergeWindow+sim.Picosecond, func() {
+		if n.merge.timerGen != gen || n.merge.open == nil {
+			return
+		}
+		if n.eng.Now()-n.merge.open.lastWrite >= n.cfg.MergeWindow {
+			n.flushMerge()
+		}
+	})
+}
+
+// flushMerge terminates and sends the open blocked-write packet, if any.
+// The single-write and DMA paths call it first so that packets enter the
+// Outgoing FIFO in store order.
+func (n *NIC) flushMerge() {
+	o := n.merge.open
+	if o == nil {
+		return
+	}
+	n.merge.open = nil
+	n.stats.MergedPackets++
+	n.emit(o.m, o.startRemote, o.buf, o.srcPage)
+}

@@ -1,0 +1,333 @@
+// Package nic implements the SHRIMP virtual memory-mapped network
+// interface — the paper's primary contribution (§4, Figure 4).
+//
+// The datapath follows Figure 4: the NIC snoops write transactions on
+// the Xpress memory bus; the Network Interface Page Table (NIPT) decides
+// whether (and how) each snooped write is mapped out; outgoing data is
+// packetized and queued in the Outgoing FIFO, which drains into the
+// routing backplane through the Network Interface Chip. Arriving packets
+// queue in the Incoming FIFO and are DMA-deposited into main memory —
+// over the EISA expansion bus on the prototype, or directly over the
+// Xpress bus on the next generation — without CPU involvement.
+//
+// Flow control is the paper's §4 scheme: when the Incoming FIFO exceeds
+// its threshold the NIC stops accepting packets from the network
+// (backpressuring the wormhole mesh); when the Outgoing FIFO exceeds its
+// threshold the CPU is interrupted and waits until it drains. The NIC
+// also implements the user-level deliberate-update DMA engine and its
+// LOCK CMPXCHG command protocol (§4.3), and the VM-mapped command pages
+// (§4.2).
+package nic
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/mesh"
+	"repro/internal/nipt"
+	"repro/internal/packet"
+	"repro/internal/phys"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Generation selects the incoming deposit path (paper §3, §5.1).
+type Generation uint8
+
+const (
+	// GenEISAPrototype deposits incoming data over the EISA expansion
+	// bus (33 MB/s burst peak — the bandwidth bottleneck).
+	GenEISAPrototype Generation = iota
+	// GenXpress is the "next implementation": the NIC masters the Xpress
+	// memory bus directly (~70 MB/s, much smaller setup cost).
+	GenXpress
+)
+
+func (g Generation) String() string {
+	if g == GenEISAPrototype {
+		return "eisa-prototype"
+	}
+	return "xpress"
+}
+
+// Config holds the network interface parameters.
+type Config struct {
+	Generation Generation
+
+	// Datapath latencies.
+	SnoopPacketize sim.Time // snoop + NIPT lookup + packet build
+	OutFIFOLatency sim.Time // traversal of the Outgoing FIFO
+	InjectSetup    sim.Time // NIC injection overhead per packet
+	InFIFOLatency  sim.Time // traversal of the Incoming FIFO
+
+	// FIFO sizing; thresholds are the §4 programmable marks.
+	OutFIFOBytes int
+	OutThreshold int
+	InFIFOBytes  int
+	InThreshold  int
+
+	// MaxPayload bounds a packet's payload; blocked-write merging and
+	// the deliberate-update DMA engine emit packets up to this size.
+	MaxPayload int
+	// MergeWindow is the blocked-write programmable time limit: writes
+	// farther apart than this close the open packet (§4.1).
+	MergeWindow sim.Time
+
+	// Xpress-generation deposit path parameters.
+	XpressDepositSetup sim.Time
+	XpressDepositRate  int64 // bytes/second
+}
+
+// DefaultConfig returns parameters calibrated to the paper's prototype
+// (see DESIGN.md §4 and EXPERIMENTS.md for the calibration).
+func DefaultConfig() Config {
+	return Config{
+		Generation:         GenEISAPrototype,
+		SnoopPacketize:     150 * sim.Nanosecond,
+		OutFIFOLatency:     100 * sim.Nanosecond,
+		InjectSetup:        50 * sim.Nanosecond,
+		InFIFOLatency:      100 * sim.Nanosecond,
+		OutFIFOBytes:       32 * 1024,
+		OutThreshold:       24 * 1024,
+		InFIFOBytes:        32 * 1024,
+		InThreshold:        24 * 1024,
+		MaxPayload:         512,
+		MergeWindow:        500 * sim.Nanosecond,
+		XpressDepositSetup: 80 * sim.Nanosecond,
+		XpressDepositRate:  70_000_000,
+	}
+}
+
+// Stats aggregates NIC activity.
+type Stats struct {
+	SnoopedWrites    uint64
+	PacketsOut       uint64
+	KernelPacketsOut uint64 // subset of PacketsOut on kernel ring pages
+	PacketsIn        uint64
+	BytesOut         uint64
+	BytesIn          uint64
+	MergedWrites     uint64 // stores absorbed into an open blocked-write packet
+	MergedPackets    uint64 // blocked-write packets emitted
+	DMATransfers     uint64 // deliberate-update commands completed
+	DMARejected      uint64 // CMPXCHG attempts that found the engine busy
+	DropNotMappedIn  uint64
+	DropWrongDest    uint64
+	DropCRC          uint64
+	OutFullEvents    uint64
+	OutStallTime     sim.Time
+	RecvIRQs         uint64
+	MaxOutFIFOBytes  int
+	MaxInFIFOBytes   int
+}
+
+// IRQCause identifies why the NIC interrupted the CPU.
+type IRQCause uint8
+
+const (
+	// IRQRecv: data arrived for a page with interrupt-on-arrival set.
+	IRQRecv IRQCause = iota
+	// IRQKernelRing: data arrived on a kernel message ring page.
+	IRQKernelRing
+)
+
+// NIC is one node's network interface.
+type NIC struct {
+	eng   *sim.Engine
+	cfg   Config
+	node  packet.NodeID
+	coord packet.Coord
+	table *nipt.Table
+	xbus  *bus.Xpress
+	eisa  *bus.EISA
+	net   *mesh.Network
+
+	// OnIRQ is the interrupt line to the CPU/kernel: cause plus the
+	// physical page the interrupt concerns.
+	OnIRQ func(cause IRQCause, page phys.PageNum)
+	// OnOutFull fires when the Outgoing FIFO crosses its threshold; the
+	// node glue freezes the CPU ("the CPU is interrupted and waits").
+	OnOutFull func()
+	// OnOutDrained fires when the Outgoing FIFO falls back below the
+	// threshold.
+	OnOutDrained func()
+	// Tracer, when set, records datapath events (nil-safe).
+	Tracer *trace.Tracer
+
+	out   outState
+	in    inState
+	dma   dmaState
+	merge mergeState
+	stats Stats
+}
+
+type queuedPacket struct {
+	pkt  *packet.Packet
+	wire int
+}
+
+type outState struct {
+	q         []queuedPacket
+	bytes     int
+	injecting bool
+	stalled   bool
+	stallFrom sim.Time
+}
+
+type inState struct {
+	q          []queuedPacket
+	bytes      int
+	depositing bool
+}
+
+// New builds a network interface and attaches it to the backplane and
+// memory bus.
+func New(eng *sim.Engine, cfg Config, node packet.NodeID, coord packet.Coord,
+	table *nipt.Table, xbus *bus.Xpress, eisa *bus.EISA, net *mesh.Network) *NIC {
+	n := &NIC{
+		eng: eng, cfg: cfg, node: node, coord: coord,
+		table: table, xbus: xbus, eisa: eisa, net: net,
+	}
+	if cfg.Generation == GenEISAPrototype && eisa == nil {
+		panic("nic: EISA prototype generation requires an EISA bus")
+	}
+	xbus.AddSnooper(n)
+	xbus.SetCommandTarget(n)
+	net.Attach(coord, (*endpoint)(n))
+	net.OnInjectorFree(coord, n.injectorFree)
+	return n
+}
+
+// Table returns the NIPT (the kernel configures mappings through it).
+func (n *NIC) Table() *nipt.Table { return n.table }
+
+// Coord returns the NIC's mesh coordinates.
+func (n *NIC) Coord() packet.Coord { return n.coord }
+
+// Stats returns a snapshot of NIC statistics.
+func (n *NIC) Stats() Stats { return n.stats }
+
+// Config returns the NIC configuration.
+func (n *NIC) Config() Config { return n.cfg }
+
+// OutFIFOBytes returns the current Outgoing FIFO occupancy.
+func (n *NIC) OutFIFOBytes() int { return n.out.bytes }
+
+// InFIFOBytes returns the current Incoming FIFO occupancy.
+func (n *NIC) InFIFOBytes() int { return n.in.bytes }
+
+// OutStalled reports whether the Outgoing FIFO is above its threshold.
+func (n *NIC) OutStalled() bool { return n.out.stalled }
+
+// DMABusy reports whether the deliberate-update engine is running.
+func (n *NIC) DMABusy() bool { return n.dma.busy }
+
+// Quiesced reports whether the NIC has no buffered or in-flight work.
+func (n *NIC) Quiesced() bool {
+	return len(n.out.q) == 0 && len(n.in.q) == 0 && !n.out.injecting &&
+		!n.in.depositing && !n.dma.busy && n.merge.open == nil
+}
+
+// SnoopWrite implements bus.Snooper: the outgoing half of Figure 4.
+// Only CPU-mastered writes are candidates for forwarding; DMA deposits
+// from the network must not be re-forwarded.
+func (n *NIC) SnoopWrite(init bus.Initiator, a phys.PAddr, data []byte) {
+	if init != bus.InitCPU {
+		return
+	}
+	n.stats.SnoopedWrites++
+	m, remote, ok := n.table.Resolve(a)
+	if !ok || m.Mode == nipt.DeliberateUpdate {
+		return
+	}
+	switch m.Mode {
+	case nipt.SingleWriteAU:
+		n.flushMerge() // preserve store order across modes
+		n.emit(m, remote, append([]byte(nil), data...), a.Page())
+	case nipt.BlockedWriteAU:
+		n.mergeWrite(m, remote, data, a.Page())
+	}
+}
+
+// emit packetizes payload destined for the given remote address and
+// queues it on the Outgoing FIFO after the packetize latency.
+func (n *NIC) emit(m *nipt.OutMapping, remote phys.PAddr, payload []byte, srcPage phys.PageNum) {
+	e := n.table.Entry(srcPage)
+	p := &packet.Packet{
+		Src:     n.coord,
+		Dst:     m.Dst,
+		DstAddr: remote,
+		Payload: payload,
+	}
+	if e.KernelRing {
+		p.Kind = packet.KernelRing
+	}
+	wire := p.WireSize()
+	n.eng.After(n.cfg.SnoopPacketize, func() { n.enqueueOut(p, wire) })
+}
+
+func (n *NIC) enqueueOut(p *packet.Packet, wire int) {
+	if n.out.bytes+wire > n.cfg.OutFIFOBytes {
+		// The threshold interrupt guarantees this cannot happen: the CPU
+		// froze before the FIFO could overflow. Reaching here means the
+		// model's headroom (capacity - threshold) is too small.
+		panic(fmt.Sprintf("nic%v: outgoing FIFO overflow (%d+%d > %d)",
+			n.coord, n.out.bytes, wire, n.cfg.OutFIFOBytes))
+	}
+	n.out.q = append(n.out.q, queuedPacket{p, wire})
+	n.out.bytes += wire
+	if n.out.bytes > n.stats.MaxOutFIFOBytes {
+		n.stats.MaxOutFIFOBytes = n.out.bytes
+	}
+	if !n.out.stalled && n.out.bytes > n.cfg.OutThreshold {
+		n.out.stalled = true
+		n.out.stallFrom = n.eng.Now()
+		n.stats.OutFullEvents++
+		n.Tracer.Record(int(n.node), trace.OutStall, uint64(n.out.bytes), 0)
+		if n.OnOutFull != nil {
+			n.OnOutFull()
+		}
+	}
+	n.drainOut()
+}
+
+// drainOut pushes the FIFO head into the backplane, one packet at a time
+// (the injection port is released when the worm's tail leaves the node).
+func (n *NIC) drainOut() {
+	if n.out.injecting || len(n.out.q) == 0 {
+		return
+	}
+	n.out.injecting = true
+	head := n.out.q[0]
+	n.eng.After(n.cfg.OutFIFOLatency+n.cfg.InjectSetup, func() {
+		n.net.Inject(n.coord, head.pkt, head.wire)
+	})
+}
+
+// injectorFree fires when the injected worm's tail has left this node:
+// the packet's bytes have drained from the Outgoing FIFO.
+func (n *NIC) injectorFree() {
+	if !n.out.injecting {
+		return
+	}
+	head := n.out.q[0]
+	n.out.q = n.out.q[1:]
+	n.out.bytes -= head.wire
+	n.out.injecting = false
+	n.stats.PacketsOut++
+	if head.pkt.Kind == packet.KernelRing {
+		n.stats.KernelPacketsOut++
+	}
+	n.stats.BytesOut += uint64(len(head.pkt.Payload))
+	n.Tracer.Record(int(n.node), trace.PacketOut, uint64(len(head.pkt.Payload)),
+		uint64(head.pkt.Dst.X)<<8|uint64(head.pkt.Dst.Y)&0xff)
+	if n.out.stalled && n.out.bytes <= n.cfg.OutThreshold {
+		n.out.stalled = false
+		n.stats.OutStallTime += n.eng.Now() - n.out.stallFrom
+		n.Tracer.Record(int(n.node), trace.OutResume, uint64(n.out.bytes), 0)
+		if n.OnOutDrained != nil {
+			n.OnOutDrained()
+		}
+	}
+	n.dma.kick(n)
+	n.drainOut()
+}

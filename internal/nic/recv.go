@@ -1,0 +1,124 @@
+package nic
+
+import (
+	"repro/internal/bus"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// endpoint adapts the NIC to the backplane's processor port. It is a
+// separate named type so the mesh-facing methods don't pollute the NIC's
+// own method set.
+type endpoint NIC
+
+// Accept implements mesh.Endpoint: the incoming flow-control decision.
+// Once the Incoming FIFO exceeds its programmable threshold the NIC
+// ceases to accept packets from the network; the parked worm holds its
+// channels and backpressures the mesh (§4).
+func (e *endpoint) Accept(p *packet.Packet, wire int) bool {
+	n := (*NIC)(e)
+	if n.in.bytes >= n.cfg.InThreshold {
+		return false
+	}
+	if n.in.bytes+wire > n.cfg.InFIFOBytes {
+		// Threshold headroom must cover a maximum-size packet.
+		panic("nic: incoming FIFO headroom too small for packet")
+	}
+	n.in.bytes += wire
+	if n.in.bytes > n.stats.MaxInFIFOBytes {
+		n.stats.MaxInFIFOBytes = n.in.bytes
+	}
+	return true
+}
+
+// Deliver implements mesh.Endpoint: the worm has fully streamed into the
+// Incoming FIFO.
+func (e *endpoint) Deliver(p *packet.Packet, wire int) {
+	n := (*NIC)(e)
+	n.in.q = append(n.in.q, queuedPacket{p, wire})
+	n.deposit()
+}
+
+// deposit drains the Incoming FIFO head into main memory, one packet at
+// a time, using the generation's DMA path.
+func (n *NIC) deposit() {
+	if n.in.depositing || len(n.in.q) == 0 {
+		return
+	}
+	n.in.depositing = true
+	head := n.in.q[0]
+	n.in.q = n.in.q[1:]
+	n.eng.After(n.cfg.InFIFOLatency, func() { n.depositPacket(head) })
+}
+
+func (n *NIC) depositPacket(q queuedPacket) {
+	p := q.pkt
+	// The receiving NIC verifies the absolute mesh coordinates and the
+	// CRC before using the packet (§3.1).
+	switch {
+	case p.Dst != n.coord:
+		n.stats.DropWrongDest++
+		n.Tracer.Record(int(n.node), trace.Drop, trace.DropWrongDest, uint64(p.DstAddr.Page()))
+		n.finishDeposit(q, false)
+		return
+	case p.Corrupt:
+		n.stats.DropCRC++
+		n.Tracer.Record(int(n.node), trace.Drop, trace.DropCRC, uint64(p.DstAddr.Page()))
+		n.finishDeposit(q, false)
+		return
+	}
+	// The page number indexes the NIPT to determine whether the page has
+	// been mapped in; unsolicited data is dropped, which is what keeps
+	// user-level communication protected.
+	entry := n.table.Entry(p.DstAddr.Page())
+	if !entry.MappedIn {
+		n.stats.DropNotMappedIn++
+		n.Tracer.Record(int(n.node), trace.Drop, trace.DropNotMappedIn, uint64(p.DstAddr.Page()))
+		n.finishDeposit(q, false)
+		return
+	}
+	var done sim.Time
+	if n.cfg.Generation == GenEISAPrototype {
+		done = n.eisa.DMAWrite(p.DstAddr, p.Payload)
+		n.eng.At(done, func() { n.finishDeposit(q, true) })
+		return
+	}
+	// Next generation: the NIC masters the Xpress bus directly.
+	done = n.eng.Now() + n.cfg.XpressDepositSetup + sim.PerByte(n.cfg.XpressDepositRate, len(p.Payload))
+	n.eng.At(done, func() {
+		n.xbus.Write(bus.InitNIC, p.DstAddr, p.Payload)
+		n.finishDeposit(q, true)
+	})
+}
+
+// finishDeposit releases FIFO space, raises any arrival interrupt, and
+// resumes both the deposit pipeline and any parked worm.
+func (n *NIC) finishDeposit(q queuedPacket, delivered bool) {
+	n.in.bytes -= q.wire
+	n.in.depositing = false
+	if delivered {
+		n.stats.PacketsIn++
+		n.stats.BytesIn += uint64(len(q.pkt.Payload))
+		page := q.pkt.DstAddr.Page()
+		n.Tracer.Record(int(n.node), trace.PacketIn, uint64(len(q.pkt.Payload)), uint64(page))
+		entry := n.table.Entry(page)
+		switch {
+		case entry.KernelRing:
+			n.stats.RecvIRQs++
+			n.Tracer.Record(int(n.node), trace.IRQ, uint64(IRQKernelRing), uint64(page))
+			if n.OnIRQ != nil {
+				n.OnIRQ(IRQKernelRing, page)
+			}
+		case entry.RecvInterrupt || q.pkt.Interrupt:
+			n.stats.RecvIRQs++
+			n.Tracer.Record(int(n.node), trace.IRQ, uint64(IRQRecv), uint64(page))
+			if n.OnIRQ != nil {
+				n.OnIRQ(IRQRecv, page)
+			}
+		}
+	}
+	// FIFO space freed: a parked worm may now be accepted.
+	n.net.Unpark(n.coord)
+	n.deposit()
+}

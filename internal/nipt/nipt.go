@@ -1,0 +1,157 @@
+// Package nipt implements the Network Interface Page Table, the key
+// component of the SHRIMP network interface (paper §4).
+//
+// The NIPT has one entry per page of the node's physical memory. Each
+// entry records whether (and how) that page is mapped out to a physical
+// page on another node, and whether the page is mapped in as a receive
+// destination. Per §3.2, a page may be split between two outgoing
+// mappings at a configurable offset, so an entry holds up to two
+// outgoing halves.
+package nipt
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/phys"
+)
+
+// Mode is an outgoing mapping's update strategy (§2, §4.1, §4.3).
+type Mode uint8
+
+const (
+	// Unmapped means the page (or page half) has no outgoing mapping.
+	Unmapped Mode = iota
+	// SingleWriteAU: every snooped store becomes one packet immediately.
+	SingleWriteAU
+	// BlockedWriteAU: consecutive same-page stores within the merge
+	// window coalesce into one packet before transmission.
+	BlockedWriteAU
+	// DeliberateUpdate: stores update only local memory; data moves when
+	// the process issues an explicit user-level DMA send command.
+	DeliberateUpdate
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Unmapped:
+		return "unmapped"
+	case SingleWriteAU:
+		return "single-write"
+	case BlockedWriteAU:
+		return "blocked-write"
+	case DeliberateUpdate:
+		return "deliberate"
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
+}
+
+// Automatic reports whether stores to the mapping propagate on their own.
+func (m Mode) Automatic() bool { return m == SingleWriteAU || m == BlockedWriteAU }
+
+// OutMapping is one outgoing mapping half: local offsets covered by this
+// half send to DstPage on the node at DstCoord, preserving the offset
+// (shifted for non-page-aligned split mappings by DstShift).
+type OutMapping struct {
+	Mode     Mode
+	Dst      packet.Coord
+	DstNode  packet.NodeID
+	DstPage  phys.PageNum
+	DstShift int32 // added to the local offset to form the remote offset
+}
+
+// Entry is one NIPT entry: the state of one local physical page.
+//
+// Split is the byte offset at which the page divides between the Lo and
+// Hi outgoing halves; Split == 0 means the Lo half covers the whole page
+// (the common, unsplit case) and Hi must be Unmapped.
+type Entry struct {
+	Lo    OutMapping
+	Hi    OutMapping
+	Split uint32
+
+	// MappedIn marks the page as a receive destination referenced by a
+	// remote NIPT. The kernel consults it for the paging policy (§4.4).
+	MappedIn bool
+	// RecvInterrupt requests a CPU interrupt when data arrives for this
+	// page (set through a VM-mapped command, §4.2).
+	RecvInterrupt bool
+	// KernelRing marks the page as a boot-time kernel message ring.
+	KernelRing bool
+}
+
+// Out returns the outgoing mapping governing the given page offset.
+func (e *Entry) Out(off uint32) *OutMapping {
+	if e.Split != 0 && off >= e.Split {
+		return &e.Hi
+	}
+	return &e.Lo
+}
+
+// MappedOut reports whether any part of the page has an outgoing mapping.
+func (e *Entry) MappedOut() bool {
+	return e.Lo.Mode != Unmapped || (e.Split != 0 && e.Hi.Mode != Unmapped)
+}
+
+// Table is the page table of one network interface.
+type Table struct {
+	entries []Entry
+}
+
+// New returns a table covering the given number of physical pages.
+func New(pages int) *Table { return &Table{entries: make([]Entry, pages)} }
+
+// Pages returns the number of entries.
+func (t *Table) Pages() int { return len(t.entries) }
+
+// Entry returns the entry for page p. The pointer stays valid for the
+// table's lifetime; callers mutate entries through it (the hardware
+// analogue is the kernel writing NIPT entries through the NIC's
+// configuration port).
+func (t *Table) Entry(p phys.PageNum) *Entry {
+	return &t.entries[p]
+}
+
+// MapOut installs an outgoing mapping covering the whole page.
+func (t *Table) MapOut(p phys.PageNum, m OutMapping) {
+	e := t.Entry(p)
+	e.Lo = m
+	e.Hi = OutMapping{}
+	e.Split = 0
+}
+
+// MapOutSplit installs a split mapping: offsets < split use lo and
+// offsets >= split use hi. split must lie inside the page.
+func (t *Table) MapOutSplit(p phys.PageNum, split uint32, lo, hi OutMapping) {
+	if split == 0 || split >= phys.PageSize {
+		panic(fmt.Sprintf("nipt: split offset %d outside page", split))
+	}
+	e := t.Entry(p)
+	e.Lo, e.Hi, e.Split = lo, hi, split
+}
+
+// UnmapOut removes all outgoing mappings from page p.
+func (t *Table) UnmapOut(p phys.PageNum) {
+	e := t.Entry(p)
+	e.Lo, e.Hi, e.Split = OutMapping{}, OutMapping{}, 0
+}
+
+// Resolve translates a local physical address through the table. It
+// reports the mapping governing the address and the remote physical
+// address the data should be delivered to, or ok=false when the address
+// is not mapped out.
+func (t *Table) Resolve(a phys.PAddr) (m *OutMapping, remote phys.PAddr, ok bool) {
+	e := t.Entry(a.Page())
+	m = e.Out(a.Offset())
+	if m.Mode == Unmapped {
+		return nil, 0, false
+	}
+	off := int64(a.Offset()) + int64(m.DstShift)
+	if off < 0 || off >= phys.PageSize {
+		// A shifted split mapping can push an offset outside the remote
+		// page; the kernel must set up splits so this cannot happen, and
+		// the hardware would drop such a write.
+		return nil, 0, false
+	}
+	return m, m.DstPage.Addr(uint32(off)), true
+}

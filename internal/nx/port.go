@@ -1,0 +1,315 @@
+package nx
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/msg"
+)
+
+// AnyType matches any message type in Crecv/CrecvAny/Cprobe.
+const AnyType = 0xffff
+
+// MaxMessage bounds one message's payload.
+const MaxMessage = 16 * 1024
+
+// Port is one side of a point-to-point NX/2 connection. Messages carry
+// a 16-bit type; receives dispatch in FIFO order per type, buffering
+// non-matching arrivals the way NX/2's system buffers did — except the
+// buffering is user-level memory.
+type Port struct {
+	m    *core.Machine
+	self msg.Endpoint
+	out  *ring // this side -> peer
+	in   *ring // peer -> this side
+
+	peer *Port // the other side (progress is co-pumped: both
+	// simulated processes advance while one blocks)
+	seqOut  uint16
+	pending []message // arrived but not yet matched
+	sendq   []message // Isend backlog awaiting ring space
+	wants   []want    // posted Irecvs awaiting a matching arrival
+	next    int       // async handle ids
+	done    map[int]*message
+	closed  bool
+}
+
+type message struct {
+	typ    uint16
+	seq    uint16
+	data   []byte
+	handle int
+}
+
+// OpenPair connects two endpoints and returns the port for each side.
+// This is the slow, kernel-mediated step — six map() handshakes — after
+// which every operation is user-level.
+func OpenPair(m *core.Machine, a, b msg.Endpoint, pages int) (*Port, *Port, error) {
+	if pages < 1 {
+		return nil, nil, fmt.Errorf("nx: port needs at least one ring page")
+	}
+	ab, err := newRing(m, a, b, pages)
+	if err != nil {
+		return nil, nil, err
+	}
+	ba, err := newRing(m, b, a, pages)
+	if err != nil {
+		return nil, nil, err
+	}
+	pa := &Port{m: m, self: a, out: ab, in: ba, done: make(map[int]*message)}
+	pb := &Port{m: m, self: b, out: ba, in: ab, done: make(map[int]*message)}
+	pa.peer, pb.peer = pb, pa
+	return pa, pb, nil
+}
+
+// progress pumps arrivals into the pending queue and drains the Isend
+// backlog. Blocking operations interleave progress with engine steps.
+func (p *Port) progress() error {
+	for {
+		typ, seq, data, ok, err := p.in.pop()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		p.pending = append(p.pending, message{typ: typ, seq: seq, data: data})
+	}
+	for len(p.sendq) > 0 {
+		msg0 := p.sendq[0]
+		ok, err := p.out.space(len(msg0.data))
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if err := p.out.push(msg0.typ, msg0.seq, msg0.data); err != nil {
+			return err
+		}
+		if msg0.handle != 0 {
+			m := msg0
+			p.done[msg0.handle] = &m
+		}
+		p.sendq = p.sendq[1:]
+	}
+	// Satisfy posted Irecvs in posting order.
+	remaining := p.wants[:0]
+	for _, w := range p.wants {
+		if m, ok := p.takePending(w.typ); ok {
+			m.handle = w.h
+			mm := m
+			p.done[w.h] = &mm
+			continue
+		}
+		remaining = append(remaining, w)
+	}
+	p.wants = remaining
+	return nil
+}
+
+// block steps the simulation until cond holds, pumping progress on
+// both sides (each simulated process keeps running while one blocks).
+func (p *Port) block(cond func() (bool, error)) error {
+	for {
+		if err := p.progress(); err != nil {
+			return err
+		}
+		if p.peer != nil {
+			if err := p.peer.progress(); err != nil {
+				return err
+			}
+		}
+		ok, err := cond()
+		if err != nil {
+			return err
+		}
+		if ok {
+			return nil
+		}
+		if !p.m.Eng.Step() {
+			return fmt.Errorf("nx: deadlock: nothing left to simulate")
+		}
+	}
+}
+
+// Close drains the port's outstanding sends and rejects further
+// operations on this side. The peer can still receive what was sent.
+func (p *Port) Close() error {
+	if p.closed {
+		return nil
+	}
+	if err := p.block(func() (bool, error) { return len(p.sendq) == 0, nil }); err != nil {
+		return err
+	}
+	p.closed = true
+	return nil
+}
+
+func (p *Port) validate(typ uint16, n int) error {
+	if p.closed {
+		return fmt.Errorf("nx: port closed")
+	}
+	if typ == AnyType {
+		return fmt.Errorf("nx: %#x is reserved for receives", AnyType)
+	}
+	if n <= 0 || n > MaxMessage {
+		return fmt.Errorf("nx: message size %d outside (0,%d]", n, MaxMessage)
+	}
+	return nil
+}
+
+// Csend sends a typed message, blocking (in simulated time) for ring
+// space. Data is copied; the caller may reuse the buffer immediately.
+func (p *Port) Csend(typ uint16, data []byte) error {
+	if err := p.validate(typ, len(data)); err != nil {
+		return err
+	}
+	// Queue behind any pending Isends to preserve send order.
+	if len(p.sendq) == 0 {
+		if err := p.block(func() (bool, error) { return p.out.space(len(data)) }); err != nil {
+			return err
+		}
+		p.seqOut++
+		return p.out.push(typ, p.seqOut, data)
+	}
+	p.seqOut++
+	p.sendq = append(p.sendq, message{typ: typ, seq: p.seqOut, data: append([]byte(nil), data...)})
+	return p.block(func() (bool, error) { return len(p.sendq) == 0, nil })
+}
+
+// Isend is the asynchronous send: it returns a handle immediately,
+// queueing the message if the ring is full. Msgdone/Msgwait complete it.
+func (p *Port) Isend(typ uint16, data []byte) (int, error) {
+	if err := p.validate(typ, len(data)); err != nil {
+		return 0, err
+	}
+	p.next++
+	h := p.next
+	p.seqOut++
+	msg0 := message{typ: typ, seq: p.seqOut, data: append([]byte(nil), data...), handle: h}
+	p.sendq = append(p.sendq, msg0)
+	if err := p.progress(); err != nil {
+		return 0, err
+	}
+	return h, nil
+}
+
+// Msgdone reports whether the async operation has completed (for sends:
+// the message is in the ring; for receives: the message has arrived).
+func (p *Port) Msgdone(h int) (bool, error) {
+	if err := p.progress(); err != nil {
+		return false, err
+	}
+	_, ok := p.done[h]
+	return ok, nil
+}
+
+// Msgwait blocks until the async operation completes and, for receives,
+// returns the message.
+func (p *Port) Msgwait(h int) ([]byte, error) {
+	err := p.block(func() (bool, error) {
+		_, ok := p.done[h]
+		return ok, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	m := p.done[h]
+	delete(p.done, h)
+	return m.data, nil
+}
+
+// takePending dequeues the oldest pending message matching typ.
+func (p *Port) takePending(typ uint16) (message, bool) {
+	for i, m := range p.pending {
+		if typ == AnyType || m.typ == typ {
+			p.pending = append(p.pending[:i], p.pending[i+1:]...)
+			return m, true
+		}
+	}
+	return message{}, false
+}
+
+// Crecv blocks for the next message of the given type (FIFO within the
+// type; AnyType matches the oldest arrival of any type) and returns its
+// payload.
+func (p *Port) Crecv(typ uint16, maxBytes int) ([]byte, error) {
+	if p.closed {
+		return nil, fmt.Errorf("nx: port closed")
+	}
+	var got message
+	err := p.block(func() (bool, error) {
+		m, ok := p.takePending(typ)
+		if ok {
+			got = m
+		}
+		return ok, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(got.data) > maxBytes {
+		return nil, fmt.Errorf("nx: message of %d bytes exceeds buffer %d", len(got.data), maxBytes)
+	}
+	return got.data, nil
+}
+
+// CrecvAny is Crecv(AnyType) returning the type as well.
+func (p *Port) CrecvAny(maxBytes int) (uint16, []byte, error) {
+	var got message
+	err := p.block(func() (bool, error) {
+		m, ok := p.takePending(AnyType)
+		if ok {
+			got = m
+		}
+		return ok, nil
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(got.data) > maxBytes {
+		return 0, nil, fmt.Errorf("nx: message of %d bytes exceeds buffer %d", len(got.data), maxBytes)
+	}
+	return got.typ, got.data, nil
+}
+
+// Irecv posts an asynchronous receive for typ; Msgwait returns the data.
+func (p *Port) Irecv(typ uint16) (int, error) {
+	p.next++
+	h := p.next
+	// Complete immediately if already pending; otherwise a deferred
+	// matcher runs inside Msgdone/Msgwait's progress loop.
+	if m, ok := p.takePending(typ); ok {
+		m.handle = h
+		p.done[h] = &m
+		return h, nil
+	}
+	// Register a lazy matcher by storing the wanted type under the
+	// handle with nil data; Msgdone resolves it.
+	p.wants = append(p.wants, want{h: h, typ: typ})
+	return h, nil
+}
+
+type want struct {
+	h   int
+	typ uint16
+}
+
+// Cprobe reports whether a message of the given type has arrived
+// (non-blocking; the NX/2 cprobe).
+func (p *Port) Cprobe(typ uint16) (bool, error) {
+	if err := p.progress(); err != nil {
+		return false, err
+	}
+	for _, m := range p.pending {
+		if typ == AnyType || m.typ == typ {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// PendingCount returns how many arrived messages await a receive (the
+// NX/2 "infocount" flavor of introspection).
+func (p *Port) PendingCount() int { return len(p.pending) }

@@ -1,0 +1,192 @@
+// Package nx is an NX/2-compatible message-passing interface built
+// entirely at user level on SHRIMP mapped memory — the programming
+// surface the paper's §5.2 measures (csend/crecv) plus the rest of the
+// family NX/2 programs used: typed FIFO dispatch, non-blocking probes,
+// and asynchronous send/receive with completion handles.
+//
+// A Port is a point-to-point, bidirectional connection between two
+// processes. Each direction is a ring: a sender-side page block mapped
+// onto a receiver-side block with blocked-write automatic update, a
+// produced-bytes counter mapped forward (its arrival is the doorbell)
+// and a consumed-bytes counter mapped backward (flow control). All of
+// it is ordinary mapped memory — after the Open handshake, no kernel is
+// involved in any operation.
+package nx
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/msg"
+	"repro/internal/nipt"
+	"repro/internal/phys"
+	"repro/internal/vm"
+)
+
+// ring is one direction of a port: writer side and reader side state
+// over the mapped pages.
+type ring struct {
+	m     *core.Machine
+	src   msg.Endpoint
+	dst   msg.Endpoint
+	size  int
+	sBase vm.VAddr // writer's ring pages
+	rBase vm.VAddr // reader's ring pages (mapped in)
+	sCtl  vm.VAddr // writer's produced counter page (mapped out)
+	rCtl  vm.VAddr // reader's mirror of produced
+	rCon  vm.VAddr // reader's consumed counter page (mapped out)
+	sCon  vm.VAddr // writer's mirror of consumed
+
+	// Writer-side cursors.
+	wr       int
+	produced uint32
+	// Reader-side cursors.
+	rd       int
+	consumed uint32
+}
+
+const (
+	recHeader = 12         // nbytes, type<<16|seq, checksum
+	wrapMark  = 0x7fffffff // nbytes value marking a wrap record
+)
+
+func recBytes(n int) int { return recHeader + (n+7)&^7 }
+
+// newRing wires one direction with `pages` ring pages.
+func newRing(m *core.Machine, src, dst msg.Endpoint, pages int) (*ring, error) {
+	r := &ring{m: m, src: src, dst: dst, size: pages * phys.PageSize}
+	var err error
+	if r.sBase, err = src.Proc.AllocPages(pages); err != nil {
+		return nil, err
+	}
+	if r.rBase, err = dst.Proc.AllocPages(pages); err != nil {
+		return nil, err
+	}
+	if r.sCtl, err = src.Proc.AllocPages(1); err != nil {
+		return nil, err
+	}
+	if r.rCtl, err = dst.Proc.AllocPages(1); err != nil {
+		return nil, err
+	}
+	if r.rCon, err = dst.Proc.AllocPages(1); err != nil {
+		return nil, err
+	}
+	if r.sCon, err = src.Proc.AllocPages(1); err != nil {
+		return nil, err
+	}
+	_, fut := src.Node.K.Map(src.Proc, r.sBase, pages*phys.PageSize,
+		dst.Node.ID, dst.Proc.PID, r.rBase, nipt.BlockedWriteAU)
+	if err := m.Await(fut); err != nil {
+		return nil, err
+	}
+	_, fut = src.Node.K.Map(src.Proc, r.sCtl, phys.PageSize,
+		dst.Node.ID, dst.Proc.PID, r.rCtl, nipt.SingleWriteAU)
+	if err := m.Await(fut); err != nil {
+		return nil, err
+	}
+	_, fut = dst.Node.K.Map(dst.Proc, r.rCon, phys.PageSize,
+		src.Node.ID, src.Proc.PID, r.sCon, nipt.SingleWriteAU)
+	if err := m.Await(fut); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// space reports whether a record of n payload bytes fits right now.
+func (r *ring) space(n int) (bool, error) {
+	need := uint32(recBytes(n))
+	if r.wr+recBytes(n) > r.size {
+		need += uint32(r.size - r.wr) // wrap waste
+	}
+	consumed, err := r.src.Node.UserRead32(r.src.Proc, r.sCon)
+	if err != nil {
+		return false, err
+	}
+	return r.produced-consumed+need <= uint32(r.size), nil
+}
+
+// push writes one record; the caller must have checked space.
+func (r *ring) push(typ uint16, seq uint16, data []byte) error {
+	w := r.src.Node
+	rec := recBytes(len(data))
+	if r.wr+rec > r.size {
+		// Wrap record: nbytes=wrapMark. Counted symmetrically by the
+		// reader.
+		if err := w.UserWrite32(r.src.Proc, r.sBase+vm.VAddr(r.wr), wrapMark); err != nil {
+			return err
+		}
+		r.produced += uint32(r.size - r.wr)
+		r.wr = 0
+	}
+	base := r.sBase + vm.VAddr(r.wr)
+	if err := w.UserWriteBytes(r.src.Proc, base+recHeader, data); err != nil {
+		return err
+	}
+	hdr2 := uint32(typ)<<16 | uint32(seq)
+	if err := w.UserWrite32(r.src.Proc, base+4, hdr2); err != nil {
+		return err
+	}
+	if err := w.UserWrite32(r.src.Proc, base+8, hdr2^uint32(len(data))); err != nil {
+		return err
+	}
+	// Length word last within the record, then the produced counter:
+	// in-order delivery makes the counter a completeness watermark.
+	if err := w.UserWrite32(r.src.Proc, base, uint32(len(data))); err != nil {
+		return err
+	}
+	r.wr += rec
+	r.produced += uint32(rec)
+	return w.UserWrite32(r.src.Proc, r.sCtl, r.produced)
+}
+
+// pop reads the next complete record, if any.
+func (r *ring) pop() (typ uint16, seq uint16, data []byte, ok bool, err error) {
+	rd := r.dst.Node
+	producedMirror, err := rd.UserRead32(r.dst.Proc, r.rCtl)
+	if err != nil {
+		return 0, 0, nil, false, err
+	}
+	if producedMirror == r.consumed {
+		return 0, 0, nil, false, nil
+	}
+	base := r.rBase + vm.VAddr(r.rd)
+	n, err := rd.UserRead32(r.dst.Proc, base)
+	if err != nil {
+		return 0, 0, nil, false, err
+	}
+	if n == wrapMark {
+		r.consumed += uint32(r.size - r.rd)
+		r.rd = 0
+		if err := rd.UserWrite32(r.dst.Proc, r.rCon, r.consumed); err != nil {
+			return 0, 0, nil, false, err
+		}
+		return r.pop()
+	}
+	if producedMirror-r.consumed < uint32(recBytes(int(n))) {
+		// Header word arrived but the record tail has not (counter is
+		// the watermark). Treat as not-ready.
+		return 0, 0, nil, false, nil
+	}
+	hdr2, err := rd.UserRead32(r.dst.Proc, base+4)
+	if err != nil {
+		return 0, 0, nil, false, err
+	}
+	ck, err := rd.UserRead32(r.dst.Proc, base+8)
+	if err != nil {
+		return 0, 0, nil, false, err
+	}
+	if ck != hdr2^n {
+		return 0, 0, nil, false, fmt.Errorf("nx: ring record checksum mismatch at %d", r.rd)
+	}
+	data = make([]byte, n)
+	if err := rd.UserReadBytes(r.dst.Proc, base+recHeader, data); err != nil {
+		return 0, 0, nil, false, err
+	}
+	rec := recBytes(int(n))
+	r.rd += rec
+	r.consumed += uint32(rec)
+	if err := rd.UserWrite32(r.dst.Proc, r.rCon, r.consumed); err != nil {
+		return 0, 0, nil, false, err
+	}
+	return uint16(hdr2 >> 16), uint16(hdr2), data, true, nil
+}

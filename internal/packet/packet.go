@@ -1,0 +1,134 @@
+// Package packet defines the network packet format of the SHRIMP network
+// interface and the node coordinate scheme of the routing backplane.
+//
+// Per §3.1 of the paper, a packet consists of routing information, the
+// absolute mesh coordinates of the intended receiver, a destination
+// memory address, the data, and a CRC checksum to detect network errors.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/phys"
+)
+
+// NodeID identifies a node by its linear index in the machine.
+type NodeID int
+
+// Coord is an absolute position in the 2-D routing backplane mesh.
+type Coord struct {
+	X, Y int
+}
+
+func (c Coord) String() string { return fmt.Sprintf("(%d,%d)", c.X, c.Y) }
+
+// Hops returns the XY-routing hop count between two coordinates.
+func (c Coord) Hops(d Coord) int {
+	return abs(c.X-d.X) + abs(c.Y-d.Y)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Kind distinguishes the two consumers of arriving data. Ordinary traffic
+// is DataWrite; KernelRing marks writes into the boot-time kernel↔kernel
+// ring pages so the receiving NIC raises an interrupt on arrival (the
+// interrupt-on-arrival command bit of §4.2, pre-set for ring pages).
+type Kind uint8
+
+const (
+	// DataWrite is an update destined for mapped-in user memory.
+	DataWrite Kind = iota
+	// KernelRing is an update destined for a kernel message ring page.
+	KernelRing
+)
+
+// Packet is one network packet. Payload length is bounded by the page
+// size: mappings are per page, so no transfer crosses a page boundary.
+type Packet struct {
+	Src       Coord      // absolute coordinates of the sender
+	Dst       Coord      // absolute coordinates of the intended receiver
+	DstAddr   phys.PAddr // destination physical memory address
+	Kind      Kind
+	Interrupt bool // receiver should interrupt the CPU after depositing
+	Payload   []byte
+
+	// Corrupt marks the packet as having suffered a transmission error;
+	// fault-injection tests set it, and the receiving NIC treats it as
+	// a CRC verification failure (a real packet's trailing CRC would
+	// mismatch). It is not part of the wire format.
+	Corrupt bool
+}
+
+// HeaderBytes is the wire size of the packet header: route/coords (4),
+// destination address (4), kind+flags (1), length (2).
+const HeaderBytes = 11
+
+// CRCBytes is the wire size of the trailing checksum.
+const CRCBytes = 4
+
+// WireSize returns the total wire size of the packet in bytes.
+func (p *Packet) WireSize() int { return HeaderBytes + len(p.Payload) + CRCBytes }
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Errors returned by Decode and by the receiving NIC's checks.
+var (
+	ErrBadCRC    = errors.New("packet: CRC mismatch")
+	ErrTruncated = errors.New("packet: truncated")
+	ErrTooLong   = errors.New("packet: payload exceeds page size")
+)
+
+// Encode serializes the packet to its wire format, appending the CRC.
+func (p *Packet) Encode() ([]byte, error) {
+	if len(p.Payload) > phys.PageSize {
+		return nil, ErrTooLong
+	}
+	buf := make([]byte, 0, p.WireSize())
+	buf = append(buf,
+		byte(int8(p.Dst.X)), byte(int8(p.Dst.Y)),
+		byte(int8(p.Src.X)), byte(int8(p.Src.Y)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(p.DstAddr))
+	flags := byte(p.Kind) & 0x7f
+	if p.Interrupt {
+		flags |= 0x80
+	}
+	buf = append(buf, flags)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(p.Payload)))
+	buf = append(buf, p.Payload...)
+	crc := crc32.Checksum(buf, castagnoli)
+	buf = binary.LittleEndian.AppendUint32(buf, crc)
+	return buf, nil
+}
+
+// Decode parses a wire-format packet, verifying length and CRC.
+func Decode(b []byte) (*Packet, error) {
+	if len(b) < HeaderBytes+CRCBytes {
+		return nil, ErrTruncated
+	}
+	body, tail := b[:len(b)-CRCBytes], b[len(b)-CRCBytes:]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(tail) {
+		return nil, ErrBadCRC
+	}
+	p := &Packet{
+		Dst: Coord{int(int8(b[0])), int(int8(b[1]))},
+		Src: Coord{int(int8(b[2])), int(int8(b[3]))},
+	}
+	p.DstAddr = phys.PAddr(binary.LittleEndian.Uint32(b[4:]))
+	flags := b[8]
+	p.Kind = Kind(flags & 0x7f)
+	p.Interrupt = flags&0x80 != 0
+	n := int(binary.LittleEndian.Uint16(b[9:]))
+	if len(body) != HeaderBytes+n {
+		return nil, ErrTruncated
+	}
+	p.Payload = append([]byte(nil), body[HeaderBytes:]...)
+	return p, nil
+}

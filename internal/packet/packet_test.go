@@ -1,0 +1,122 @@
+package packet
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/phys"
+)
+
+func TestCoordHops(t *testing.T) {
+	if (Coord{0, 0}).Hops(Coord{3, 2}) != 5 {
+		t.Fatal("hops")
+	}
+	if (Coord{3, 2}).Hops(Coord{0, 0}) != 5 {
+		t.Fatal("hops symmetric")
+	}
+	if (Coord{1, 1}).Hops(Coord{1, 1}) != 0 {
+		t.Fatal("self hops")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := &Packet{
+		Src:       Coord{1, 2},
+		Dst:       Coord{3, 0},
+		DstAddr:   phys.PAddr(0x123456),
+		Kind:      KernelRing,
+		Interrupt: true,
+		Payload:   []byte("some payload bytes"),
+	}
+	wire, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) != p.WireSize() {
+		t.Fatalf("wire size %d != %d", len(wire), p.WireSize())
+	}
+	q, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Src != p.Src || q.Dst != p.Dst || q.DstAddr != p.DstAddr ||
+		q.Kind != p.Kind || q.Interrupt != p.Interrupt || !bytes.Equal(q.Payload, p.Payload) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", q, p)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	p := &Packet{Dst: Coord{1, 1}, DstAddr: 4096, Payload: []byte{9, 8, 7, 6}}
+	wire, _ := p.Encode()
+	for bit := 0; bit < len(wire)*8; bit += 7 {
+		mangled := append([]byte(nil), wire...)
+		mangled[bit/8] ^= 1 << (bit % 8)
+		if _, err := Decode(mangled); err == nil {
+			t.Fatalf("bit flip at %d went undetected", bit)
+		}
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	p := &Packet{Dst: Coord{1, 0}, Payload: []byte{1, 2, 3, 4, 5}}
+	wire, _ := p.Encode()
+	for n := 0; n < len(wire); n++ {
+		if _, err := Decode(wire[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+}
+
+func TestEncodeRejectsOversize(t *testing.T) {
+	p := &Packet{Payload: make([]byte, phys.PageSize+1)}
+	if _, err := p.Encode(); err != ErrTooLong {
+		t.Fatalf("err = %v", err)
+	}
+	p.Payload = make([]byte, phys.PageSize)
+	if _, err := p.Encode(); err != nil {
+		t.Fatalf("page-size payload rejected: %v", err)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(sx, sy, dx, dy int8, addr uint32, kind bool, irq bool, n uint16) bool {
+		payload := make([]byte, int(n)%phys.PageSize)
+		rng.Read(payload)
+		p := &Packet{
+			Src:       Coord{int(sx), int(sy)},
+			Dst:       Coord{int(dx), int(dy)},
+			DstAddr:   phys.PAddr(addr),
+			Interrupt: irq,
+			Payload:   payload,
+		}
+		if kind {
+			p.Kind = KernelRing
+		}
+		wire, err := p.Encode()
+		if err != nil {
+			return false
+		}
+		q, err := Decode(wire)
+		if err != nil {
+			return false
+		}
+		return q.Src == p.Src && q.Dst == p.Dst && q.DstAddr == p.DstAddr &&
+			q.Kind == p.Kind && q.Interrupt == p.Interrupt && bytes.Equal(q.Payload, p.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodedPayloadDoesNotAliasWire(t *testing.T) {
+	p := &Packet{Dst: Coord{0, 1}, Payload: []byte{10, 20, 30, 40}}
+	wire, _ := p.Encode()
+	q, _ := Decode(wire)
+	wire[HeaderBytes] = 99
+	if q.Payload[0] != 10 {
+		t.Fatal("decoded payload aliases the wire buffer")
+	}
+}

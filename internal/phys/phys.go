@@ -1,0 +1,131 @@
+// Package phys models a node's physical memory: a flat array of page
+// frames addressed by physical byte address, plus the command address
+// space "above" it that belongs to the network interface (see §4.2 of the
+// paper). Memory itself is passive; timing belongs to the bus models.
+package phys
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PageSize is the page size used throughout the system, matching the
+// i486/Pentium 4 KB page.
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// PAddr is a physical byte address on one node. Addresses below the
+// memory size address DRAM; addresses in [CmdBase, CmdBase+size) address
+// the NIC command space and never touch RAM.
+type PAddr uint32
+
+// PageNum is a physical page frame number.
+type PageNum uint32
+
+// Page returns the page frame containing a.
+func (a PAddr) Page() PageNum { return PageNum(a >> PageShift) }
+
+// Offset returns the byte offset of a within its page.
+func (a PAddr) Offset() uint32 { return uint32(a) & (PageSize - 1) }
+
+// Addr returns the physical address of byte off within page p.
+func (p PageNum) Addr(off uint32) PAddr { return PAddr(uint32(p)<<PageShift | off&(PageSize-1)) }
+
+// Memory is the DRAM of a single node.
+type Memory struct {
+	data  []byte
+	pages int
+}
+
+// NewMemory allocates DRAM with the given number of page frames.
+func NewMemory(pages int) *Memory {
+	if pages <= 0 {
+		panic("phys: memory must have at least one page")
+	}
+	return &Memory{data: make([]byte, pages*PageSize), pages: pages}
+}
+
+// Pages returns the number of page frames.
+func (m *Memory) Pages() int { return m.pages }
+
+// Size returns the DRAM size in bytes.
+func (m *Memory) Size() uint32 { return uint32(len(m.data)) }
+
+// CmdBase returns the base physical address of the NIC command space:
+// the paper assigns one command page per physical page, at a fixed
+// distance equal to the memory size.
+func (m *Memory) CmdBase() PAddr { return PAddr(m.Size()) }
+
+// IsCmd reports whether a falls in the command address space.
+func (m *Memory) IsCmd(a PAddr) bool { return uint32(a) >= m.Size() && uint32(a) < 2*m.Size() }
+
+// CmdPageFor returns the physical address of the command page controlling
+// DRAM page p.
+func (m *Memory) CmdPageFor(p PageNum) PAddr { return m.CmdBase() + PAddr(uint32(p)<<PageShift) }
+
+// PageForCmd returns the DRAM page controlled by command address a.
+func (m *Memory) PageForCmd(a PAddr) PageNum {
+	if !m.IsCmd(a) {
+		panic(fmt.Sprintf("phys: %#x is not a command address", uint32(a)))
+	}
+	return PAddr(uint32(a) - m.Size()).Page()
+}
+
+func (m *Memory) check(a PAddr, n int) {
+	if int(a)+n > len(m.data) {
+		panic(fmt.Sprintf("phys: access [%#x,%#x) beyond %#x", uint32(a), int(a)+n, len(m.data)))
+	}
+}
+
+// Read copies n bytes starting at a into a fresh slice.
+func (m *Memory) Read(a PAddr, n int) []byte {
+	m.check(a, n)
+	out := make([]byte, n)
+	copy(out, m.data[a:])
+	return out
+}
+
+// ReadInto copies len(dst) bytes starting at a into dst.
+func (m *Memory) ReadInto(a PAddr, dst []byte) {
+	m.check(a, len(dst))
+	copy(dst, m.data[a:])
+}
+
+// Write copies b into memory at a.
+func (m *Memory) Write(a PAddr, b []byte) {
+	m.check(a, len(b))
+	copy(m.data[a:], b)
+}
+
+// Read32 reads a little-endian 32-bit word at a.
+func (m *Memory) Read32(a PAddr) uint32 {
+	m.check(a, 4)
+	return binary.LittleEndian.Uint32(m.data[a:])
+}
+
+// Write32 writes a little-endian 32-bit word at a.
+func (m *Memory) Write32(a PAddr, v uint32) {
+	m.check(a, 4)
+	binary.LittleEndian.PutUint32(m.data[a:], v)
+}
+
+// Read8 reads the byte at a.
+func (m *Memory) Read8(a PAddr) byte {
+	m.check(a, 1)
+	return m.data[a]
+}
+
+// Write8 writes the byte at a.
+func (m *Memory) Write8(a PAddr, v byte) {
+	m.check(a, 1)
+	m.data[a] = v
+}
+
+// ZeroPage clears page p.
+func (m *Memory) ZeroPage(p PageNum) {
+	a := p.Addr(0)
+	m.check(a, PageSize)
+	clear(m.data[a : a+PageSize])
+}

@@ -1,0 +1,134 @@
+package phys
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddressArithmetic(t *testing.T) {
+	a := PAddr(5*PageSize + 123)
+	if a.Page() != 5 || a.Offset() != 123 {
+		t.Fatalf("decompose: page=%d off=%d", a.Page(), a.Offset())
+	}
+	if PageNum(5).Addr(123) != a {
+		t.Fatal("compose mismatch")
+	}
+	// Offset masking.
+	if PageNum(2).Addr(PageSize+7) != PageNum(2).Addr(7) {
+		t.Fatal("offset not masked to page")
+	}
+}
+
+func TestAddressRoundTrip(t *testing.T) {
+	f := func(page uint16, off uint16) bool {
+		o := uint32(off) % PageSize
+		a := PageNum(page).Addr(o)
+		return a.Page() == PageNum(page) && a.Offset() == o
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryReadWrite(t *testing.T) {
+	m := NewMemory(4)
+	if m.Pages() != 4 || m.Size() != 4*PageSize {
+		t.Fatal("geometry")
+	}
+	m.Write32(100, 0xdeadbeef)
+	if m.Read32(100) != 0xdeadbeef {
+		t.Fatal("word round trip")
+	}
+	m.Write8(104, 0x7f)
+	if m.Read8(104) != 0x7f {
+		t.Fatal("byte round trip")
+	}
+	blob := []byte{1, 2, 3, 4, 5, 6, 7}
+	m.Write(200, blob)
+	if !bytes.Equal(m.Read(200, 7), blob) {
+		t.Fatal("slice round trip")
+	}
+	dst := make([]byte, 7)
+	m.ReadInto(200, dst)
+	if !bytes.Equal(dst, blob) {
+		t.Fatal("ReadInto")
+	}
+}
+
+func TestReadIsACopy(t *testing.T) {
+	m := NewMemory(1)
+	m.Write32(0, 42)
+	b := m.Read(0, 4)
+	b[0] = 99
+	if m.Read32(0) != 42 {
+		t.Fatal("Read aliases memory")
+	}
+}
+
+func TestZeroPage(t *testing.T) {
+	m := NewMemory(2)
+	m.Write32(PageSize+8, 7)
+	m.ZeroPage(1)
+	if m.Read32(PageSize+8) != 0 {
+		t.Fatal("ZeroPage left data")
+	}
+	// Neighboring page untouched.
+	m.Write32(8, 9)
+	m.ZeroPage(1)
+	if m.Read32(8) != 9 {
+		t.Fatal("ZeroPage crossed page boundary")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	m := NewMemory(1)
+	for _, fn := range []func(){
+		func() { m.Read32(PageSize - 2) },
+		func() { m.Write(PAddr(PageSize-1), []byte{1, 2}) },
+		func() { m.Read(PageSize, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic for out-of-range access")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCommandSpace(t *testing.T) {
+	m := NewMemory(8)
+	if m.CmdBase() != PAddr(8*PageSize) {
+		t.Fatal("CmdBase")
+	}
+	if m.IsCmd(100) || !m.IsCmd(m.CmdBase()+100) {
+		t.Fatal("IsCmd classification")
+	}
+	if m.IsCmd(PAddr(16 * PageSize)) {
+		t.Fatal("beyond command space should not classify as command")
+	}
+	// One command page per memory page at a constant distance (§4.2).
+	for p := PageNum(0); p < 8; p++ {
+		c := m.CmdPageFor(p)
+		if !m.IsCmd(c) {
+			t.Fatalf("command page for %d not in command space", p)
+		}
+		if m.PageForCmd(c) != p {
+			t.Fatalf("round trip page %d", p)
+		}
+		if m.PageForCmd(c+123) != p {
+			t.Fatal("in-page command offsets must map to the same page")
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("PageForCmd on a DRAM address must panic")
+			}
+		}()
+		m.PageForCmd(50)
+	}()
+}

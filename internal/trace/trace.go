@@ -1,0 +1,200 @@
+// Package trace is a lightweight, bounded event tracer for the
+// simulated machine. Components record fixed-size structured events
+// (no allocation beyond the ring) and tools render them after the run —
+// the software analogue of a logic analyzer on the NIC datapath.
+//
+// A nil *Tracer is valid and records nothing, so components can carry
+// an optional tracer without nil checks at every call site.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// Kind classifies a trace event.
+type Kind uint8
+
+// Event kinds. A and B are kind-specific arguments.
+const (
+	// PacketOut: a packet left a node. A=payload bytes, B=destination node.
+	PacketOut Kind = iota
+	// PacketIn: a packet was deposited. A=payload bytes, B=dest page.
+	PacketIn
+	// Drop: a packet was discarded. A=reason (DropReason), B=dest page.
+	Drop
+	// DMAStart: the deliberate-update engine accepted a command.
+	// A=word count, B=base physical address.
+	DMAStart
+	// DMADone: the engine finished a transfer. A=word count.
+	DMADone
+	// IRQ: the NIC interrupted the CPU. A=cause, B=page.
+	IRQ
+	// OutStall: the Outgoing FIFO crossed its threshold. A=bytes.
+	OutStall
+	// OutResume: the Outgoing FIFO drained below its threshold. A=bytes.
+	OutResume
+	// Park: the mesh parked a worm at a refusing endpoint. B=node index.
+	Park
+	// MapEstablished: a kernel installed an outgoing mapping.
+	// A=local frame, B=remote page.
+	MapEstablished
+	// MapTorn: a mapping was removed or invalidated. A=local frame.
+	MapTorn
+	// PageEvicted: a kernel replaced a page. A=frame.
+	PageEvicted
+	// PageIn: a kernel restored a page. A=new frame.
+	PageIn
+	numKinds
+)
+
+var kindNames = [...]string{
+	"packet-out", "packet-in", "drop", "dma-start", "dma-done", "irq",
+	"out-stall", "out-resume", "park", "map", "unmap", "evict", "page-in",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Drop reasons (the A argument of Drop events).
+const (
+	DropNotMappedIn uint64 = iota
+	DropWrongDest
+	DropCRC
+)
+
+// Event is one recorded occurrence.
+type Event struct {
+	At   sim.Time
+	Node int
+	Kind Kind
+	A, B uint64
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case PacketOut:
+		return fmt.Sprintf("%12v node%-2d packet-out  %4dB -> (%d,%d)", e.At, e.Node, e.A, e.B>>8, e.B&0xff)
+	case PacketIn:
+		return fmt.Sprintf("%12v node%-2d packet-in   %4dB page %d", e.At, e.Node, e.A, e.B)
+	case Drop:
+		reason := [...]string{"not-mapped-in", "wrong-dest", "crc"}[e.A]
+		return fmt.Sprintf("%12v node%-2d DROP        %s page %d", e.At, e.Node, reason, e.B)
+	case DMAStart:
+		return fmt.Sprintf("%12v node%-2d dma-start   %d words @%#x", e.At, e.Node, e.A, e.B)
+	case DMADone:
+		return fmt.Sprintf("%12v node%-2d dma-done", e.At, e.Node)
+	case IRQ:
+		return fmt.Sprintf("%12v node%-2d irq         cause=%d page=%d", e.At, e.Node, e.A, e.B)
+	case OutStall:
+		return fmt.Sprintf("%12v node%-2d out-stall   %dB queued", e.At, e.Node, e.A)
+	case OutResume:
+		return fmt.Sprintf("%12v node%-2d out-resume  %dB queued", e.At, e.Node, e.A)
+	case Park:
+		return fmt.Sprintf("%12v node%-2d park        (receiver full)", e.At, e.Node)
+	case MapEstablished:
+		return fmt.Sprintf("%12v node%-2d map         frame %d -> remote page %d", e.At, e.Node, e.A, e.B)
+	case MapTorn:
+		return fmt.Sprintf("%12v node%-2d unmap       frame %d", e.At, e.Node, e.A)
+	case PageEvicted:
+		return fmt.Sprintf("%12v node%-2d evict       frame %d", e.At, e.Node, e.A)
+	case PageIn:
+		return fmt.Sprintf("%12v node%-2d page-in     frame %d", e.At, e.Node, e.A)
+	}
+	return fmt.Sprintf("%12v node%-2d %v A=%d B=%d", e.At, e.Node, e.Kind, e.A, e.B)
+}
+
+// Tracer is a bounded ring of events. The zero value is unusable; use
+// New. A nil Tracer is a no-op recorder.
+type Tracer struct {
+	eng    *sim.Engine
+	buf    []Event
+	next   int
+	total  uint64
+	byKind [numKinds]uint64
+}
+
+// New builds a tracer retaining the last capacity events.
+func New(eng *sim.Engine, capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Tracer{eng: eng, buf: make([]Event, 0, capacity)}
+}
+
+// Record appends one event; nil-safe.
+func (t *Tracer) Record(node int, kind Kind, a, b uint64) {
+	if t == nil {
+		return
+	}
+	ev := Event{At: t.eng.Now(), Node: node, Kind: kind, A: a, B: b}
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, ev)
+	} else {
+		t.buf[t.next] = ev
+		t.next = (t.next + 1) % cap(t.buf)
+	}
+	t.total++
+	t.byKind[kind]++
+}
+
+// Total returns the number of events recorded (including evicted ones).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.total
+}
+
+// CountOf returns how many events of a kind were recorded.
+func (t *Tracer) CountOf(kind Kind) uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.byKind[kind]
+}
+
+// Events returns the retained events in record order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	if len(t.buf) < cap(t.buf) {
+		return append([]Event(nil), t.buf...)
+	}
+	out := make([]Event, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// Dump renders the retained events, one per line, plus a kind summary.
+func (t *Tracer) Dump(w io.Writer) error {
+	if t == nil {
+		_, err := fmt.Fprintln(w, "tracing disabled")
+		return err
+	}
+	for _, e := range t.Events() {
+		if _, err := fmt.Fprintln(w, e); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "-- %d event(s) total", t.total); err != nil {
+		return err
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		if t.byKind[k] > 0 {
+			if _, err := fmt.Fprintf(w, "  %s=%d", k, t.byKind[k]); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

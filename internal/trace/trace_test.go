@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	tr.Record(0, PacketOut, 1, 2) // must not panic
+	if tr.Total() != 0 || tr.CountOf(PacketOut) != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer recorded something")
+	}
+	var b strings.Builder
+	if err := tr.Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "disabled") {
+		t.Fatal("nil dump message")
+	}
+}
+
+func TestRecordAndOrder(t *testing.T) {
+	eng := sim.NewEngine()
+	tr := New(eng, 10)
+	tr.Record(0, PacketOut, 4, 1<<8)
+	eng.Advance(100 * sim.Nanosecond)
+	tr.Record(1, PacketIn, 4, 8)
+	evs := tr.Events()
+	if len(evs) != 2 || evs[0].Kind != PacketOut || evs[1].Kind != PacketIn {
+		t.Fatalf("events %v", evs)
+	}
+	if evs[1].At != 100*sim.Nanosecond {
+		t.Fatal("timestamp")
+	}
+	if tr.CountOf(PacketIn) != 1 {
+		t.Fatal("count")
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	eng := sim.NewEngine()
+	tr := New(eng, 4)
+	for i := 0; i < 10; i++ {
+		tr.Record(i, IRQ, uint64(i), 0)
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d", len(evs))
+	}
+	// The last four, in order.
+	for i, e := range evs {
+		if e.Node != 6+i {
+			t.Fatalf("event %d from node %d", i, e.Node)
+		}
+	}
+	if tr.Total() != 10 {
+		t.Fatal("total")
+	}
+}
+
+func TestEventStrings(t *testing.T) {
+	eng := sim.NewEngine()
+	tr := New(eng, 32)
+	tr.Record(0, PacketOut, 64, 3<<8|1)
+	tr.Record(1, Drop, DropCRC, 9)
+	tr.Record(1, DMAStart, 128, 0x4000)
+	tr.Record(1, MapEstablished, 5, 7)
+	var b strings.Builder
+	if err := tr.Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"packet-out", "-> (3,1)", "DROP", "crc", "dma-start", "128 words", "frame 5 -> remote page 7", "4 event(s)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMachineLevelTrace(t *testing.T) {
+	// Every kind renders without panicking.
+	eng := sim.NewEngine()
+	tr := New(eng, 64)
+	for k := Kind(0); k < numKinds; k++ {
+		tr.Record(0, k, 0, 0)
+	}
+	for _, e := range tr.Events() {
+		if e.String() == "" {
+			t.Fatal("empty rendering")
+		}
+	}
+}

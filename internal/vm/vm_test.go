@@ -1,0 +1,126 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/phys"
+)
+
+func space() *AddressSpace {
+	return NewAddressSpace(phys.PAddr(1024 * phys.PageSize))
+}
+
+func TestAddressHelpers(t *testing.T) {
+	a := VAddr(7*phys.PageSize + 99)
+	if a.Page() != 7 || a.Offset() != 99 {
+		t.Fatal("decompose")
+	}
+	if VPN(7).Addr(99) != a {
+		t.Fatal("compose")
+	}
+}
+
+func TestTranslateBasics(t *testing.T) {
+	s := space()
+	s.Map(5, PTE{Frame: 12, Present: true, Writable: true})
+
+	tr, f := s.Translate(VPN(5).Addr(100), false)
+	if f != nil || tr.PA != phys.PageNum(12).Addr(100) {
+		t.Fatalf("translate: %+v %v", tr, f)
+	}
+	if tr.WriteThrough || tr.Command {
+		t.Fatal("attribute bits leaked")
+	}
+	// Unmapped page.
+	if _, f := s.Translate(VPN(6).Addr(0), false); f == nil || f.Reason != NotPresent {
+		t.Fatalf("unmapped fault: %v", f)
+	}
+	// Non-present (paged out) entry.
+	s.Map(7, PTE{Frame: 1, Present: false})
+	if _, f := s.Translate(VPN(7).Addr(0), false); f == nil || f.Reason != NotPresent {
+		t.Fatal("paged-out fault")
+	}
+}
+
+func TestWriteProtection(t *testing.T) {
+	s := space()
+	s.Map(1, PTE{Frame: 3, Present: true, Writable: false})
+	if _, f := s.Translate(VPN(1).Addr(0), false); f != nil {
+		t.Fatal("read of read-only page faulted")
+	}
+	_, f := s.Translate(VPN(1).Addr(0), true)
+	if f == nil || f.Reason != Protection || !f.Write {
+		t.Fatalf("write fault: %v", f)
+	}
+	if f.Error() == "" {
+		t.Fatal("fault message empty")
+	}
+	if !s.SetWritable(1, true) {
+		t.Fatal("SetWritable on existing mapping")
+	}
+	if _, f := s.Translate(VPN(1).Addr(0), true); f != nil {
+		t.Fatal("write after SetWritable faulted")
+	}
+	if s.SetWritable(99, true) {
+		t.Fatal("SetWritable on missing mapping reported success")
+	}
+}
+
+func TestWriteThroughAttribute(t *testing.T) {
+	s := space()
+	s.Map(2, PTE{Frame: 4, Present: true, Writable: true, WriteThrough: true})
+	tr, _ := s.Translate(VPN(2).Addr(8), true)
+	if !tr.WriteThrough {
+		t.Fatal("write-through attribute lost")
+	}
+}
+
+func TestCommandPageTranslation(t *testing.T) {
+	s := space()
+	s.Map(9, PTE{Frame: 33, Present: true, Writable: true, Command: true})
+	tr, f := s.Translate(VPN(9).Addr(40), true)
+	if f != nil {
+		t.Fatal(f)
+	}
+	want := phys.PAddr(1024*phys.PageSize) + phys.PageNum(33).Addr(40)
+	if tr.PA != want {
+		t.Fatalf("command PA %#x want %#x", uint32(tr.PA), uint32(want))
+	}
+	if !tr.Command || !tr.WriteThrough {
+		t.Fatal("command pages must be uncached/write-through")
+	}
+	// FrameOf hides command mappings (they back no DRAM the process owns
+	// through this PTE).
+	if _, ok := s.FrameOf(9); ok {
+		t.Fatal("FrameOf exposed a command mapping")
+	}
+}
+
+func TestPagesSortedAndUnmap(t *testing.T) {
+	s := space()
+	for _, p := range []VPN{9, 1, 5} {
+		s.Map(p, PTE{Frame: phys.PageNum(p), Present: true})
+	}
+	got := s.Pages()
+	if len(got) != 3 || got[0] != 1 || got[1] != 5 || got[2] != 9 {
+		t.Fatalf("pages %v", got)
+	}
+	s.Unmap(5)
+	if _, ok := s.Lookup(5); ok {
+		t.Fatal("unmap left the entry")
+	}
+}
+
+func TestTranslationOffsetsPreserved(t *testing.T) {
+	f := func(page uint8, off uint16, frame uint16) bool {
+		s := space()
+		o := uint32(off) % phys.PageSize
+		s.Map(VPN(page), PTE{Frame: phys.PageNum(frame), Present: true, Writable: true})
+		tr, fault := s.Translate(VPN(page).Addr(o), true)
+		return fault == nil && tr.PA == phys.PageNum(frame).Addr(o)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
