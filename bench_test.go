@@ -41,6 +41,7 @@ func BenchmarkTable1(b *testing.B) {
 	}
 	for _, c := range cases {
 		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var row shrimp.Overhead
 			for i := 0; i < b.N; i++ {
 				row = shrimp.MeasureTable1(shrimp.GenEISAPrototype)[c.row]
@@ -59,6 +60,7 @@ func BenchmarkLatency(b *testing.B) {
 		gen  shrimp.Generation
 	}{{"EISA", shrimp.GenEISAPrototype}, {"Xpress", shrimp.GenXpress}} {
 		b.Run(g.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var r shrimp.LatencyResult
 			for i := 0; i < b.N; i++ {
 				r = shrimp.MaxLatency(shrimp.ConfigFor(4, 4, g.gen))
@@ -77,6 +79,7 @@ func BenchmarkBandwidth(b *testing.B) {
 	}{{"EISA", shrimp.GenEISAPrototype}, {"Xpress", shrimp.GenXpress}} {
 		for _, size := range []int{256, 1024, 4096} {
 			b.Run(fmt.Sprintf("%s/%dB", g.name, size), func(b *testing.B) {
+				b.ReportAllocs()
 				var r shrimp.BandwidthResult
 				for i := 0; i < b.N; i++ {
 					r = shrimp.MeasureDeliberateBandwidth(
@@ -89,6 +92,7 @@ func BenchmarkBandwidth(b *testing.B) {
 }
 
 func BenchmarkNX2Baseline(b *testing.B) {
+	b.ReportAllocs()
 	var c shrimp.BaselineComparison
 	for i := 0; i < b.N; i++ {
 		c = shrimp.MeasureBaseline(shrimp.GenEISAPrototype)
@@ -105,6 +109,7 @@ func BenchmarkAblationAU(b *testing.B) {
 		mode shrimp.Mode
 	}{{"SingleWrite", shrimp.SingleWriteAU}, {"BlockedWrite", shrimp.BlockedWriteAU}} {
 		b.Run(m.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var r shrimp.AUBandwidthResult
 			for i := 0; i < b.N; i++ {
 				r = shrimp.MeasureAUBandwidth(
@@ -123,6 +128,7 @@ func BenchmarkAblationAU(b *testing.B) {
 // invariant — no FIFO ever overflows — is enforced by panics inside the
 // model.
 func BenchmarkAblationFlowCtl(b *testing.B) {
+	b.ReportAllocs()
 	var stalls, maxOut, maxIn float64
 	for i := 0; i < b.N; i++ {
 		stalls, maxOut, maxIn = flowStats()
@@ -164,6 +170,7 @@ func BenchmarkAblationPaging(b *testing.B) {
 		policy shrimp.PagingPolicy
 	}{{"Pin", shrimp.PinPages}, {"Invalidate", shrimp.InvalidateProtocol}} {
 		b.Run(p.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var evictUS float64
 			var refused, served float64
 			for i := 0; i < b.N; i++ {
@@ -221,6 +228,7 @@ func pagingCost(policy shrimp.PagingPolicy) (evictUS, refused, served float64) {
 // BenchmarkAblationOverlap measures the §4.1 claim: CPU-visible
 // overhead of streaming results through an AU mapping while computing.
 func BenchmarkAblationOverlap(b *testing.B) {
+	b.ReportAllocs()
 	var r shrimp.OverlapResult
 	for i := 0; i < b.N; i++ {
 		r = shrimp.MeasureOverlap(shrimp.ConfigFor(2, 1, shrimp.GenEISAPrototype),
@@ -234,6 +242,7 @@ func BenchmarkAblationOverlap(b *testing.B) {
 func BenchmarkAblationMergeWindow(b *testing.B) {
 	for _, w := range []shrimp.Time{20 * shrimp.Nanosecond, 500 * shrimp.Nanosecond} {
 		b.Run(w.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			var r shrimp.MergeWindowResult
 			for i := 0; i < b.N; i++ {
 				r = shrimp.MeasureMergeWindow(shrimp.ConfigFor(2, 1, shrimp.GenEISAPrototype),
@@ -247,6 +256,7 @@ func BenchmarkAblationMergeWindow(b *testing.B) {
 // BenchmarkKernelRingRPC measures the map() control-plane round trip:
 // the full kernel-to-kernel handshake over the boot rings.
 func BenchmarkKernelRingRPC(b *testing.B) {
+	b.ReportAllocs()
 	var us float64
 	for i := 0; i < b.N; i++ {
 		m := shrimp.New(shrimp.ConfigFor(2, 1, shrimp.GenEISAPrototype))
@@ -289,6 +299,7 @@ func BenchmarkMeshWorkload(b *testing.B) {
 	}
 	for _, p := range patterns {
 		b.Run(p.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var mbps float64
 			for i := 0; i < b.N; i++ {
 				mbps = runWorkload(p.links(4, 4))

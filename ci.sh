@@ -1,0 +1,10 @@
+#!/bin/sh
+# ci.sh — the repo's gate: static checks, full build, race-enabled tests,
+# and a smoke run of the engine microbenchmark (which also enforces the
+# zero-allocation scheduling path via its companion tests).
+set -eux
+
+go vet ./...
+go build ./...
+go test -race ./...
+go test -run '^$' -bench BenchmarkEngine -benchtime 100x ./internal/sim

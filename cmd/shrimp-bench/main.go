@@ -1,0 +1,142 @@
+// shrimp-bench measures the simulator itself rather than the simulated
+// hardware: discrete events dispatched per wall-clock second, heap
+// allocations per operation, and the ratio of simulated time to wall
+// time, for the E2 latency and E3 bandwidth experiments and the 16-node
+// mesh workloads. It emits a JSON report (BENCH_1.json in the repo root
+// is a committed snapshot; see DESIGN.md "Performance" for how to
+// regenerate it).
+//
+//	go run ./cmd/shrimp-bench -o BENCH_1.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	shrimp "repro"
+	"repro/internal/perf"
+)
+
+func main() {
+	iters := flag.Int("iters", 20, "measured iterations per benchmark")
+	out := flag.String("o", "", "write JSON report to this file (default stdout)")
+	flag.Parse()
+
+	rep := perf.NewReport("Virtual Memory Mapped Network Interface for the SHRIMP Multicomputer")
+	run := func(name string, fn func() perf.Sample) {
+		r := perf.Measure(name, *iters, fn)
+		rep.Results = append(rep.Results, r)
+		fmt.Fprintf(os.Stderr, "%-28s %12.0f events/s  %8.1f sim/wall  %10.0f allocs/op  %.3f ms/op\n",
+			r.Name, r.EventsPerSec, r.SimWallRatio, r.AllocsPerOp, r.WallNSPerOp/1e6)
+	}
+
+	run("latency/eisa", func() perf.Sample { return latencySample(shrimp.GenEISAPrototype) })
+	run("latency/xpress", func() perf.Sample { return latencySample(shrimp.GenXpress) })
+	run("bandwidth/eisa/1024B", func() perf.Sample { return bandwidthSample(shrimp.GenEISAPrototype, 1024) })
+	run("bandwidth/xpress/1024B", func() perf.Sample { return bandwidthSample(shrimp.GenXpress, 1024) })
+	run("mesh/neighbors", func() perf.Sample { return meshSample(neighborLinks(4, 4)) })
+	run("mesh/hotspot", func() perf.Sample { return meshSample(hotspotLinks(4, 4)) })
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rep.WriteJSON(w); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// latencySample measures the E2 corner-to-corner automatic-update store
+// latency on a fresh 16-node machine. Events/SimTime are the whole-run
+// engine totals (boot handshake included).
+func latencySample(gen shrimp.Generation) perf.Sample {
+	r := shrimp.MaxLatency(shrimp.ConfigFor(4, 4, gen))
+	return perf.Sample{
+		Events:  r.Events,
+		SimTime: r.SimEnd,
+		Metrics: map[string]float64{
+			"latency_sim_us": r.Latency.Microseconds(),
+			"hops":           float64(r.Hops),
+		},
+	}
+}
+
+// bandwidthSample measures E3 deliberate-update bandwidth at the given
+// transfer size, streaming 256 KB between two nodes.
+func bandwidthSample(gen shrimp.Generation, size int) perf.Sample {
+	r := shrimp.MeasureDeliberateBandwidth(shrimp.ConfigFor(2, 1, gen), 0, 1, size, 256*1024)
+	return perf.Sample{
+		Events:  r.Events,
+		SimTime: r.SimEnd,
+		Metrics: map[string]float64{"bandwidth_sim_mbps": r.MBps},
+	}
+}
+
+func neighborLinks(w, h int) [][2]int {
+	var out [][2]int
+	for i := 0; i < w*h; i++ {
+		x, y := i%w, i/w
+		j := y*w + (x+1)%w
+		if j != i {
+			out = append(out, [2]int{i, j})
+		}
+	}
+	return out
+}
+
+func hotspotLinks(w, h int) [][2]int {
+	var out [][2]int
+	for i := 1; i < w*h; i++ {
+		out = append(out, [2]int{i, 0})
+	}
+	return out
+}
+
+// meshSample drives the 16-node channel workload (the same traffic as
+// BenchmarkMeshWorkload) and reports whole-run engine totals.
+func meshSample(links [][2]int) perf.Sample {
+	m := shrimp.New(shrimp.ConfigFor(4, 4, shrimp.GenEISAPrototype))
+	eps := make([]shrimp.Endpoint, 16)
+	for i := range eps {
+		eps[i] = shrimp.NewEndpoint(m.Node(i))
+	}
+	chans := make([]*shrimp.Channel, len(links))
+	for i, l := range links {
+		ch, err := shrimp.NewChannel(m, eps[l[0]], eps[l[1]], 2)
+		if err != nil {
+			panic(err)
+		}
+		chans[i] = ch
+	}
+	const rounds, size = 4, 2048
+	payload := make([]byte, size)
+	start := m.Eng.Now()
+	for r := 0; r < rounds; r++ {
+		for _, ch := range chans {
+			if err := ch.Send(payload); err != nil {
+				panic(err)
+			}
+		}
+		for _, ch := range chans {
+			if _, err := ch.Recv(); err != nil {
+				panic(err)
+			}
+		}
+	}
+	m.RunUntilIdle(2_000_000_000)
+	elapsed := m.Eng.Now() - start
+	mbps := float64(rounds*len(links)*size) / 1e6 / elapsed.Seconds()
+	return perf.Sample{
+		Events:  m.Eng.Fired(),
+		SimTime: m.Eng.Now(),
+		Metrics: map[string]float64{"machine_mbps": mbps},
+	}
+}

@@ -193,6 +193,21 @@ func (x *Xpress) Read(init Initiator, a phys.PAddr, n int) (data []byte, done si
 	return x.mem.Read(a, n), done
 }
 
+// ReadInto performs a read transaction of len(dst) bytes at a, copying
+// into dst: the allocation-free twin of Read for DMA engines that reuse a
+// scratch buffer. The command address space is not readable through this
+// path.
+func (x *Xpress) ReadInto(init Initiator, a phys.PAddr, dst []byte) (done sim.Time) {
+	done = x.acquire(len(dst))
+	if x.mem.IsCmd(a) {
+		panic(fmt.Sprintf("bus: ReadInto of command address %#x", uint32(a)))
+	}
+	x.stats.Reads++
+	x.stats.BytesRead += uint64(len(dst))
+	x.mem.ReadInto(a, dst)
+	return done
+}
+
 // Read32 is a convenience 32-bit Read.
 func (x *Xpress) Read32(init Initiator, a phys.PAddr) (uint32, sim.Time) {
 	b, done := x.Read(init, a, 4)

@@ -48,6 +48,25 @@ type EISA struct {
 	xbus     *Xpress
 	busyTill sim.Time
 	stats    EISAStats
+	freeBW   *bridgeWrite // pooled deposit events
+}
+
+// bridgeWrite is the bridge's Xpress-side deposit, fired when the EISA
+// burst completes. Bursts serialize behind busyTill, but the events are
+// free-listed rather than embedded so overlapping callers stay correct.
+type bridgeWrite struct {
+	e    *EISA
+	a    phys.PAddr
+	data []byte
+	next *bridgeWrite
+}
+
+func (bw *bridgeWrite) Fire() {
+	e, a, data := bw.e, bw.a, bw.data
+	bw.data = nil
+	bw.next = e.freeBW
+	e.freeBW = bw
+	e.xbus.Write(InitBridge, a, data)
 }
 
 // NewEISA builds the expansion bus bridged onto the given memory bus.
@@ -85,6 +104,13 @@ func (e *EISA) DMAWrite(a phys.PAddr, data []byte) (done sim.Time) {
 	// stream (the memory bus is at least twice as fast, §5.1); the data
 	// is resident in memory when the burst completes, issued as a
 	// bridge transaction so caches snoop-invalidate.
-	e.eng.At(done, func() { e.xbus.Write(InitBridge, a, data) })
+	bw := e.freeBW
+	if bw == nil {
+		bw = &bridgeWrite{e: e}
+	} else {
+		e.freeBW = bw.next
+	}
+	bw.a, bw.data = a, data
+	e.eng.Schedule(done, bw)
 	return done
 }

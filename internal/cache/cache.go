@@ -75,6 +75,7 @@ type Cache struct {
 	lineMask uint32
 	setMask  uint32
 	setShift uint32
+	scratch  [4]byte
 }
 
 // New builds a cache over the given bus and registers its snoop port.
@@ -83,11 +84,16 @@ func New(eng *sim.Engine, cfg Config, xbus *bus.Xpress) *Cache {
 		panic("cache: sets and line size must be powers of two")
 	}
 	c := &Cache{eng: eng, cfg: cfg, xbus: xbus}
+	// One backing array for all lines and one for all line data: three
+	// allocations per cache instead of Sets*(Ways+1).
 	c.sets = make([][]line, cfg.Sets)
+	lines := make([]line, cfg.Sets*cfg.Ways)
+	data := make([]byte, cfg.Sets*cfg.Ways*cfg.LineBytes)
 	for i := range c.sets {
-		ways := make([]line, cfg.Ways)
+		ways := lines[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
 		for w := range ways {
-			ways[w].data = make([]byte, cfg.LineBytes)
+			base := (i*cfg.Ways + w) * cfg.LineBytes
+			ways[w].data = data[base : base+cfg.LineBytes : base+cfg.LineBytes]
 		}
 		c.sets[i] = ways
 	}
@@ -189,8 +195,7 @@ func (c *Cache) load(a phys.PAddr, size int) (uint32, sim.Time) {
 	l := c.victim(a)
 	set, tag, off := c.decompose(a)
 	base := c.lineBase(set, tag)
-	data, done := c.xbus.Read(bus.InitCPU, base, c.cfg.LineBytes)
-	copy(l.data, data)
+	done := c.xbus.ReadInto(bus.InitCPU, base, l.data)
 	l.valid, l.dirty, l.tag = true, false, tag
 	c.clock++
 	l.lru = c.clock
@@ -203,7 +208,7 @@ func (c *Cache) load(a phys.PAddr, size int) (uint32, sim.Time) {
 func (c *Cache) Store(a phys.PAddr, v uint32, size int, writeThrough bool) sim.Time {
 	if c.xbus.Memory().IsCmd(a) {
 		// Command space writes are uncacheable bus transactions.
-		done := c.xbus.Write(bus.InitCPU, a, leBytes(v, size))
+		done := c.xbus.Write(bus.InitCPU, a, c.leBytes(v, size))
 		return done - c.eng.Now()
 	}
 	if first := c.cfg.LineBytes - int(uint32(a)&c.lineMask); size > first {
@@ -225,8 +230,7 @@ func (c *Cache) Store(a phys.PAddr, v uint32, size int, writeThrough bool) sim.T
 		l = c.victim(a)
 		set, tag, _ := c.decompose(a)
 		base := c.lineBase(set, tag)
-		data, _ := c.xbus.Read(bus.InitCPU, base, c.cfg.LineBytes)
-		copy(l.data, data)
+		c.xbus.ReadInto(bus.InitCPU, base, l.data)
 		l.valid, l.tag = true, tag
 		write32(l.data, off, v, size)
 		l.dirty = true
@@ -242,7 +246,7 @@ func (c *Cache) Store(a phys.PAddr, v uint32, size int, writeThrough bool) sim.T
 		stall = ahead - c.cfg.WriteBufferWindow
 		c.stats.WriteBufferStall += stall
 	}
-	c.xbus.Write(bus.InitCPU, a, leBytes(v, size))
+	c.xbus.Write(bus.InitCPU, a, c.leBytes(v, size))
 	return c.cfg.HitTime + stall
 }
 
@@ -368,8 +372,11 @@ func truncate(v uint32, size int) uint32 {
 	return v & (1<<(8*uint(size)) - 1)
 }
 
-func leBytes(v uint32, size int) []byte {
-	b := make([]byte, size)
+// leBytes encodes v into the cache's scratch buffer. Bus consumers copy
+// write data synchronously and never retain the slice, so reusing one
+// buffer per cache is safe.
+func (c *Cache) leBytes(v uint32, size int) []byte {
+	b := c.scratch[:size]
 	for i := 0; i < size; i++ {
 		b[i] = byte(v >> (8 * i))
 	}

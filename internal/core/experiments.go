@@ -17,11 +17,15 @@ import (
 // bandwidth of deliberate-update transfers. Both cmd/shrimp-hwperf and
 // the benchmark suite drive these.
 
-// LatencyResult is one measured automatic-update store latency.
+// LatencyResult is one measured automatic-update store latency. Events
+// and SimEnd carry whole-run engine accounting (boot included) so
+// harnesses like cmd/shrimp-bench can report simulator throughput.
 type LatencyResult struct {
 	Src, Dst packet.NodeID
 	Hops     int
 	Latency  sim.Time
+	Events   uint64
+	SimEnd   sim.Time
 }
 
 // pairSetup maps one page from a process on src to a process on dst and
@@ -75,6 +79,8 @@ func MeasureStoreLatency(cfg Config, src, dst int) LatencyResult {
 		Src: s.src.ID, Dst: s.dst.ID,
 		Hops:    s.src.Coord.Hops(s.dst.Coord),
 		Latency: m.Eng.Now() - start,
+		Events:  m.Eng.Fired(),
+		SimEnd:  m.Eng.Now(),
 	}
 }
 
@@ -94,12 +100,16 @@ func MaxLatency(cfg Config) LatencyResult {
 }
 
 // BandwidthResult is one point of the deliberate-update bandwidth sweep.
+// Events and SimEnd carry whole-run engine accounting, as in
+// LatencyResult.
 type BandwidthResult struct {
 	TransferBytes int
 	TotalBytes    int
 	Elapsed       sim.Time
 	Packets       uint64
 	MBps          float64
+	Events        uint64
+	SimEnd        sim.Time
 }
 
 func (r BandwidthResult) String() string {
@@ -160,6 +170,8 @@ func MeasureDeliberateBandwidth(cfg Config, src, dst, transferBytes, totalBytes 
 		Elapsed:       elapsed,
 		Packets:       s.dst.NIC.Stats().PacketsIn - startPkts,
 		MBps:          float64(delivered) / 1e6 / elapsed.Seconds(),
+		Events:        m.Eng.Fired(),
+		SimEnd:        m.Eng.Now(),
 	}
 }
 

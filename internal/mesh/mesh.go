@@ -12,6 +12,17 @@
 // what the SHRIMP flow-control design relies on. XY routing plus FIFO
 // channel arbitration gives deadlock freedom and per-pair in-order
 // delivery.
+//
+// Event economy: the head's advance over a run of free channels is
+// batched into a single queue operation — channel k+i's grant instant is
+// grant(k) + i*(RouterLatency+FlitCycle), computed arithmetically — and
+// the body-flit train behind the head is likewise one event (WireTime),
+// never one per flit. A worm therefore costs two engine events end to end
+// in the uncontended case (arrival offer, tail drain) regardless of hop
+// count or packet length. When the head meets a busy channel the worm
+// parks in that channel's FIFO and continues, with its virtual timing
+// intact, from the release. Worms are pooled and all mesh events are
+// sim.Handler firings, so the steady-state data path allocates nothing.
 package mesh
 
 import (
@@ -65,13 +76,37 @@ type channel struct {
 	injNode int
 }
 
+// Worm lifecycle phases, dispatched by Fire.
+const (
+	phaseArrive  uint8 = iota // head at the ejection port: offer to endpoint
+	phaseDrained              // tail has streamed out: release and deliver
+)
+
 type worm struct {
+	net      *Network
 	pkt      *packet.Packet
 	wire     int
 	path     []*channel
-	acquired int  // number of channels currently owned (head is at path[acquired-1])
-	parked   bool // head at ejection, endpoint refused
-	injected sim.Time
+	acquired int // number of channels currently owned (head is at path[acquired-1])
+	// grantTime is the virtual instant the next channel grant takes
+	// effect: the head reaches channel path[acquired]'s arbiter at
+	// grant(path[acquired-1]) + RouterLatency + FlitCycle, whether or not
+	// an engine event fires then.
+	grantTime sim.Time
+	phase     uint8
+	parked    bool // head at ejection, endpoint refused
+	injected  sim.Time
+	free      *worm // pool link
+}
+
+// Fire implements sim.Handler: the worm is its own pooled event.
+func (w *worm) Fire() {
+	switch w.phase {
+	case phaseArrive:
+		w.net.arrive(w)
+	case phaseDrained:
+		w.net.drained(w)
+	}
 }
 
 // Stats aggregates backplane activity.
@@ -85,15 +120,26 @@ type Stats struct {
 	TotalWireByte uint64
 }
 
+// Directions for the per-node link table.
+const (
+	dirEast = iota
+	dirWest
+	dirSouth
+	dirNorth
+	dirCount
+)
+
 // Network is the routing backplane.
 type Network struct {
-	eng  *sim.Engine
-	cfg  Config
-	eps  []Endpoint // indexed y*Width+x
-	link map[linkKey]*channel
-	inj  []*channel
-	ej   []*channel
-	park []*worm // parked worm per node index (at most one: it owns the ejection channel)
+	eng *sim.Engine
+	cfg Config
+	eps []Endpoint // indexed y*Width+x
+	// links[i][dir] is the outgoing link from node i toward dir, nil at
+	// a mesh edge. An array lookup, not a map: route runs per packet.
+	links [][dirCount]*channel
+	inj   []*channel
+	ej    []*channel
+	park  []*worm // parked worm per node index (at most one: it owns the ejection channel)
 	// injFree is called when a node's injection port frees up with no
 	// waiters; the NIC uses it to pace its outgoing FIFO drain.
 	injFree []func()
@@ -106,11 +152,9 @@ type Network struct {
 	corruptEvery int
 	injectCount  int
 
-	stats Stats
-}
+	freeWorms *worm // pool of retired worms
 
-type linkKey struct {
-	from, to packet.Coord
+	stats Stats
 }
 
 // New builds the backplane. Endpoints are attached later with Attach.
@@ -121,15 +165,16 @@ func New(eng *sim.Engine, cfg Config) *Network {
 	if cfg.FlitBytes <= 0 {
 		panic("mesh: FlitBytes must be positive")
 	}
+	nodes := cfg.Width * cfg.Height
 	n := &Network{
 		eng:     eng,
 		cfg:     cfg,
-		eps:     make([]Endpoint, cfg.Width*cfg.Height),
-		link:    make(map[linkKey]*channel),
-		inj:     make([]*channel, cfg.Width*cfg.Height),
-		ej:      make([]*channel, cfg.Width*cfg.Height),
-		park:    make([]*worm, cfg.Width*cfg.Height),
-		injFree: make([]func(), cfg.Width*cfg.Height),
+		eps:     make([]Endpoint, nodes),
+		links:   make([][dirCount]*channel, nodes),
+		inj:     make([]*channel, nodes),
+		ej:      make([]*channel, nodes),
+		park:    make([]*worm, nodes),
+		injFree: make([]func(), nodes),
 	}
 	for y := 0; y < cfg.Height; y++ {
 		for x := 0; x < cfg.Width; x++ {
@@ -137,8 +182,15 @@ func New(eng *sim.Engine, cfg Config) *Network {
 			i := n.index(c)
 			n.inj[i] = &channel{name: fmt.Sprintf("inj%v", c), injNode: i}
 			n.ej[i] = &channel{name: fmt.Sprintf("ej%v", c), injNode: -1}
-			for _, d := range n.neighbors(c) {
-				n.link[linkKey{c, d}] = &channel{name: fmt.Sprintf("%v->%v", c, d), injNode: -1}
+			for dir, d := range [dirCount]packet.Coord{
+				dirEast:  {X: x + 1, Y: y},
+				dirWest:  {X: x - 1, Y: y},
+				dirSouth: {X: x, Y: y + 1},
+				dirNorth: {X: x, Y: y - 1},
+			} {
+				if n.Contains(d) {
+					n.links[i][dir] = &channel{name: fmt.Sprintf("%v->%v", c, d), injNode: -1}
+				}
 			}
 		}
 	}
@@ -157,20 +209,6 @@ func (n *Network) index(c packet.Coord) int { return c.Y*n.cfg.Width + c.X }
 // Contains reports whether c is a valid coordinate on this backplane.
 func (n *Network) Contains(c packet.Coord) bool {
 	return c.X >= 0 && c.X < n.cfg.Width && c.Y >= 0 && c.Y < n.cfg.Height
-}
-
-func (n *Network) neighbors(c packet.Coord) []packet.Coord {
-	var out []packet.Coord
-	candidates := []packet.Coord{
-		{X: c.X + 1, Y: c.Y}, {X: c.X - 1, Y: c.Y},
-		{X: c.X, Y: c.Y + 1}, {X: c.X, Y: c.Y - 1},
-	}
-	for _, d := range candidates {
-		if n.Contains(d) {
-			out = append(out, d)
-		}
-	}
-	return out
 }
 
 // Attach connects an endpoint at coordinate c.
@@ -198,21 +236,28 @@ func (n *Network) WireTime(wire int) sim.Time {
 	return sim.Time(n.flits(wire)) * n.cfg.FlitCycle
 }
 
-// route computes the XY path of channels from src to dst: the injection
-// port, X-dimension links, Y-dimension links, and the ejection port.
-// Oblivious single-path routing is what gives per-pair ordering.
-func (n *Network) route(src, dst packet.Coord) []*channel {
-	path := []*channel{n.inj[n.index(src)]}
+// routeInto appends the XY path of channels from src to dst onto path:
+// the injection port, X-dimension links, Y-dimension links, and the
+// ejection port. Oblivious single-path routing is what gives per-pair
+// ordering. The caller owns (and recycles) the backing array.
+func (n *Network) routeInto(path []*channel, src, dst packet.Coord) []*channel {
+	path = append(path, n.inj[n.index(src)])
 	cur := src
 	for cur.X != dst.X {
-		next := packet.Coord{X: cur.X + sign(dst.X-cur.X), Y: cur.Y}
-		path = append(path, n.link[linkKey{cur, next}])
-		cur = next
+		dir := dirEast
+		if dst.X < cur.X {
+			dir = dirWest
+		}
+		path = append(path, n.links[n.index(cur)][dir])
+		cur.X += sign(dst.X - cur.X)
 	}
 	for cur.Y != dst.Y {
-		next := packet.Coord{X: cur.X, Y: cur.Y + sign(dst.Y-cur.Y)}
-		path = append(path, n.link[linkKey{cur, next}])
-		cur = next
+		dir := dirSouth
+		if dst.Y < cur.Y {
+			dir = dirNorth
+		}
+		path = append(path, n.links[n.index(cur)][dir])
+		cur.Y += sign(dst.Y - cur.Y)
 	}
 	return append(path, n.ej[n.index(cur)])
 }
@@ -235,6 +280,27 @@ func (n *Network) InjectorBusy(c packet.Coord) bool {
 // marked as damaged in flight (n <= 0 disables).
 func (n *Network) CorruptEvery(every int) { n.corruptEvery = every }
 
+// getWorm takes a worm from the pool (or allocates the pool's first).
+func (n *Network) getWorm() *worm {
+	w := n.freeWorms
+	if w == nil {
+		return &worm{net: n}
+	}
+	n.freeWorms = w.free
+	w.free = nil
+	return w
+}
+
+// putWorm retires a delivered worm to the pool.
+func (n *Network) putWorm(w *worm) {
+	w.pkt = nil
+	w.path = w.path[:0]
+	w.acquired = 0
+	w.parked = false
+	w.free = n.freeWorms
+	n.freeWorms = w
+}
+
 // Inject launches a packet from src toward p.Dst. The caller must have
 // checked InjectorBusy; injecting into a busy port queues behind the
 // current owner (permitted, but it defeats FIFO pacing).
@@ -246,34 +312,47 @@ func (n *Network) Inject(src packet.Coord, p *packet.Packet, wire int) {
 	if n.corruptEvery > 0 && n.injectCount%n.corruptEvery == 0 {
 		p.Corrupt = true
 	}
-	w := &worm{pkt: p, wire: wire, path: n.route(src, p.Dst), injected: n.eng.Now()}
+	w := n.getWorm()
+	w.pkt = p
+	w.wire = wire
+	w.path = n.routeInto(w.path, src, p.Dst)
+	w.injected = n.eng.Now()
+	w.grantTime = n.eng.Now()
 	n.stats.Injected++
 	n.stats.TotalWireByte += uint64(wire)
-	n.request(w)
+	n.advance(w)
 }
 
-// request asks for the next channel on w's path.
-func (n *Network) request(w *worm) {
-	ch := w.path[w.acquired]
-	if ch.owner == nil && len(ch.waiters) == 0 {
-		n.grant(ch, w)
-		return
+// advance claims channels for w's head starting at path[acquired], with
+// w.grantTime the instant the next grant takes effect. The whole run of
+// free channels is claimed in one pass — each successive grant instant
+// computed arithmetically — ending in either a parked head (FIFO waiter
+// on a busy channel; the release continues the worm) or a scheduled
+// arrival at the ejection port.
+func (n *Network) advance(w *worm) {
+	for {
+		ch := w.path[w.acquired]
+		if ch.owner != nil || len(ch.waiters) > 0 {
+			ch.waiters = append(ch.waiters, w)
+			return
+		}
+		n.take(ch, w)
+		if w.acquired == len(w.path) {
+			// Head is at the destination processor port.
+			w.phase = phaseArrive
+			n.eng.Schedule(w.grantTime+n.cfg.RouterLatency, w)
+			return
+		}
+		// Head crosses this channel and arbitrates at the next router.
+		w.grantTime += n.cfg.RouterLatency + n.cfg.FlitCycle
 	}
-	ch.waiters = append(ch.waiters, w)
 }
 
-// grant gives ch to w and advances the worm's head.
-func (n *Network) grant(ch *channel, w *worm) {
+// take records w's exclusive ownership of ch and advances the head.
+func (n *Network) take(ch *channel, w *worm) {
 	ch.owner = w
 	w.acquired++
 	n.stats.FlitHops += uint64(n.flits(w.wire))
-	if w.acquired < len(w.path) {
-		// Head crosses this channel and arbitrates at the next router.
-		n.eng.After(n.cfg.RouterLatency+n.cfg.FlitCycle, func() { n.request(w) })
-		return
-	}
-	// Head is at the destination processor port.
-	n.eng.After(n.cfg.RouterLatency, func() { n.arrive(w) })
 }
 
 // arrive offers the worm's head to the destination endpoint.
@@ -290,7 +369,10 @@ func (n *Network) arrive(w *worm) {
 		n.Tracer.Record(i, trace.Park, 0, uint64(i))
 		return
 	}
-	n.stream(w)
+	// Accepted: the body-flit train streams into the endpoint as one
+	// batched event — WireTime covers the whole train arithmetically.
+	w.phase = phaseDrained
+	n.eng.ScheduleAfter(n.WireTime(w.wire), w)
 }
 
 // Unpark retries delivery of the worm parked at c, if any. Endpoints call
@@ -306,25 +388,26 @@ func (n *Network) Unpark(c packet.Coord) {
 	n.arrive(w)
 }
 
-// stream drains the accepted worm into the endpoint and releases its
-// channels once the tail has passed.
-func (n *Network) stream(w *worm) {
-	t := n.WireTime(w.wire)
-	n.eng.After(t, func() {
-		for _, ch := range w.path {
-			n.release(ch, w)
-		}
-		n.stats.Delivered++
-		lat := n.eng.Now() - w.injected
-		n.stats.TotalLatency += lat
-		if lat > n.stats.MaxLatency {
-			n.stats.MaxLatency = lat
-		}
-		n.eps[n.index(w.pkt.Dst)].Deliver(w.pkt, w.wire)
-	})
+// drained fires when the accepted worm's tail has passed: release its
+// channels, account the delivery, and hand the packet to the endpoint.
+func (n *Network) drained(w *worm) {
+	for _, ch := range w.path {
+		n.release(ch, w)
+	}
+	n.stats.Delivered++
+	lat := n.eng.Now() - w.injected
+	n.stats.TotalLatency += lat
+	if lat > n.stats.MaxLatency {
+		n.stats.MaxLatency = lat
+	}
+	pkt, wire := w.pkt, w.wire
+	ep := n.eps[n.index(pkt.Dst)]
+	n.putWorm(w)
+	ep.Deliver(pkt, wire)
 }
 
-// release frees ch from w and grants the next FIFO waiter.
+// release frees ch from w and grants the next FIFO waiter, continuing
+// that waiter's head from wherever its virtual timing places it.
 func (n *Network) release(ch *channel, w *worm) {
 	if ch.owner != w {
 		panic(fmt.Sprintf("mesh: %s released by non-owner", ch.name))
@@ -332,8 +415,21 @@ func (n *Network) release(ch *channel, w *worm) {
 	ch.owner = nil
 	if len(ch.waiters) > 0 {
 		next := ch.waiters[0]
-		ch.waiters = ch.waiters[1:]
-		n.grant(ch, next)
+		copy(ch.waiters, ch.waiters[1:])
+		ch.waiters = ch.waiters[:len(ch.waiters)-1]
+		// The channel may have freed before the waiter's head physically
+		// arrives at its arbiter; occupancy starts no earlier than that.
+		if now := n.eng.Now(); next.grantTime < now {
+			next.grantTime = now
+		}
+		n.take(ch, next)
+		if next.acquired == len(next.path) {
+			next.phase = phaseArrive
+			n.eng.Schedule(next.grantTime+n.cfg.RouterLatency, next)
+			return
+		}
+		next.grantTime += n.cfg.RouterLatency + n.cfg.FlitCycle
+		n.advance(next)
 		return
 	}
 	if ch.injNode >= 0 && n.injFree[ch.injNode] != nil {

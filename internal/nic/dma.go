@@ -49,6 +49,36 @@ type dmaState struct {
 	cur       phys.PAddr // next source address to read
 	remaining uint32     // words left
 	chunking  bool       // a chunk event is already scheduled
+
+	// In-flight chunk state, valid while chunking: the scratch read
+	// buffer is reused across chunks, and the pending fields carry the
+	// mapping resolution from the bus read to the packetize event.
+	chunkBuf        []byte
+	pendingMap      *nipt.OutMapping
+	pendingRemote   phys.PAddr
+	pendingLen      int
+	pendingSrcPage  phys.PageNum
+	pendingFinished bool
+}
+
+// dmaChunkEvent fires when the chunk's Xpress read completes: the data is
+// packetized and the engine moves to the next chunk. At most one is in
+// flight per NIC (dma.chunking).
+type dmaChunkEvent struct{ n *NIC }
+
+func (ev *dmaChunkEvent) Fire() {
+	n := ev.n
+	d := &n.dma
+	n.flushMerge()
+	n.emit(d.pendingMap, d.pendingRemote, d.chunkBuf[:d.pendingLen], d.pendingSrcPage)
+	d.chunking = false
+	if d.pendingFinished {
+		d.busy = false
+		n.stats.DMATransfers++
+		n.Tracer.Record(int(n.node), trace.DMADone, 0, 0)
+		return
+	}
+	d.kick(n)
 }
 
 // dataAddr converts a command address to the data address it controls.
@@ -144,21 +174,16 @@ func (d *dmaState) kick(n *NIC) {
 		chunk = n.cfg.MaxPayload
 	}
 	d.chunking = true
-	srcPage := d.cur.Page()
-	data, done := n.xbus.Read(bus.InitNIC, d.cur, chunk)
+	if cap(d.chunkBuf) < chunk {
+		d.chunkBuf = make([]byte, chunk)
+	}
+	done := n.xbus.ReadInto(bus.InitNIC, d.cur, d.chunkBuf[:chunk])
+	d.pendingMap = m
+	d.pendingRemote = remote
+	d.pendingLen = chunk
+	d.pendingSrcPage = d.cur.Page()
 	d.cur += phys.PAddr(chunk)
 	d.remaining -= uint32(chunk) / 4
-	finished := d.remaining == 0
-	n.eng.At(done, func() {
-		n.flushMerge()
-		n.emit(m, remote, data, srcPage)
-		d.chunking = false
-		if finished {
-			d.busy = false
-			n.stats.DMATransfers++
-			n.Tracer.Record(int(n.node), trace.DMADone, 0, 0)
-			return
-		}
-		d.kick(n)
-	})
+	d.pendingFinished = d.remaining == 0
+	n.eng.Schedule(done, &n.chunkEv)
 }

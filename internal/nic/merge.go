@@ -12,8 +12,16 @@ import (
 // within the same page, and occur within a programmable time limit of
 // one another. Otherwise the packet is terminated and sent.
 type mergeState struct {
-	open     *openPacket
-	timerGen uint64
+	open *openPacket
+	// spare recycles the (at most one) open packet's buffer between
+	// merge runs.
+	spare *openPacket
+	// timerArmed tracks the single in-flight expiry event; rather than
+	// scheduling one timer per write, the one timer re-arms itself at
+	// open.lastWrite+MergeWindow+1ps until it finds the window expired,
+	// which fires the flush at exactly the instant the per-write scheme
+	// would have.
+	timerArmed bool
 }
 
 type openPacket struct {
@@ -41,29 +49,49 @@ func (n *NIC) mergeWrite(m *nipt.OutMapping, remote phys.PAddr, data []byte, src
 		}
 		n.flushMerge()
 	}
-	n.merge.open = &openPacket{
-		m:           m,
-		srcPage:     srcPage,
-		startRemote: remote,
-		buf:         append([]byte(nil), data...),
-		lastWrite:   now,
+	o = n.merge.spare
+	if o == nil {
+		o = &openPacket{}
+	} else {
+		n.merge.spare = nil
 	}
+	o.m = m
+	o.srcPage = srcPage
+	o.startRemote = remote
+	o.buf = append(o.buf[:0], data...)
+	o.lastWrite = now
+	n.merge.open = o
 	n.armMergeTimer()
 }
 
-// armMergeTimer schedules the §4.1 time-limit check. A generation counter
-// cancels timers that a newer write has superseded.
+// mergeTimerEvent is the single §4.1 time-limit check event per NIC.
+type mergeTimerEvent struct{ n *NIC }
+
+func (ev *mergeTimerEvent) Fire() {
+	n := ev.n
+	n.merge.timerArmed = false
+	o := n.merge.open
+	if o == nil {
+		return
+	}
+	if n.eng.Now()-o.lastWrite >= n.cfg.MergeWindow {
+		n.flushMerge()
+		return
+	}
+	// A newer write moved the deadline; chase it.
+	n.merge.timerArmed = true
+	n.eng.Schedule(o.lastWrite+n.cfg.MergeWindow+sim.Picosecond, &n.mergeEv)
+}
+
+// armMergeTimer schedules the §4.1 time-limit check. The in-flight timer
+// re-arms itself past newer writes, so arming is a no-op while one is
+// pending.
 func (n *NIC) armMergeTimer() {
-	n.merge.timerGen++
-	gen := n.merge.timerGen
-	n.eng.After(n.cfg.MergeWindow+sim.Picosecond, func() {
-		if n.merge.timerGen != gen || n.merge.open == nil {
-			return
-		}
-		if n.eng.Now()-n.merge.open.lastWrite >= n.cfg.MergeWindow {
-			n.flushMerge()
-		}
-	})
+	if n.merge.timerArmed {
+		return
+	}
+	n.merge.timerArmed = true
+	n.eng.ScheduleAfter(n.cfg.MergeWindow+sim.Picosecond, &n.mergeEv)
 }
 
 // flushMerge terminates and sends the open blocked-write packet, if any.
@@ -77,4 +105,6 @@ func (n *NIC) flushMerge() {
 	n.merge.open = nil
 	n.stats.MergedPackets++
 	n.emit(o.m, o.startRemote, o.buf, o.srcPage)
+	o.m = nil
+	n.merge.spare = o
 }

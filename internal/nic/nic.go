@@ -158,6 +158,48 @@ type NIC struct {
 	dma   dmaState
 	merge mergeState
 	stats Stats
+
+	// Pre-allocated event handlers for the datapath pipelines. Each
+	// pipeline has at most one event in flight (guarded by its state
+	// flag), so a single embedded handler per stage suffices; the
+	// packetize stage can overlap and draws from a free list.
+	injectEv  injectEvent
+	depositEv depositEvent
+	finishEv  finishEvent
+	chunkEv   dmaChunkEvent
+	mergeEv   mergeTimerEvent
+	freeEnq   *enqueueEvent
+	// depositQP is the Incoming FIFO head currently in the deposit
+	// pipeline (valid while in.depositing).
+	depositQP queuedPacket
+}
+
+// enqueueEvent carries a packetized store through the SnoopPacketize
+// latency into the Outgoing FIFO. Several can be in flight (back-to-back
+// snooped stores), so they are free-listed per NIC.
+type enqueueEvent struct {
+	n    *NIC
+	p    *packet.Packet
+	wire int
+	next *enqueueEvent
+}
+
+func (ev *enqueueEvent) Fire() {
+	n, p, wire := ev.n, ev.p, ev.wire
+	ev.p = nil
+	ev.next = n.freeEnq
+	n.freeEnq = ev
+	n.enqueueOut(p, wire)
+}
+
+// injectEvent fires when the Outgoing FIFO head has traversed the FIFO
+// and the injection setup: the packet enters the backplane.
+type injectEvent struct{ n *NIC }
+
+func (ev *injectEvent) Fire() {
+	n := ev.n
+	head := n.out.q.peek()
+	n.net.Inject(n.coord, head.pkt, head.wire)
 }
 
 type queuedPacket struct {
@@ -165,8 +207,37 @@ type queuedPacket struct {
 	wire int
 }
 
+// pktQueue is a FIFO of queued packets that recycles its backing array:
+// popped slots are compacted away instead of sliding the slice header, so
+// a steady-state FIFO allocates nothing.
+type pktQueue struct {
+	buf  []queuedPacket
+	head int
+}
+
+func (q *pktQueue) push(qp queuedPacket) { q.buf = append(q.buf, qp) }
+
+func (q *pktQueue) pop() queuedPacket {
+	qp := q.buf[q.head]
+	q.buf[q.head] = queuedPacket{}
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	} else if q.head >= 32 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		clear(q.buf[n:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return qp
+}
+
+func (q *pktQueue) len() int           { return len(q.buf) - q.head }
+func (q *pktQueue) peek() queuedPacket { return q.buf[q.head] }
+
 type outState struct {
-	q         []queuedPacket
+	q         pktQueue
 	bytes     int
 	injecting bool
 	stalled   bool
@@ -174,7 +245,7 @@ type outState struct {
 }
 
 type inState struct {
-	q          []queuedPacket
+	q          pktQueue
 	bytes      int
 	depositing bool
 }
@@ -187,6 +258,11 @@ func New(eng *sim.Engine, cfg Config, node packet.NodeID, coord packet.Coord,
 		eng: eng, cfg: cfg, node: node, coord: coord,
 		table: table, xbus: xbus, eisa: eisa, net: net,
 	}
+	n.injectEv.n = n
+	n.depositEv.n = n
+	n.finishEv.n = n
+	n.chunkEv.n = n
+	n.mergeEv.n = n
 	if cfg.Generation == GenEISAPrototype && eisa == nil {
 		panic("nic: EISA prototype generation requires an EISA bus")
 	}
@@ -223,7 +299,7 @@ func (n *NIC) DMABusy() bool { return n.dma.busy }
 
 // Quiesced reports whether the NIC has no buffered or in-flight work.
 func (n *NIC) Quiesced() bool {
-	return len(n.out.q) == 0 && len(n.in.q) == 0 && !n.out.injecting &&
+	return n.out.q.len() == 0 && n.in.q.len() == 0 && !n.out.injecting &&
 		!n.in.depositing && !n.dma.busy && n.merge.open == nil
 }
 
@@ -242,27 +318,35 @@ func (n *NIC) SnoopWrite(init bus.Initiator, a phys.PAddr, data []byte) {
 	switch m.Mode {
 	case nipt.SingleWriteAU:
 		n.flushMerge() // preserve store order across modes
-		n.emit(m, remote, append([]byte(nil), data...), a.Page())
+		n.emit(m, remote, data, a.Page())
 	case nipt.BlockedWriteAU:
 		n.mergeWrite(m, remote, data, a.Page())
 	}
 }
 
 // emit packetizes payload destined for the given remote address and
-// queues it on the Outgoing FIFO after the packetize latency.
+// queues it on the Outgoing FIFO after the packetize latency. The
+// payload bytes are copied into a pooled packet, so the caller's buffer
+// is free for reuse on return.
 func (n *NIC) emit(m *nipt.OutMapping, remote phys.PAddr, payload []byte, srcPage phys.PageNum) {
 	e := n.table.Entry(srcPage)
-	p := &packet.Packet{
-		Src:     n.coord,
-		Dst:     m.Dst,
-		DstAddr: remote,
-		Payload: payload,
-	}
+	p := packet.Get()
+	p.Src = n.coord
+	p.Dst = m.Dst
+	p.DstAddr = remote
+	p.Payload = append(p.Payload, payload...)
 	if e.KernelRing {
 		p.Kind = packet.KernelRing
 	}
-	wire := p.WireSize()
-	n.eng.After(n.cfg.SnoopPacketize, func() { n.enqueueOut(p, wire) })
+	ev := n.freeEnq
+	if ev == nil {
+		ev = &enqueueEvent{n: n}
+	} else {
+		n.freeEnq = ev.next
+	}
+	ev.p = p
+	ev.wire = p.WireSize()
+	n.eng.ScheduleAfter(n.cfg.SnoopPacketize, ev)
 }
 
 func (n *NIC) enqueueOut(p *packet.Packet, wire int) {
@@ -273,7 +357,7 @@ func (n *NIC) enqueueOut(p *packet.Packet, wire int) {
 		panic(fmt.Sprintf("nic%v: outgoing FIFO overflow (%d+%d > %d)",
 			n.coord, n.out.bytes, wire, n.cfg.OutFIFOBytes))
 	}
-	n.out.q = append(n.out.q, queuedPacket{p, wire})
+	n.out.q.push(queuedPacket{p, wire})
 	n.out.bytes += wire
 	if n.out.bytes > n.stats.MaxOutFIFOBytes {
 		n.stats.MaxOutFIFOBytes = n.out.bytes
@@ -293,14 +377,11 @@ func (n *NIC) enqueueOut(p *packet.Packet, wire int) {
 // drainOut pushes the FIFO head into the backplane, one packet at a time
 // (the injection port is released when the worm's tail leaves the node).
 func (n *NIC) drainOut() {
-	if n.out.injecting || len(n.out.q) == 0 {
+	if n.out.injecting || n.out.q.len() == 0 {
 		return
 	}
 	n.out.injecting = true
-	head := n.out.q[0]
-	n.eng.After(n.cfg.OutFIFOLatency+n.cfg.InjectSetup, func() {
-		n.net.Inject(n.coord, head.pkt, head.wire)
-	})
+	n.eng.ScheduleAfter(n.cfg.OutFIFOLatency+n.cfg.InjectSetup, &n.injectEv)
 }
 
 // injectorFree fires when the injected worm's tail has left this node:
@@ -309,8 +390,7 @@ func (n *NIC) injectorFree() {
 	if !n.out.injecting {
 		return
 	}
-	head := n.out.q[0]
-	n.out.q = n.out.q[1:]
+	head := n.out.q.pop()
 	n.out.bytes -= head.wire
 	n.out.injecting = false
 	n.stats.PacketsOut++

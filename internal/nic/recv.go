@@ -36,20 +36,47 @@ func (e *endpoint) Accept(p *packet.Packet, wire int) bool {
 // Incoming FIFO.
 func (e *endpoint) Deliver(p *packet.Packet, wire int) {
 	n := (*NIC)(e)
-	n.in.q = append(n.in.q, queuedPacket{p, wire})
+	n.in.q.push(queuedPacket{p, wire})
 	n.deposit()
+}
+
+// depositEvent fires when the Incoming FIFO head (held in depositQP) has
+// traversed the FIFO and is ready for the DMA deposit decision. At most
+// one is in flight per NIC (in.depositing).
+type depositEvent struct{ n *NIC }
+
+func (ev *depositEvent) Fire() {
+	n := ev.n
+	n.depositPacket(n.depositQP)
+}
+
+// finishEvent fires when the deposit DMA completes. On the Xpress path
+// the deposit itself is the NIC mastering the memory bus, performed here;
+// on the EISA path the bridge's Xpress write was scheduled by the EISA
+// model and has already fired at this timestamp.
+type finishEvent struct {
+	n      *NIC
+	xpress bool
+}
+
+func (ev *finishEvent) Fire() {
+	n := ev.n
+	if ev.xpress {
+		p := n.depositQP.pkt
+		n.xbus.Write(bus.InitNIC, p.DstAddr, p.Payload)
+	}
+	n.finishDeposit(n.depositQP, true)
 }
 
 // deposit drains the Incoming FIFO head into main memory, one packet at
 // a time, using the generation's DMA path.
 func (n *NIC) deposit() {
-	if n.in.depositing || len(n.in.q) == 0 {
+	if n.in.depositing || n.in.q.len() == 0 {
 		return
 	}
 	n.in.depositing = true
-	head := n.in.q[0]
-	n.in.q = n.in.q[1:]
-	n.eng.After(n.cfg.InFIFOLatency, func() { n.depositPacket(head) })
+	n.depositQP = n.in.q.pop()
+	n.eng.ScheduleAfter(n.cfg.InFIFOLatency, &n.depositEv)
 }
 
 func (n *NIC) depositPacket(q queuedPacket) {
@@ -81,19 +108,19 @@ func (n *NIC) depositPacket(q queuedPacket) {
 	var done sim.Time
 	if n.cfg.Generation == GenEISAPrototype {
 		done = n.eisa.DMAWrite(p.DstAddr, p.Payload)
-		n.eng.At(done, func() { n.finishDeposit(q, true) })
+		n.finishEv.xpress = false
+		n.eng.Schedule(done, &n.finishEv)
 		return
 	}
 	// Next generation: the NIC masters the Xpress bus directly.
 	done = n.eng.Now() + n.cfg.XpressDepositSetup + sim.PerByte(n.cfg.XpressDepositRate, len(p.Payload))
-	n.eng.At(done, func() {
-		n.xbus.Write(bus.InitNIC, p.DstAddr, p.Payload)
-		n.finishDeposit(q, true)
-	})
+	n.finishEv.xpress = true
+	n.eng.Schedule(done, &n.finishEv)
 }
 
-// finishDeposit releases FIFO space, raises any arrival interrupt, and
-// resumes both the deposit pipeline and any parked worm.
+// finishDeposit releases FIFO space, raises any arrival interrupt,
+// recycles the packet, and resumes both the deposit pipeline and any
+// parked worm.
 func (n *NIC) finishDeposit(q queuedPacket, delivered bool) {
 	n.in.bytes -= q.wire
 	n.in.depositing = false
@@ -118,6 +145,10 @@ func (n *NIC) finishDeposit(q queuedPacket, delivered bool) {
 			}
 		}
 	}
+	// The payload has been deposited (or dropped); this NIC holds the
+	// last reference, so the packet returns to the pool for the next
+	// snooped store anywhere in the machine.
+	packet.Put(q.pkt)
 	// FIFO space freed: a parked worm may now be accepted.
 	n.net.Unpark(n.coord)
 	n.deposit()

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"sync"
 
 	"repro/internal/phys"
 )
@@ -65,6 +66,26 @@ type Packet struct {
 	// a CRC verification failure (a real packet's trailing CRC would
 	// mismatch). It is not part of the wire format.
 	Corrupt bool
+}
+
+// pool recycles packets (and, critically, their payload buffers) through
+// the nic→mesh→nic lifecycle: the sending NIC takes a packet with Get
+// when it packetizes a snooped store, and the receiving NIC returns it
+// with Put once the payload has been deposited into its memory. Packets
+// built by hand (tests, Decode) simply never enter the pool.
+var pool = sync.Pool{New: func() any { return new(Packet) }}
+
+// Get returns a zeroed packet from the pool. Its Payload is empty but may
+// have capacity left over from an earlier life; append into it.
+func Get() *Packet {
+	return pool.Get().(*Packet)
+}
+
+// Put recycles p. The caller must hold the only remaining reference; the
+// payload's backing array is retained for the packet's next life.
+func Put(p *Packet) {
+	*p = Packet{Payload: p.Payload[:0]}
+	pool.Put(p)
 }
 
 // HeaderBytes is the wire size of the packet header: route/coords (4),

@@ -1,0 +1,111 @@
+// Package perf measures simulator throughput: discrete events dispatched
+// per wall-clock second, heap allocations per operation, and the ratio of
+// simulated time to wall time. cmd/shrimp-bench drives it to produce the
+// BENCH_*.json evidence files referenced by DESIGN.md.
+package perf
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Sample is what one measured operation reports back: how many DES
+// events it dispatched and how much simulated time it covered, plus any
+// experiment-specific metrics (latency, bandwidth, ...). Metrics from
+// the last iteration win; they are expected to be deterministic.
+type Sample struct {
+	Events  uint64
+	SimTime sim.Time
+	Metrics map[string]float64
+}
+
+// Result aggregates one benchmark's measurements.
+type Result struct {
+	Name            string             `json:"name"`
+	Iterations      int                `json:"iterations"`
+	WallNSPerOp     float64            `json:"wall_ns_per_op"`
+	EventsPerOp     float64            `json:"events_per_op"`
+	EventsPerSec    float64            `json:"events_per_sec"`
+	SimUSPerOp      float64            `json:"sim_us_per_op"`
+	SimWallRatio    float64            `json:"sim_wall_ratio"`
+	AllocsPerOp     float64            `json:"allocs_per_op"`
+	AllocBytesPerOp float64            `json:"alloc_bytes_per_op"`
+	Metrics         map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Measure runs fn iters times (after one untimed warm-up) and aggregates
+// wall time, event throughput, simulated/wall ratio and allocation
+// counts. fn must perform one complete, self-contained operation.
+func Measure(name string, iters int, fn func() Sample) Result {
+	if iters <= 0 {
+		iters = 1
+	}
+	fn() // warm-up: one-time initialization costs stay out of the timing
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	var events uint64
+	var simTime sim.Time
+	var metrics map[string]float64
+	for i := 0; i < iters; i++ {
+		s := fn()
+		events += s.Events
+		simTime += s.SimTime
+		if s.Metrics != nil {
+			metrics = s.Metrics
+		}
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	wallNS := float64(wall.Nanoseconds())
+	if wallNS <= 0 {
+		wallNS = 1
+	}
+	n := float64(iters)
+	return Result{
+		Name:            name,
+		Iterations:      iters,
+		WallNSPerOp:     wallNS / n,
+		EventsPerOp:     float64(events) / n,
+		EventsPerSec:    float64(events) / (wallNS / 1e9),
+		SimUSPerOp:      simTime.Microseconds() / n,
+		SimWallRatio:    float64(simTime) / (wallNS * 1000), // both in ps
+		AllocsPerOp:     float64(after.Mallocs-before.Mallocs) / n,
+		AllocBytesPerOp: float64(after.TotalAlloc-before.TotalAlloc) / n,
+		Metrics:         metrics,
+	}
+}
+
+// Report is the top-level JSON document shrimp-bench emits.
+type Report struct {
+	Paper     string   `json:"paper"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	CPUs      int      `json:"cpus"`
+	Results   []Result `json:"results"`
+}
+
+// NewReport builds a report shell with the runtime environment filled in.
+func NewReport(paper string) *Report {
+	return &Report{
+		Paper:     paper,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+	}
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,60 @@
+package perf
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestMeasureAggregates(t *testing.T) {
+	calls := 0
+	r := Measure("toy", 4, func() Sample {
+		calls++
+		eng := sim.NewEngine()
+		for i := 0; i < 100; i++ {
+			eng.At(sim.Time(i)*sim.Nanosecond, func() {})
+		}
+		eng.Run()
+		return Sample{
+			Events:  eng.Fired(),
+			SimTime: eng.Now(),
+			Metrics: map[string]float64{"answer": 42},
+		}
+	})
+	if calls != 5 { // 4 measured + 1 warm-up
+		t.Fatalf("fn called %d times, want 5", calls)
+	}
+	if r.Iterations != 4 || r.EventsPerOp != 100 {
+		t.Fatalf("got iterations=%d events/op=%v", r.Iterations, r.EventsPerOp)
+	}
+	if r.EventsPerSec <= 0 || r.WallNSPerOp <= 0 {
+		t.Fatalf("non-positive throughput: %+v", r)
+	}
+	if r.SimUSPerOp != 0.099 { // events at 0..99 ns
+		t.Fatalf("sim-us/op = %v, want 0.099", r.SimUSPerOp)
+	}
+	if r.Metrics["answer"] != 42 {
+		t.Fatalf("metrics not carried: %v", r.Metrics)
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	rep := NewReport("test-paper")
+	rep.Results = append(rep.Results, Result{Name: "x", Iterations: 1, EventsPerSec: 1e6})
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Paper != "test-paper" || len(back.Results) != 1 || back.Results[0].Name != "x" {
+		t.Fatalf("round trip mangled report: %+v", back)
+	}
+	if back.GoVersion == "" || back.CPUs <= 0 {
+		t.Fatalf("environment not recorded: %+v", back)
+	}
+}

@@ -33,10 +33,13 @@ func (a PAddr) Offset() uint32 { return uint32(a) & (PageSize - 1) }
 // Addr returns the physical address of byte off within page p.
 func (p PageNum) Addr(off uint32) PAddr { return PAddr(uint32(p)<<PageShift | off&(PageSize-1)) }
 
-// Memory is the DRAM of a single node.
+// Memory is the DRAM of a single node. Page frames are materialized
+// lazily: a nil frame reads as zeros and is allocated on first write, so
+// building a machine with many nodes does not pay for zeroing DRAM that
+// the workload never touches.
 type Memory struct {
-	data  []byte
-	pages int
+	frames [][]byte
+	size   uint32
 }
 
 // NewMemory allocates DRAM with the given number of page frames.
@@ -44,14 +47,14 @@ func NewMemory(pages int) *Memory {
 	if pages <= 0 {
 		panic("phys: memory must have at least one page")
 	}
-	return &Memory{data: make([]byte, pages*PageSize), pages: pages}
+	return &Memory{frames: make([][]byte, pages), size: uint32(pages) * PageSize}
 }
 
 // Pages returns the number of page frames.
-func (m *Memory) Pages() int { return m.pages }
+func (m *Memory) Pages() int { return len(m.frames) }
 
 // Size returns the DRAM size in bytes.
-func (m *Memory) Size() uint32 { return uint32(len(m.data)) }
+func (m *Memory) Size() uint32 { return m.size }
 
 // CmdBase returns the base physical address of the NIC command space:
 // the paper assigns one command page per physical page, at a fixed
@@ -74,58 +77,110 @@ func (m *Memory) PageForCmd(a PAddr) PageNum {
 }
 
 func (m *Memory) check(a PAddr, n int) {
-	if int(a)+n > len(m.data) {
-		panic(fmt.Sprintf("phys: access [%#x,%#x) beyond %#x", uint32(a), int(a)+n, len(m.data)))
+	if uint64(a)+uint64(n) > uint64(m.size) {
+		panic(fmt.Sprintf("phys: access [%#x,%#x) beyond %#x", uint32(a), uint64(a)+uint64(n), m.size))
 	}
+}
+
+// frame returns the backing store for page p, allocating it on first use.
+func (m *Memory) frame(p int) []byte {
+	f := m.frames[p]
+	if f == nil {
+		f = make([]byte, PageSize)
+		m.frames[p] = f
+	}
+	return f
 }
 
 // Read copies n bytes starting at a into a fresh slice.
 func (m *Memory) Read(a PAddr, n int) []byte {
-	m.check(a, n)
 	out := make([]byte, n)
-	copy(out, m.data[a:])
+	m.ReadInto(a, out)
 	return out
 }
 
 // ReadInto copies len(dst) bytes starting at a into dst.
 func (m *Memory) ReadInto(a PAddr, dst []byte) {
 	m.check(a, len(dst))
-	copy(dst, m.data[a:])
+	for len(dst) > 0 {
+		off := int(a.Offset())
+		n := PageSize - off
+		if n > len(dst) {
+			n = len(dst)
+		}
+		if f := m.frames[a>>PageShift]; f != nil {
+			copy(dst[:n], f[off:])
+		} else {
+			clear(dst[:n])
+		}
+		dst = dst[n:]
+		a += PAddr(n)
+	}
 }
 
 // Write copies b into memory at a.
 func (m *Memory) Write(a PAddr, b []byte) {
 	m.check(a, len(b))
-	copy(m.data[a:], b)
+	for len(b) > 0 {
+		off := int(a.Offset())
+		n := PageSize - off
+		if n > len(b) {
+			n = len(b)
+		}
+		copy(m.frame(int(a >> PageShift))[off:], b[:n])
+		b = b[n:]
+		a += PAddr(n)
+	}
 }
 
 // Read32 reads a little-endian 32-bit word at a.
 func (m *Memory) Read32(a PAddr) uint32 {
 	m.check(a, 4)
-	return binary.LittleEndian.Uint32(m.data[a:])
+	if off := a.Offset(); off <= PageSize-4 {
+		f := m.frames[a>>PageShift]
+		if f == nil {
+			return 0
+		}
+		return binary.LittleEndian.Uint32(f[off:])
+	}
+	var b [4]byte
+	m.ReadInto(a, b[:])
+	return binary.LittleEndian.Uint32(b[:])
 }
 
 // Write32 writes a little-endian 32-bit word at a.
 func (m *Memory) Write32(a PAddr, v uint32) {
 	m.check(a, 4)
-	binary.LittleEndian.PutUint32(m.data[a:], v)
+	if off := a.Offset(); off <= PageSize-4 {
+		binary.LittleEndian.PutUint32(m.frame(int(a >> PageShift))[off:], v)
+		return
+	}
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	m.Write(a, b[:])
 }
 
 // Read8 reads the byte at a.
 func (m *Memory) Read8(a PAddr) byte {
 	m.check(a, 1)
-	return m.data[a]
+	f := m.frames[a>>PageShift]
+	if f == nil {
+		return 0
+	}
+	return f[a.Offset()]
 }
 
 // Write8 writes the byte at a.
 func (m *Memory) Write8(a PAddr, v byte) {
 	m.check(a, 1)
-	m.data[a] = v
+	m.frame(int(a >> PageShift))[a.Offset()] = v
 }
 
-// ZeroPage clears page p.
+// ZeroPage clears page p. The frame is dropped rather than cleared: a
+// nil frame reads as zeros, and the common caller (the kernel recycling
+// a frame) may never touch most of it again.
 func (m *Memory) ZeroPage(p PageNum) {
 	a := p.Addr(0)
 	m.check(a, PageSize)
-	clear(m.data[a : a+PageSize])
+	m.frames[p] = nil
 }

@@ -1,0 +1,77 @@
+package sim
+
+import "testing"
+
+// tickHandler reschedules itself a fixed distance ahead: the steady-state
+// shape of every hardware model's fast path (schedule one, fire one).
+type tickHandler struct {
+	e    *Engine
+	left int
+}
+
+func (h *tickHandler) Fire() {
+	if h.left == 0 {
+		return
+	}
+	h.left--
+	h.e.ScheduleAfter(10, h)
+}
+
+// BenchmarkEngine measures raw schedule/fire throughput on the Handler
+// fast path. The acceptance bar for the zero-allocation event queue is 0
+// allocs/op here.
+func BenchmarkEngine(b *testing.B) {
+	b.Run("ScheduleFire", func(b *testing.B) {
+		e := NewEngine()
+		// Keep a standing population of 64 self-rescheduling handlers so
+		// the heap works at a realistic depth.
+		handlers := make([]*tickHandler, 64)
+		for i := range handlers {
+			handlers[i] = &tickHandler{e: e, left: b.N}
+			e.Schedule(Time(i), handlers[i])
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Step()
+		}
+		b.StopTimer()
+		for i := range handlers {
+			handlers[i].left = 0
+		}
+		e.Run()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+	})
+
+	b.Run("ClosureAtFire", func(b *testing.B) {
+		// The closure path: the fn is preallocated, so the queue itself
+		// must still not allocate.
+		e := NewEngine()
+		n := 0
+		var fn func()
+		fn = func() {
+			if n < b.N {
+				n++
+				e.After(10, fn)
+			}
+		}
+		e.After(0, fn)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for e.Step() {
+		}
+	})
+}
+
+// BenchmarkEngineCold measures push throughput into a deep heap: b.N
+// events scheduled at descending times, then drained.
+func BenchmarkEngineCold(b *testing.B) {
+	e := NewEngine()
+	h := &tickHandler{e: e}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Time(b.N-i), h)
+	}
+	for e.Step() {
+	}
+}

@@ -4,11 +4,19 @@
 // engines, CPUs) advance a single shared clock owned by an Engine. Events
 // scheduled for the same instant fire in scheduling order, so every run of
 // a given workload is bit-for-bit reproducible.
+//
+// The pending-event queue is a hand-rolled 4-ary min-heap over a concrete
+// event slice. Unlike container/heap, nothing crosses an interface
+// boundary, so scheduling and firing allocate nothing: hot component
+// models schedule pooled Handler values (see Schedule) and pay only the
+// sift cost. A 4-ary layout halves the tree depth of a binary heap and
+// keeps sibling keys in adjacent cache lines, which measurably helps the
+// pop-heavy access pattern of a discrete-event simulator.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math/bits"
 )
 
 // Time is a simulated timestamp in picoseconds.
@@ -53,41 +61,51 @@ func (t Time) String() string {
 
 // PerByte returns the time to move n bytes at the given bytes/second rate.
 // It rounds up so that a modeled channel never beats its rated bandwidth.
+//
+// The product n*Second does not fit in 64 bits once n exceeds ~9.2 MB, so
+// the division is carried out on the 128-bit product via math/bits.
+// Results beyond the representable timestamp range clamp to Forever.
 func PerByte(bytesPerSecond int64, n int) Time {
 	if bytesPerSecond <= 0 || n <= 0 {
 		return 0
 	}
-	num := int64(n) * int64(Second)
-	d := num / bytesPerSecond
-	if num%bytesPerSecond != 0 {
-		d++
+	hi, lo := bits.Mul64(uint64(n), uint64(Second))
+	bps := uint64(bytesPerSecond)
+	if hi >= bps {
+		// Quotient would need more than 64 bits; far beyond Forever.
+		return Forever
 	}
-	return Time(d)
+	q, r := bits.Div64(hi, lo, bps)
+	if r != 0 {
+		q++
+	}
+	if q > uint64(Forever) {
+		return Forever
+	}
+	return Time(q)
 }
 
+// Handler is a pre-allocated schedulable action. Component models on the
+// simulation fast path implement it on pooled or embedded structs so that
+// scheduling an event allocates nothing; converting a pointer to Handler
+// never heap-allocates. One-shot or cold-path callers can keep using the
+// closure-based At/After.
+type Handler interface {
+	Fire()
+}
+
+// event is one pending queue entry. Exactly one of fn and h is set.
 type event struct {
 	at  Time
 	seq uint64
 	fn  func()
+	h   Handler
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() (popped any) {
-	old := *h
-	n := len(old)
-	popped = old[n-1]
-	*h = old[:n-1]
-	return
+// before reports the firing order: time-ordered, scheduling-ordered
+// within an instant.
+func (a *event) before(b *event) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
 }
 
 // Engine is a discrete-event simulator: a clock plus a pending-event queue.
@@ -95,7 +113,7 @@ func (h *eventHeap) Pop() (popped any) {
 type Engine struct {
 	now    Time
 	seq    uint64
-	events eventHeap
+	events []event // 4-ary min-heap on (at, seq)
 	fired  uint64
 }
 
@@ -118,11 +136,84 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	e.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d after the current time.
 func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Schedule schedules h to fire at absolute time t. It is the
+// allocation-free twin of At: h is typically a pooled struct or a pointer
+// into an existing model object. Scheduling in the past panics.
+func (e *Engine) Schedule(t Time, h Handler) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	e.push(event{at: t, seq: e.seq, h: h})
+}
+
+// ScheduleAfter schedules h to fire d after the current time.
+func (e *Engine) ScheduleAfter(d Time, h Handler) { e.Schedule(e.now+d, h) }
+
+// push appends ev and restores the heap invariant by sifting up.
+func (e *Engine) push(ev event) {
+	h := append(e.events, ev)
+	e.events = h
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !ev.before(&h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = ev
+}
+
+// pop removes and returns the earliest event.
+func (e *Engine) pop() event {
+	h := e.events
+	root := h[0]
+	last := len(h) - 1
+	ev := h[last]
+	h[last] = event{} // drop fn/h references so fired events don't pin memory
+	e.events = h[:last]
+	if last > 0 {
+		e.siftDown(ev)
+	}
+	return root
+}
+
+// siftDown places ev, displaced from the root, back into the heap.
+func (e *Engine) siftDown(ev event) {
+	h := e.events
+	n := len(h)
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		m := c
+		for j := c + 1; j < end; j++ {
+			if h[j].before(&h[m]) {
+				m = j
+			}
+		}
+		if !h[m].before(&ev) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = ev
+}
 
 // Step fires the earliest pending event, advancing the clock to it.
 // It reports false if no events are pending.
@@ -130,10 +221,14 @@ func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
+	ev := e.pop()
 	e.now = ev.at
 	e.fired++
-	ev.fn()
+	if ev.fn != nil {
+		ev.fn()
+	} else {
+		ev.h.Fire()
+	}
 	return true
 }
 

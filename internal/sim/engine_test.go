@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"math"
+	"math/big"
 	"math/rand"
 	"sort"
 	"testing"
@@ -56,6 +58,44 @@ func TestPerByteNeverBeatsRate(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestPerByteWideTransfersDoNotOverflow(t *testing.T) {
+	// n*Second overflows int64 past ~9.2 MB; the 128-bit widening must
+	// keep large transfers exact. 16 MiB at 33 MB/s:
+	// ceil(16777216e12 / 33e6) = 508400484849 ps (~0.508 s).
+	if got := PerByte(33_000_000, 16<<20); got != 508400484849 {
+		t.Fatalf("PerByte(33MB/s, 16MiB) = %d", got)
+	}
+	// 1 GiB at 70 MB/s: ceil(1073741824e12 / 7e7) = 15339168914286 ps.
+	if got := PerByte(70_000_000, 1<<30); got != 15339168914286 {
+		t.Fatalf("PerByte(70MB/s, 1GiB) = %d", got)
+	}
+	// Verify against big.Int across a sweep of sizes straddling the old
+	// overflow threshold.
+	for _, n := range []int{9_000_000, 9_223_373, 10_000_000, 100_000_000, 1 << 31} {
+		for _, rate := range []int64{1, 33_000_000, 70_000_000, 1_000_000_000} {
+			want := new(big.Int).Mul(big.NewInt(int64(n)), big.NewInt(int64(Second)))
+			q, r := new(big.Int).QuoRem(want, big.NewInt(rate), new(big.Int))
+			if r.Sign() != 0 {
+				q.Add(q, big.NewInt(1))
+			}
+			if !q.IsInt64() || q.Int64() > int64(Forever) {
+				continue
+			}
+			if got := PerByte(rate, n); int64(got) != q.Int64() {
+				t.Fatalf("PerByte(%d, %d) = %d, want %v", rate, n, got, q)
+			}
+		}
+	}
+	// Results past the representable range clamp to Forever instead of
+	// going negative.
+	if got := PerByte(1, 1<<40); got != Forever {
+		t.Fatalf("PerByte(1, 2^40) = %d, want Forever", got)
+	}
+	if got := PerByte(1, math.MaxInt32); got < 0 || got > Forever {
+		t.Fatalf("PerByte produced out-of-range duration %d", got)
 	}
 }
 
