@@ -8,3 +8,7 @@ go vet ./...
 go build ./...
 go test -race ./...
 go test -run '^$' -bench BenchmarkEngine -benchtime 100x ./internal/sim
+# Parallel sweep smoke: drive the worker pool with more points than
+# workers under the race detector (report discarded; the differential
+# tests assert parallel == sequential output).
+go run -race ./cmd/shrimp-bench -parallel 4 -iters 2 -only sweep -o /dev/null

@@ -1,18 +1,22 @@
 // shrimp-bench measures the simulator itself rather than the simulated
 // hardware: discrete events dispatched per wall-clock second, heap
 // allocations per operation, and the ratio of simulated time to wall
-// time, for the E2 latency and E3 bandwidth experiments and the 16-node
-// mesh workloads. It emits a JSON report (BENCH_1.json in the repo root
-// is a committed snapshot; see DESIGN.md "Performance" for how to
-// regenerate it).
+// time, for the E2 latency and E3 bandwidth experiments, the 16-node
+// mesh workloads, and the parallel sweep harness (sequential versus
+// -parallel N workers, fresh machines versus Reset reuse). It emits a
+// JSON report (BENCH_1.json and BENCH_2.json in the repo root are
+// committed snapshots; see DESIGN.md "Performance" for how to
+// regenerate them).
 //
 //	go run ./cmd/shrimp-bench -o BENCH_1.json
+//	go run ./cmd/shrimp-bench -parallel 4 -o BENCH_2.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	shrimp "repro"
 	"repro/internal/perf"
@@ -20,11 +24,22 @@ import (
 
 func main() {
 	iters := flag.Int("iters", 20, "measured iterations per benchmark")
+	parallel := flag.Int("parallel", 1, "sweep worker-pool size for the sweep/*/par benchmarks (0 = GOMAXPROCS)")
+	only := flag.String("only", "", "run only benchmarks whose name contains this substring")
 	out := flag.String("o", "", "write JSON report to this file (default stdout)")
 	flag.Parse()
 
+	workers := *parallel
+	if workers <= 0 {
+		workers = shrimp.DefaultSweepWorkers()
+	}
+
 	rep := perf.NewReport("Virtual Memory Mapped Network Interface for the SHRIMP Multicomputer")
+	rep.Workers = workers
 	run := func(name string, fn func() perf.Sample) {
+		if *only != "" && !strings.Contains(name, *only) {
+			return
+		}
 		r := perf.Measure(name, *iters, fn)
 		rep.Results = append(rep.Results, r)
 		fmt.Fprintf(os.Stderr, "%-28s %12.0f events/s  %8.1f sim/wall  %10.0f allocs/op  %.3f ms/op\n",
@@ -37,6 +52,29 @@ func main() {
 	run("bandwidth/xpress/1024B", func() perf.Sample { return bandwidthSample(shrimp.GenXpress, 1024) })
 	run("mesh/neighbors", func() perf.Sample { return meshSample(neighborLinks(4, 4)) })
 	run("mesh/hotspot", func() perf.Sample { return meshSample(hotspotLinks(4, 4)) })
+
+	// Machine construction tax: the same latency point on a fresh machine
+	// per op versus one machine Reset per op. The allocs/op gap is the
+	// payoff of per-worker machine reuse in the sweeps.
+	run("reuse/latency/fresh", func() perf.Sample {
+		return latencyResultSample(shrimp.MaxLatency(shrimp.ConfigFor(4, 4, shrimp.GenEISAPrototype)))
+	})
+	reuseM := shrimp.New(shrimp.ConfigFor(4, 4, shrimp.GenEISAPrototype))
+	run("reuse/latency/reset", func() perf.Sample {
+		reuseM.Reset()
+		return latencyResultSample(shrimp.MeasureStoreLatencyOn(reuseM, 0, 15))
+	})
+
+	// Sweep harness: the full 16-node latency sweep and the E3 bandwidth
+	// size sweep — the pre-pool baseline (one fresh machine per point),
+	// the sequential pool path, and the -parallel worker pool. Outputs
+	// are bit-identical (internal/core differential tests); only wall
+	// time and allocations differ.
+	run("sweep/latency/fresh", latencySweepFreshSample)
+	run("sweep/latency/seq", func() perf.Sample { return latencySweepSample(1) })
+	run("sweep/latency/par", func() perf.Sample { return latencySweepSample(workers) })
+	run("sweep/bandwidth/seq", func() perf.Sample { return bandwidthSweepSample(1) })
+	run("sweep/bandwidth/par", func() perf.Sample { return bandwidthSweepSample(workers) })
 
 	w := os.Stdout
 	if *out != "" {
@@ -58,7 +96,10 @@ func main() {
 // latency on a fresh 16-node machine. Events/SimTime are the whole-run
 // engine totals (boot handshake included).
 func latencySample(gen shrimp.Generation) perf.Sample {
-	r := shrimp.MaxLatency(shrimp.ConfigFor(4, 4, gen))
+	return latencyResultSample(shrimp.MaxLatency(shrimp.ConfigFor(4, 4, gen)))
+}
+
+func latencyResultSample(r shrimp.LatencyResult) perf.Sample {
 	return perf.Sample{
 		Events:  r.Events,
 		SimTime: r.SimEnd,
@@ -78,6 +119,57 @@ func bandwidthSample(gen shrimp.Generation, size int) perf.Sample {
 		SimTime: r.SimEnd,
 		Metrics: map[string]float64{"bandwidth_sim_mbps": r.MBps},
 	}
+}
+
+// latencySweepFreshSample is the historical sweep shape: one freshly
+// constructed machine per point, sequential — the baseline the pooled
+// sweeps (seq = Reset reuse, par = reuse + workers) improve on.
+func latencySweepFreshSample() perf.Sample {
+	cfg := shrimp.ConfigFor(4, 4, shrimp.GenEISAPrototype)
+	var s perf.Sample
+	for dst := 1; dst < cfg.NodeCount(); dst++ {
+		r := shrimp.MeasureStoreLatency(cfg, 0, dst)
+		s.Events += r.Events
+		s.SimTime += r.SimEnd
+	}
+	s.Metrics = map[string]float64{
+		"points":  float64(cfg.NodeCount() - 1),
+		"workers": 1,
+	}
+	return s
+}
+
+// latencySweepSample runs the whole 15-point E2 sweep on the given
+// worker count; Events/SimTime sum the per-point engine totals.
+func latencySweepSample(workers int) perf.Sample {
+	results := shrimp.LatencySweepParallel(shrimp.ConfigFor(4, 4, shrimp.GenEISAPrototype), workers)
+	var s perf.Sample
+	for _, r := range results {
+		s.Events += r.Events
+		s.SimTime += r.SimEnd
+	}
+	s.Metrics = map[string]float64{
+		"points":  float64(len(results)),
+		"workers": float64(workers),
+	}
+	return s
+}
+
+// bandwidthSweepSample runs the E3 transfer-size sweep (64 B .. 4 KB,
+// 128 KB each) on the given worker count.
+func bandwidthSweepSample(workers int) perf.Sample {
+	sizes := []int{64, 128, 256, 512, 1024, 2048, 4096}
+	results := shrimp.BandwidthSweepParallel(shrimp.ConfigFor(2, 1, shrimp.GenEISAPrototype), sizes, 128*1024, workers)
+	var s perf.Sample
+	for _, r := range results {
+		s.Events += r.Events
+		s.SimTime += r.SimEnd
+	}
+	s.Metrics = map[string]float64{
+		"points":  float64(len(results)),
+		"workers": float64(workers),
+	}
+	return s
 }
 
 func neighborLinks(w, h int) [][2]int {

@@ -3,6 +3,9 @@
 // prototype, < 1 µs next generation) and deliberate-update peak
 // bandwidth (paper: 33 MB/s EISA-limited, ~70 MB/s next generation),
 // plus the single-write vs blocked-write automatic-update ablation.
+// All sweeps run on the deterministic worker pool: -parallel N fans
+// independent sweep points across N machines without changing a single
+// reported number.
 package main
 
 import (
@@ -17,6 +20,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: latency, bandwidth, au, overlap, mergewindow or all")
 	mesh := flag.String("mesh", "4x4", "mesh dimensions, e.g. 4x4")
 	total := flag.Int("total", 512*1024, "bytes to stream in bandwidth runs")
+	parallel := flag.Int("parallel", 0, "sweep worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	var w, h int
@@ -24,6 +28,7 @@ func main() {
 		fmt.Println("bad -mesh; want e.g. 4x4")
 		return
 	}
+	workers := *parallel
 
 	gens := []struct {
 		name string
@@ -39,7 +44,7 @@ func main() {
 			cfg := shrimp.ConfigFor(w, h, g.gen)
 			fmt.Printf("\n%s (store on node 0 -> arrival in destination memory):\n", g.name)
 			byHops := map[int][]shrimp.LatencyResult{}
-			for _, r := range shrimp.LatencySweep(cfg) {
+			for _, r := range shrimp.LatencySweepParallel(cfg, workers) {
 				byHops[r.Hops] = append(byHops[r.Hops], r)
 			}
 			for hops := 1; hops <= w+h-2; hops++ {
@@ -67,7 +72,7 @@ func main() {
 		for _, g := range gens {
 			cfg := shrimp.ConfigFor(2, 1, g.gen)
 			fmt.Printf("\n%s:\n", g.name)
-			for _, r := range shrimp.BandwidthSweep(cfg, sizes, *total) {
+			for _, r := range shrimp.BandwidthSweepParallel(cfg, sizes, *total, workers) {
 				fmt.Printf("  %s\n", r)
 			}
 		}
@@ -86,9 +91,9 @@ func main() {
 	if *exp == "mergewindow" || *exp == "all" {
 		fmt.Println("\n=== §4.1 blocked-write merge window sweep (100 ns store gap) ===")
 		cfg := shrimp.ConfigFor(2, 1, shrimp.GenEISAPrototype)
-		for _, w := range []shrimp.Time{20 * shrimp.Nanosecond, 50 * shrimp.Nanosecond,
-			150 * shrimp.Nanosecond, 500 * shrimp.Nanosecond, 2 * shrimp.Microsecond} {
-			r := shrimp.MeasureMergeWindow(cfg, w, 100*shrimp.Nanosecond, 256)
+		windows := []shrimp.Time{20 * shrimp.Nanosecond, 50 * shrimp.Nanosecond,
+			150 * shrimp.Nanosecond, 500 * shrimp.Nanosecond, 2 * shrimp.Microsecond}
+		for _, r := range shrimp.MergeWindowSweep(cfg, windows, 100*shrimp.Nanosecond, 256, workers) {
 			fmt.Printf("  window %10v: %6.3f packets/store (%d packets)\n", r.Window, r.PktPerStore, r.Packets)
 		}
 	}
@@ -96,8 +101,9 @@ func main() {
 	if *exp == "au" || *exp == "all" {
 		fmt.Println("\n=== §4.1 ablation: single-write vs blocked-write automatic update ===")
 		cfg := shrimp.ConfigFor(2, 1, shrimp.GenEISAPrototype)
-		for _, mode := range []shrimp.Mode{shrimp.SingleWriteAU, shrimp.BlockedWriteAU} {
-			fmt.Printf("  %s\n", shrimp.MeasureAUBandwidth(cfg, mode, 4000))
+		modes := []shrimp.Mode{shrimp.SingleWriteAU, shrimp.BlockedWriteAU}
+		for _, r := range shrimp.AUBandwidthSweep(cfg, modes, 4000, workers) {
+			fmt.Printf("  %s\n", r)
 		}
 		fmt.Println("\n(single-write optimizes latency; blocked-write optimizes network")
 		fmt.Println(" bandwidth usage — the two implementations of §4.1)")

@@ -123,6 +123,14 @@ func (x *Xpress) Stats() XpressStats { return x.stats }
 // the CPU must stall behind its own store traffic.
 func (x *Xpress) BusyUntil() sim.Time { return x.busyTill }
 
+// Reset returns the bus to its just-built state: idle, zeroed
+// statistics. Registered snoopers and the command target persist — they
+// are wiring, not state.
+func (x *Xpress) Reset() {
+	x.busyTill = 0
+	x.stats = XpressStats{}
+}
+
 // cost returns the tenure duration for an n-byte transaction.
 func (x *Xpress) cost(n int) sim.Time {
 	beats := sim.Time((n + 7) / 8)

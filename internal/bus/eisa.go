@@ -80,6 +80,16 @@ func (e *EISA) Stats() EISAStats { return e.stats }
 // Config returns the bus parameters.
 func (e *EISA) Config() EISAConfig { return e.cfg }
 
+// Reset returns the bus to its just-built state: idle, zeroed
+// statistics. Zeroing Bursts matters for determinism: chained-burst
+// detection tests `busyTill >= start && Bursts > 0`, so a reset bus must
+// charge the first burst full setup exactly as a fresh one does. The
+// bridge-write pool is retained.
+func (e *EISA) Reset() {
+	e.busyTill = 0
+	e.stats = EISAStats{}
+}
+
 // DMAWrite streams data into main memory at a via a DMA burst, returning
 // the completion time. Consecutive bursts chain at reduced setup cost.
 func (e *EISA) DMAWrite(a phys.PAddr, data []byte) (done sim.Time) {

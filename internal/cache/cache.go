@@ -116,6 +116,23 @@ func trailingZeros(v uint32) int {
 // Stats returns a snapshot of cache statistics.
 func (c *Cache) Stats() Stats { return c.stats }
 
+// Reset invalidates every line and zeroes the LRU clock and statistics,
+// returning the cache to its just-built state. Line data arrays are
+// retained (an invalid line's contents are unobservable), so a reset
+// cache allocates nothing.
+func (c *Cache) Reset() {
+	for _, ways := range c.sets {
+		for w := range ways {
+			ways[w].valid = false
+			ways[w].dirty = false
+			ways[w].tag = 0
+			ways[w].lru = 0
+		}
+	}
+	c.clock = 0
+	c.stats = Stats{}
+}
+
 func (c *Cache) decompose(a phys.PAddr) (set, tag, off uint32) {
 	u := uint32(a)
 	return (u >> c.setShift) & c.setMask, u >> c.setShift >> log2u(uint32(c.cfg.Sets)), u & c.lineMask

@@ -16,6 +16,42 @@ import (
 // arrival of the written data in the destination memory") and peak
 // bandwidth of deliberate-update transfers. Both cmd/shrimp-hwperf and
 // the benchmark suite drive these.
+//
+// Every Measure* function has a machine-reusing measure*On twin that
+// runs on a caller-provided post-boot machine; the sweep harnesses in
+// sweep.go feed those twins reset machines from a per-worker pool.
+
+// ExperimentEventBudget bounds every drain-until-idle phase of the
+// experiment harnesses. It is a livelock guard, not a tuning knob: the
+// largest legitimate experiment (streaming half a megabyte through the
+// deliberate-update engine) fires well under 10^8 events, so a healthy
+// run never comes near the budget. When the budget is hit the drain
+// stops with an explicit error naming the phase — the simulation was
+// truncated by a stuck component, and silently reporting its partial
+// timings would corrupt the sweep.
+const ExperimentEventBudget uint64 = 500_000_000
+
+// Settle drains the machine until quiescent, returning an explicit
+// error (wrapping sim.ErrBudget) if ExperimentEventBudget is exhausted
+// first. phase names the experiment phase for the error message.
+func (m *Machine) Settle(phase string) error {
+	return m.settleWithin(phase, ExperimentEventBudget)
+}
+
+func (m *Machine) settleWithin(phase string, budget uint64) error {
+	if err := m.Eng.DrainBudget(budget); err != nil {
+		return fmt.Errorf("core: %s: %w", phase, err)
+	}
+	return nil
+}
+
+// mustSettle is Settle for harnesses whose signatures predate error
+// returns; the error still carries the phase and budget.
+func mustSettle(m *Machine, phase string) {
+	if err := m.Settle(phase); err != nil {
+		panic(err)
+	}
+}
 
 // LatencyResult is one measured automatic-update store latency. Events
 // and SimEnd carry whole-run engine accounting (boot included) so
@@ -52,14 +88,26 @@ func setupPair(m *Machine, src, dst int, mode nipt.Mode) *pairSetup {
 		panic(err)
 	}
 	m.MustMap(s.ps, s.sendVA, phys.PageSize, s.dst.ID, s.pd.PID, s.recvVA, mode)
-	m.RunUntilIdle(10_000_000)
+	mustSettle(m, "pair setup")
 	return s
 }
 
 // MeasureStoreLatency measures one single-write automatic-update store
 // from node src to node dst on a fresh machine of the given config.
 func MeasureStoreLatency(cfg Config, src, dst int) LatencyResult {
-	m := New(cfg)
+	return measureStoreLatencyOn(New(cfg), src, dst)
+}
+
+// MeasureStoreLatencyOn is MeasureStoreLatency on a caller-provided
+// post-boot machine (fresh or freshly Reset) — the machine-reuse entry
+// point for harnesses that amortize construction across measurements.
+func MeasureStoreLatencyOn(m *Machine, src, dst int) LatencyResult {
+	return measureStoreLatencyOn(m, src, dst)
+}
+
+// measureStoreLatencyOn is MeasureStoreLatency on a caller-provided
+// post-boot machine (fresh or freshly Reset).
+func measureStoreLatencyOn(m *Machine, src, dst int) LatencyResult {
 	s := setupPair(m, src, dst, nipt.SingleWriteAU)
 
 	const probe = 0x5a5a_5a5a
@@ -85,13 +133,10 @@ func MeasureStoreLatency(cfg Config, src, dst int) LatencyResult {
 }
 
 // LatencySweep measures store latency from node 0 to every other node
-// of the configured mesh (the paper quotes the 16-node figure).
+// of the configured mesh (the paper quotes the 16-node figure). It is
+// the sequential (workers == 1) path of LatencySweepParallel.
 func LatencySweep(cfg Config) []LatencyResult {
-	var out []LatencyResult
-	for dst := 1; dst < cfg.NodeCount(); dst++ {
-		out = append(out, MeasureStoreLatency(cfg, 0, dst))
-	}
-	return out
+	return LatencySweepParallel(cfg, 1)
 }
 
 // MaxLatency returns the worst-case (corner-to-corner) store latency.
@@ -121,10 +166,15 @@ func (r BandwidthResult) String() string {
 // dst using back-to-back deliberate-update transfers of transferBytes
 // each (≤ one page), and reports the sustained bandwidth.
 func MeasureDeliberateBandwidth(cfg Config, src, dst, transferBytes, totalBytes int) BandwidthResult {
+	return measureDeliberateBandwidthOn(New(cfg), src, dst, transferBytes, totalBytes)
+}
+
+// measureDeliberateBandwidthOn is MeasureDeliberateBandwidth on a
+// caller-provided post-boot machine.
+func measureDeliberateBandwidthOn(m *Machine, src, dst, transferBytes, totalBytes int) BandwidthResult {
 	if transferBytes <= 0 || transferBytes > phys.PageSize {
 		panic("core: transfer size must be within one page")
 	}
-	m := New(cfg)
 	s := setupPair(m, src, dst, nipt.DeliberateUpdate)
 	if err := s.src.K.GrantCommandPages(s.ps, s.sendVA, s.sendVA+0x4000_0000, 1); err != nil {
 		panic(err)
@@ -135,7 +185,7 @@ func MeasureDeliberateBandwidth(cfg Config, src, dst, transferBytes, totalBytes 
 			panic(err)
 		}
 	}
-	m.RunUntilIdle(10_000_000)
+	mustSettle(m, "bandwidth page fill")
 
 	cmdVA := s.sendVA + 0x4000_0000
 	tr, f := s.ps.AS.Translate(cmdVA, true)
@@ -161,7 +211,7 @@ func MeasureDeliberateBandwidth(cfg Config, src, dst, transferBytes, totalBytes 
 			}
 		}
 	}
-	m.RunUntilIdle(200_000_000)
+	mustSettle(m, "bandwidth stream drain")
 	elapsed := m.Eng.Now() - start
 	delivered := transfers * transferBytes
 	return BandwidthResult{
@@ -176,13 +226,10 @@ func MeasureDeliberateBandwidth(cfg Config, src, dst, transferBytes, totalBytes 
 }
 
 // BandwidthSweep measures sustained deliberate-update bandwidth across
-// transfer sizes.
+// transfer sizes. It is the sequential (workers == 1) path of
+// BandwidthSweepParallel.
 func BandwidthSweep(cfg Config, sizes []int, totalBytes int) []BandwidthResult {
-	out := make([]BandwidthResult, 0, len(sizes))
-	for _, sz := range sizes {
-		out = append(out, MeasureDeliberateBandwidth(cfg, 0, 1, sz, totalBytes))
-	}
-	return out
+	return BandwidthSweepParallel(cfg, sizes, totalBytes, 1)
 }
 
 // AUBandwidthResult is one point of the automatic-update ablation
@@ -208,7 +255,12 @@ func (r AUBandwidthResult) String() string {
 // precisely because single-write packetization is wildly inefficient
 // for bulk data.
 func MeasureAUBandwidth(cfg Config, mode nipt.Mode, stores int) AUBandwidthResult {
-	m := New(cfg)
+	return measureAUBandwidthOn(New(cfg), mode, stores)
+}
+
+// measureAUBandwidthOn is MeasureAUBandwidth on a caller-provided
+// post-boot machine.
+func measureAUBandwidthOn(m *Machine, mode nipt.Mode, stores int) AUBandwidthResult {
 	s := setupPair(m, 0, 1, mode)
 	before := s.dst.NIC.Stats()
 	beforeWire := m.Net.Stats().TotalWireByte
@@ -223,7 +275,7 @@ func MeasureAUBandwidth(cfg Config, mode nipt.Mode, stores int) AUBandwidthResul
 			off = 0
 		}
 	}
-	m.RunUntilIdle(500_000_000)
+	mustSettle(m, "AU stream drain")
 	elapsed := m.Eng.Now() - start
 	after := s.dst.NIC.Stats()
 	payload := 4 * stores

@@ -52,69 +52,78 @@ wloop:
 // a private page, once to a page mapped out with the given AU mode — and
 // compares CPU-visible completion times.
 func MeasureOverlap(cfg Config, mode nipt.Mode, iters int) OverlapResult {
-	run := func(mapped bool) (sim.Time, uint64) {
-		m := New(cfg)
-		src, dst := m.Node(0), m.Node(1)
-		ps := src.K.CreateProcess()
-		buf, err := ps.AllocPages(1)
-		if err != nil {
-			panic(err)
-		}
-		stack, err := ps.AllocPages(1)
-		if err != nil {
-			panic(err)
-		}
-		if mapped {
-			pd := dst.K.CreateProcess()
-			recv, err := pd.AllocPages(1)
-			if err != nil {
-				panic(err)
-			}
-			m.MustMap(ps, buf, phys.PageSize, dst.ID, pd.PID, recv, mode)
-		} else {
-			// Match the cache policy so only the NIC path differs.
-			if pte, ok := ps.AS.Lookup(buf.Page()); ok {
-				pte.WriteThrough = true
-				ps.AS.Map(buf.Page(), pte)
-			}
-		}
-		m.RunUntilIdle(10_000_000)
+	return measureOverlapOn(New(cfg), mode, iters)
+}
 
-		prog := isa.MustAssemble("overlap", overlapProgram, map[string]int64{
-			"ITERS":   int64(iters),
-			"BUF":     int64(buf),
-			"BUFMASK": int64(buf) | (phys.PageSize - 1),
-		})
-		src.K.BindProcess(ps)
-		cpu := src.CPU
-		cpu.Load(prog)
-		cpu.R = [8]uint32{}
-		cpu.R[isa.ESP] = uint32(stack) + phys.PageSize
-		start := m.Eng.Now()
-		if err := cpu.Start("work"); err != nil {
-			panic(err)
-		}
-		// Run until the CPU halts: that is the CPU-visible time. The
-		// network may still be draining afterwards — that is the point.
-		ok := m.Eng.RunWhile(func() bool { return !cpu.Halted() })
-		if !ok && !cpu.Halted() {
-			panic("core: overlap program starved")
-		}
-		cpuTime := m.Eng.Now() - start
-		m.RunUntilIdle(500_000_000)
-		if err := cpu.Err(); err != nil {
-			panic(err)
-		}
-		return cpuTime, dst.NIC.Stats().BytesIn
-	}
-	base, _ := run(false)
-	mappedTime, bytes := run(true)
+// measureOverlapOn is MeasureOverlap on a caller-provided post-boot
+// machine; the unmapped baseline and the mapped run share the machine
+// via Reset (the page allocator is deterministic, so both runs see the
+// same addresses and the assembled program caches across them).
+func measureOverlapOn(m *Machine, mode nipt.Mode, iters int) OverlapResult {
+	base, _ := runOverlap(m, mode, iters, false)
+	m.Reset()
+	mappedTime, bytes := runOverlap(m, mode, iters, true)
 	return OverlapResult{
 		BaselineTime: base,
 		MappedTime:   mappedTime,
 		BytesMoved:   bytes,
 		OverheadPct:  100 * (float64(mappedTime)/float64(base) - 1),
 	}
+}
+
+func runOverlap(m *Machine, mode nipt.Mode, iters int, mapped bool) (sim.Time, uint64) {
+	src, dst := m.Node(0), m.Node(1)
+	ps := src.K.CreateProcess()
+	buf, err := ps.AllocPages(1)
+	if err != nil {
+		panic(err)
+	}
+	stack, err := ps.AllocPages(1)
+	if err != nil {
+		panic(err)
+	}
+	if mapped {
+		pd := dst.K.CreateProcess()
+		recv, err := pd.AllocPages(1)
+		if err != nil {
+			panic(err)
+		}
+		m.MustMap(ps, buf, phys.PageSize, dst.ID, pd.PID, recv, mode)
+	} else {
+		// Match the cache policy so only the NIC path differs.
+		if pte, ok := ps.AS.Lookup(buf.Page()); ok {
+			pte.WriteThrough = true
+			ps.AS.Map(buf.Page(), pte)
+		}
+	}
+	mustSettle(m, "overlap setup")
+
+	prog := isa.MustAssembleCached("overlap", overlapProgram, map[string]int64{
+		"ITERS":   int64(iters),
+		"BUF":     int64(buf),
+		"BUFMASK": int64(buf) | (phys.PageSize - 1),
+	})
+	src.K.BindProcess(ps)
+	cpu := src.CPU
+	cpu.Load(prog)
+	cpu.R = [8]uint32{}
+	cpu.R[isa.ESP] = uint32(stack) + phys.PageSize
+	start := m.Eng.Now()
+	if err := cpu.Start("work"); err != nil {
+		panic(err)
+	}
+	// Run until the CPU halts: that is the CPU-visible time. The
+	// network may still be draining afterwards — that is the point.
+	ok := m.Eng.RunWhile(func() bool { return !cpu.Halted() })
+	if !ok && !cpu.Halted() {
+		panic("core: overlap program starved")
+	}
+	cpuTime := m.Eng.Now() - start
+	mustSettle(m, "overlap drain")
+	if err := cpu.Err(); err != nil {
+		panic(err)
+	}
+	return cpuTime, dst.NIC.Stats().BytesIn
 }
 
 // MergeWindowResult is one point of the blocked-write window sweep.
@@ -131,7 +140,15 @@ type MergeWindowResult struct {
 // packet per store; longer windows merge up to the payload bound.
 func MeasureMergeWindow(cfg Config, window, storeGap sim.Time, stores int) MergeWindowResult {
 	cfg.NIC.MergeWindow = window
-	m := New(cfg)
+	return measureMergeWindowOn(New(cfg), storeGap, stores)
+}
+
+// measureMergeWindowOn is MeasureMergeWindow on a caller-provided
+// post-boot machine whose config already carries the merge window under
+// test (the window is part of the NIC config, so sweeping it requires a
+// machine per window, not just a Reset).
+func measureMergeWindowOn(m *Machine, storeGap sim.Time, stores int) MergeWindowResult {
+	window := m.Cfg.NIC.MergeWindow
 	s := setupPair(m, 0, 1, nipt.BlockedWriteAU)
 	before := s.dst.NIC.Stats().PacketsIn
 	off := vm.VAddr(0)
@@ -145,7 +162,7 @@ func MeasureMergeWindow(cfg Config, window, storeGap sim.Time, stores int) Merge
 		}
 		m.Eng.RunFor(storeGap)
 	}
-	m.RunUntilIdle(500_000_000)
+	mustSettle(m, "merge-window drain")
 	pkts := s.dst.NIC.Stats().PacketsIn - before
 	return MergeWindowResult{
 		Window:      window,

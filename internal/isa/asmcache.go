@@ -1,0 +1,70 @@
+package isa
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Predecode cache. Assembling a routine is pure — the resulting Program
+// depends only on (name, source, symbol bindings) — and Programs are
+// immutable once assembled (the interpreter never writes instruction
+// fields; CPUs keep per-run state like eip outside the Program). So
+// repeated runs of the same routine, as in the Table-1 harnesses that
+// re-assemble send/receive routines every iteration, can share one
+// decoded Program: AssembleCached decodes on first use and returns the
+// cached object — safe across CPUs and across goroutines — thereafter.
+
+var asmCache sync.Map // cache key (string) -> *Program
+
+// asmCacheKey identifies a program: name, source text, and every symbol
+// binding (sorted, so map iteration order cannot split the cache).
+func asmCacheKey(name, src string, syms map[string]int64) string {
+	var b strings.Builder
+	b.Grow(len(name) + len(src) + 32*len(syms))
+	b.WriteString(name)
+	b.WriteByte(0)
+	b.WriteString(src)
+	names := make([]string, 0, len(syms))
+	for s := range syms {
+		names = append(names, s)
+	}
+	sort.Strings(names)
+	for _, s := range names {
+		b.WriteByte(0)
+		b.WriteString(s)
+		b.WriteByte('=')
+		b.WriteString(strconv.FormatInt(syms[s], 10))
+	}
+	return b.String()
+}
+
+// AssembleCached is Assemble behind a process-wide cache keyed by
+// program identity (name, source, symbol bindings). The returned
+// Program is shared: callers must treat it as read-only, which every
+// in-tree caller already does. Assembly errors are not cached — they
+// are cheap and rare.
+func AssembleCached(name, src string, syms map[string]int64) (*Program, error) {
+	key := asmCacheKey(name, src, syms)
+	if p, ok := asmCache.Load(key); ok {
+		return p.(*Program), nil
+	}
+	p, err := Assemble(name, src, syms)
+	if err != nil {
+		return nil, err
+	}
+	// Two goroutines may race to assemble the same program; both results
+	// are equivalent, and LoadOrStore makes every caller see one winner.
+	actual, _ := asmCache.LoadOrStore(key, p)
+	return actual.(*Program), nil
+}
+
+// MustAssembleCached is AssembleCached that panics on error.
+func MustAssembleCached(name, src string, syms map[string]int64) *Program {
+	p, err := AssembleCached(name, src, syms)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -153,6 +153,30 @@ func (c *CPU) EIP() int { return c.eip }
 // KernelMode reports whether the CPU is inside a trap/IRQ handler.
 func (c *CPU) KernelMode() bool { return c.kernelMode }
 
+// Reset returns the CPU to its just-built state: zeroed registers and
+// flags, no program, no pending interrupts, zeroed counters. The memory
+// port and the FaultHandler wired up at machine construction persist;
+// harness-installed Syscall and OnHalt hooks are cleared. The caller is
+// responsible for the engine: a started CPU has a step event pending.
+func (c *CPU) Reset() {
+	c.R = [8]uint32{}
+	c.ZF, c.SF, c.CF, c.OF, c.DF = false, false, false, false, false
+	c.Syscall = nil
+	c.OnHalt = nil
+	c.prog = nil
+	c.eip = 0
+	c.kernelMode = false
+	c.halted = false
+	c.frozen = false
+	c.started = false
+	c.repActive = false
+	c.err = nil
+	clear(c.isrs)
+	clear(c.goIRQ)
+	c.pendingIRQ = c.pendingIRQ[:0]
+	c.counters = Counters{}
+}
+
 // Load installs a program without starting execution.
 func (c *CPU) Load(p *Program) {
 	c.prog = p

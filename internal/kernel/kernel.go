@@ -159,6 +159,30 @@ func New(eng *sim.Engine, cfg Config, id packet.NodeID, coord packet.Coord,
 	return k
 }
 
+// Reset returns the kernel to its just-constructed state: no processes,
+// no peers or rings, no pending RPCs, no mapping records, scheduler
+// idle, zeroed statistics. Maps are cleared in place so their buckets
+// are reused. The machine constructor's boot steps (AddPeer,
+// SetFreePages) must be re-run afterwards, exactly as after New.
+func (k *Kernel) Reset() {
+	clear(k.procs)
+	k.nextPID = 1
+	k.free = nil
+	clear(k.swap)
+	clear(k.peers)
+	clear(k.ringOwner)
+	clear(k.pending)
+	k.nextReq = 0
+	clear(k.imports)
+	clear(k.exports)
+	k.OnUserRecvIRQ = nil
+	k.sched = scheduler{}
+	k.stats = Stats{}
+	if k.box != nil {
+		k.box.CurrentAS = nil
+	}
+}
+
 // ID returns the node id.
 func (k *Kernel) ID() packet.NodeID { return k.id }
 

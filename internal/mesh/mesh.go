@@ -222,6 +222,33 @@ func (n *Network) Attach(c packet.Coord, ep Endpoint) {
 // Stats returns a snapshot of backplane statistics.
 func (n *Network) Stats() Stats { return n.stats }
 
+// Reset abandons all in-flight worms and returns the backplane to its
+// just-built state: free channels, empty park slots, zeroed statistics,
+// fault injection off. Attached endpoints and injector-free callbacks
+// persist (wiring, not state). Worms still holding channels are dropped
+// rather than pooled — their packets are garbage-collected — so Reset is
+// safe even mid-flight; the worm pool itself is retained.
+func (n *Network) Reset() {
+	resetChannel := func(ch *channel) {
+		if ch == nil {
+			return
+		}
+		ch.owner = nil
+		ch.waiters = ch.waiters[:0]
+	}
+	for i := range n.links {
+		for dir := range n.links[i] {
+			resetChannel(n.links[i][dir])
+		}
+		resetChannel(n.inj[i])
+		resetChannel(n.ej[i])
+		n.park[i] = nil
+	}
+	n.corruptEvery = 0
+	n.injectCount = 0
+	n.stats = Stats{}
+}
+
 // Config returns the backplane configuration.
 func (n *Network) Config() Config { return n.cfg }
 

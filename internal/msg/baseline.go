@@ -827,8 +827,8 @@ func NewBaselinePair(gen nic.Generation) *BaselinePair {
 		panic(err)
 	}
 
-	b.csendProg = isa.MustAssemble("nx2base-csend", baseCsend, p.SSyms)
-	b.crecvProg = isa.MustAssemble("nx2base-crecv", baseCrecv, p.RSyms)
+	b.csendProg = isa.MustAssembleCached("nx2base-csend", baseCsend, p.SSyms)
+	b.crecvProg = isa.MustAssembleCached("nx2base-crecv", baseCrecv, p.RSyms)
 	return b
 }
 

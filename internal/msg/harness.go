@@ -152,13 +152,13 @@ func (p *Pair) run(node *core.Node, proc *kernel.Process, syms map[string]int64,
 
 // RunSender assembles and runs a sender-side routine.
 func (p *Pair) RunSender(name, src, entry string, regs map[isa.Reg]uint32) Counts {
-	prog := isa.MustAssemble(name, src, p.SSyms)
+	prog := isa.MustAssembleCached(name, src, p.SSyms)
 	return p.run(p.S, p.PS, p.SSyms, prog, entry, regs)
 }
 
 // RunReceiver assembles and runs a receiver-side routine.
 func (p *Pair) RunReceiver(name, src, entry string, regs map[isa.Reg]uint32) Counts {
-	prog := isa.MustAssemble(name, src, p.RSyms)
+	prog := isa.MustAssembleCached(name, src, p.RSyms)
 	return p.run(p.R, p.PR, p.RSyms, prog, entry, regs)
 }
 

@@ -421,8 +421,8 @@ func NewNX2Pair(gen nic.Generation, msgType uint32) *NX2Pair {
 	}
 	p.Drain()
 
-	n.csendProg = isa.MustAssemble("nx2-csend", nx2Csend, p.SSyms)
-	n.crecvProg = isa.MustAssemble("nx2-crecv", nx2Crecv, p.RSyms)
+	n.csendProg = isa.MustAssembleCached("nx2-csend", nx2Csend, p.SSyms)
+	n.crecvProg = isa.MustAssembleCached("nx2-crecv", nx2Crecv, p.RSyms)
 	return n
 }
 

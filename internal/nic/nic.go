@@ -303,6 +303,41 @@ func (n *NIC) Quiesced() bool {
 		!n.in.depositing && !n.dma.busy && n.merge.open == nil
 }
 
+// Reset returns the NIC to its just-built state: empty FIFOs, idle DMA
+// engine, no open blocked-write packet, zeroed statistics. Queued
+// packets return to the packet pool. Callbacks (OnIRQ, OnOutFull,
+// OnOutDrained), the NIPT, and the pooled pipeline events persist. The
+// caller must also reset the engine (or have drained it): any in-flight
+// pipeline events reference state cleared here.
+func (n *NIC) Reset() {
+	for n.out.q.len() > 0 {
+		packet.Put(n.out.q.pop().pkt)
+	}
+	for n.in.q.len() > 0 {
+		packet.Put(n.in.q.pop().pkt)
+	}
+	if n.in.depositing && n.depositQP.pkt != nil {
+		packet.Put(n.depositQP.pkt)
+	}
+	n.depositQP = queuedPacket{}
+	n.out.bytes = 0
+	n.out.injecting = false
+	n.out.stalled = false
+	n.out.stallFrom = 0
+	n.in.bytes = 0
+	n.in.depositing = false
+	chunkBuf := n.dma.chunkBuf
+	n.dma = dmaState{chunkBuf: chunkBuf}
+	if o := n.merge.open; o != nil {
+		// Recycle the open packet's buffer as the spare, as flushMerge does.
+		o.m = nil
+		n.merge.spare = o
+	}
+	n.merge.open = nil
+	n.merge.timerArmed = false
+	n.stats = Stats{}
+}
+
 // SnoopWrite implements bus.Snooper: the outgoing half of Figure 4.
 // Only CPU-mastered writes are candidates for forwarding; DMA deposits
 // from the network must not be re-forwarded.

@@ -112,6 +112,12 @@ func (t *Table) Entry(p phys.PageNum) *Entry {
 	return &t.entries[p]
 }
 
+// Reset clears every entry, returning the table to its just-built
+// state. The entry array is reused in place.
+func (t *Table) Reset() {
+	clear(t.entries)
+}
+
 // MapOut installs an outgoing mapping covering the whole page.
 func (t *Table) MapOut(p phys.PageNum, m OutMapping) {
 	e := t.Entry(p)

@@ -84,12 +84,15 @@ func Measure(name string, iters int, fn func() Sample) Result {
 
 // Report is the top-level JSON document shrimp-bench emits.
 type Report struct {
-	Paper     string   `json:"paper"`
-	GoVersion string   `json:"go_version"`
-	GOOS      string   `json:"goos"`
-	GOARCH    string   `json:"goarch"`
-	CPUs      int      `json:"cpus"`
-	Results   []Result `json:"results"`
+	Paper     string `json:"paper"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+	// Workers is the sweep worker-pool size the parallel benchmarks ran
+	// with (the -parallel flag); 0 for reports that predate the pool.
+	Workers int      `json:"workers,omitempty"`
+	Results []Result `json:"results"`
 }
 
 // NewReport builds a report shell with the runtime environment filled in.

@@ -176,11 +176,29 @@ func (m *Memory) Write8(a PAddr, v byte) {
 	m.frame(int(a >> PageShift))[a.Offset()] = v
 }
 
-// ZeroPage clears page p. The frame is dropped rather than cleared: a
-// nil frame reads as zeros, and the common caller (the kernel recycling
-// a frame) may never touch most of it again.
+// Reset zeroes all of memory, returning it to its just-built state.
+// Frames that were materialized are cleared in place rather than
+// dropped: a reset machine is about to run another workload that will
+// likely touch the same pages, so reusing the backing arrays avoids
+// re-paying the allocation. A cleared frame is observationally identical
+// to a nil one (both read as zeros).
+func (m *Memory) Reset() {
+	for _, f := range m.frames {
+		if f != nil {
+			clear(f)
+		}
+	}
+}
+
+// ZeroPage clears page p. A frame that was never materialized stays
+// nil (reads as zeros), so boot remains lazy; a materialized frame is
+// cleared in place so that the common caller — the kernel recycling a
+// frame — reuses the backing array instead of re-allocating it on the
+// next write.
 func (m *Memory) ZeroPage(p PageNum) {
 	a := p.Addr(0)
 	m.check(a, PageSize)
-	m.frames[p] = nil
+	if f := m.frames[p]; f != nil {
+		clear(f)
+	}
 }

@@ -15,6 +15,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 )
@@ -283,13 +284,42 @@ func (e *Engine) AdvanceTo(t Time) {
 	e.Advance(t - e.now)
 }
 
+// ErrBudget reports that a bounded drain stopped because it hit its
+// event budget while work was still pending — the simulation was
+// truncated, not quiescent.
+var ErrBudget = errors.New("sim: event budget exhausted before quiescence")
+
 // Drain runs events until quiescent and panics if more than limit events
 // fire, guarding tests against livelocked component models.
 func (e *Engine) Drain(limit uint64) {
+	if err := e.DrainBudget(limit); err != nil {
+		panic(fmt.Sprintf("sim: Drain exceeded %d events; component livelock?", limit))
+	}
+}
+
+// DrainBudget runs events until quiescent, or until limit events have
+// fired, in which case it stops and returns an error wrapping ErrBudget
+// instead of truncating silently. Harnesses that can surface errors use
+// it in place of Drain.
+func (e *Engine) DrainBudget(limit uint64) error {
 	start := e.fired
 	for e.Step() {
 		if e.fired-start > limit {
-			panic(fmt.Sprintf("sim: Drain exceeded %d events; component livelock?", limit))
+			return fmt.Errorf("%w (limit %d, %d still pending)", ErrBudget, limit, len(e.events))
 		}
 	}
+	return nil
+}
+
+// Reset returns the engine to its initial state — time zero, no pending
+// events, zeroed counters — while keeping the event queue's backing
+// array, so a long-lived harness can run many simulations without
+// rebuilding the engine. Pending events are discarded (their Handler and
+// closure references are dropped so they don't pin memory).
+func (e *Engine) Reset() {
+	clear(e.events)
+	e.events = e.events[:0]
+	e.now = 0
+	e.seq = 0
+	e.fired = 0
 }

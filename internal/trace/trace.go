@@ -144,6 +144,18 @@ func (t *Tracer) Record(node int, kind Kind, a, b uint64) {
 	t.byKind[kind]++
 }
 
+// Reset discards all recorded events and zeroes the counters, keeping
+// the ring's backing array; nil-safe.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.buf = t.buf[:0]
+	t.next = 0
+	t.total = 0
+	t.byKind = [numKinds]uint64{}
+}
+
 // Total returns the number of events recorded (including evicted ones).
 func (t *Tracer) Total() uint64 {
 	if t == nil {

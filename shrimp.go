@@ -34,6 +34,7 @@ package shrimp
 
 import (
 	"repro/internal/core"
+	"repro/internal/exp"
 	"repro/internal/isa"
 	"repro/internal/kernel"
 	"repro/internal/msg"
@@ -230,8 +231,23 @@ func MeasureStoreLatency(cfg Config, src, dst int) LatencyResult {
 	return core.MeasureStoreLatency(cfg, src, dst)
 }
 
+// MeasureStoreLatencyOn is MeasureStoreLatency on a caller-provided
+// machine (fresh, or recycled with Machine.Reset) so construction cost
+// amortizes across measurements.
+func MeasureStoreLatencyOn(m *Machine, src, dst int) LatencyResult {
+	return core.MeasureStoreLatencyOn(m, src, dst)
+}
+
 // LatencySweep measures store latency from node 0 to every other node.
 func LatencySweep(cfg Config) []LatencyResult { return core.LatencySweep(cfg) }
+
+// LatencySweepParallel is LatencySweep fanned across a deterministic
+// worker pool (one machine per worker, results in input order — output
+// is bit-identical to LatencySweep). workers <= 0 selects
+// DefaultSweepWorkers().
+func LatencySweepParallel(cfg Config, workers int) []LatencyResult {
+	return core.LatencySweepParallel(cfg, workers)
+}
 
 // MaxLatency measures the corner-to-corner store latency.
 func MaxLatency(cfg Config) LatencyResult { return core.MaxLatency(cfg) }
@@ -246,6 +262,34 @@ func MeasureDeliberateBandwidth(cfg Config, src, dst, transferBytes, totalBytes 
 func BandwidthSweep(cfg Config, sizes []int, totalBytes int) []BandwidthResult {
 	return core.BandwidthSweep(cfg, sizes, totalBytes)
 }
+
+// BandwidthSweepParallel is BandwidthSweep on the deterministic worker
+// pool; output is bit-identical to BandwidthSweep.
+func BandwidthSweepParallel(cfg Config, sizes []int, totalBytes, workers int) []BandwidthResult {
+	return core.BandwidthSweepParallel(cfg, sizes, totalBytes, workers)
+}
+
+// AUBandwidthSweep runs the automatic-update ablation per mode on the
+// deterministic worker pool.
+func AUBandwidthSweep(cfg Config, modes []Mode, stores, workers int) []AUBandwidthResult {
+	return core.AUBandwidthSweep(cfg, modes, stores, workers)
+}
+
+// MergeWindowSweep runs MeasureMergeWindow per window on the
+// deterministic worker pool.
+func MergeWindowSweep(cfg Config, windows []Time, storeGap Time, stores, workers int) []MergeWindowResult {
+	return core.MergeWindowSweep(cfg, windows, storeGap, stores, workers)
+}
+
+// OverlapSweep runs MeasureOverlap per mode on the deterministic worker
+// pool.
+func OverlapSweep(cfg Config, modes []Mode, iters, workers int) []OverlapResult {
+	return core.OverlapSweep(cfg, modes, iters, workers)
+}
+
+// DefaultSweepWorkers is the worker count the parallel sweeps use when
+// asked for workers <= 0 (GOMAXPROCS).
+func DefaultSweepWorkers() int { return exp.DefaultWorkers() }
 
 // MeasureAUBandwidth measures automatic-update store streaming (the
 // single-write versus blocked-write ablation).
@@ -278,4 +322,11 @@ type (
 // Assemble parses ISA assembly text with the given symbol table.
 func Assemble(name, src string, syms map[string]int64) (*Program, error) {
 	return isa.Assemble(name, src, syms)
+}
+
+// AssembleCached is Assemble behind a process-wide predecode cache keyed
+// by (name, source, symbols); the returned Program is shared and must be
+// treated as read-only.
+func AssembleCached(name, src string, syms map[string]int64) (*Program, error) {
+	return isa.AssembleCached(name, src, syms)
 }
