@@ -12,3 +12,11 @@ go test -run '^$' -bench BenchmarkEngine -benchtime 100x ./internal/sim
 # workers under the race detector (report discarded; the differential
 # tests assert parallel == sequential output).
 go run -race ./cmd/shrimp-bench -parallel 4 -iters 2 -only sweep -o /dev/null
+# Observability guard: the metrics registry and causal spans must stay
+# allocation-free on the hot path (counters, gauges, histograms, span
+# lifecycle all land in preallocated arrays). Run without -race — the
+# race runtime itself allocates and would mask a regression.
+go test -run TestInstrumentationZeroAlloc -count 1 ./internal/obs
+go test -run '^$' -bench BenchmarkEngineMetrics -benchtime 100x ./internal/obs
+# Timeline smoke: a 16-node run must export valid Chrome trace JSON.
+go run ./cmd/shrimp-trace -rounds 1 -o /dev/null

@@ -76,6 +76,13 @@ func main() {
 	run("sweep/bandwidth/seq", func() perf.Sample { return bandwidthSweepSample(1) })
 	run("sweep/bandwidth/par", func() perf.Sample { return bandwidthSweepSample(workers) })
 
+	// Instrumentation tax: the same sequential latency sweep with the
+	// metrics registry and causal spans off versus on. The registry's
+	// contract is zero allocations on the hot path and under 10% wall
+	// time; BENCH_3.json is the committed snapshot of this pair.
+	run("metrics/sweep/off", func() perf.Sample { return metricsSweepSample(false) })
+	run("metrics/sweep/on", func() perf.Sample { return metricsSweepSample(true) })
+
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -151,6 +158,28 @@ func latencySweepSample(workers int) perf.Sample {
 	s.Metrics = map[string]float64{
 		"points":  float64(len(results)),
 		"workers": float64(workers),
+	}
+	return s
+}
+
+// metricsSweepSample is latencySweepSample(1) with Config.Metrics
+// toggled — the off/on pair measures the instrumentation overhead.
+func metricsSweepSample(enabled bool) perf.Sample {
+	cfg := shrimp.ConfigFor(4, 4, shrimp.GenEISAPrototype)
+	cfg.Metrics = enabled
+	results := shrimp.LatencySweep(cfg)
+	var s perf.Sample
+	for _, r := range results {
+		s.Events += r.Events
+		s.SimTime += r.SimEnd
+	}
+	on := 0.0
+	if enabled {
+		on = 1
+	}
+	s.Metrics = map[string]float64{
+		"points":  float64(len(results)),
+		"metrics": on,
 	}
 	return s
 }

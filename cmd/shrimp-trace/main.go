@@ -1,0 +1,141 @@
+// shrimp-trace runs a workload on a simulated SHRIMP machine with the
+// metrics registry enabled and exports the timeline as Chrome
+// trace-event JSON: one process track per node, each completed causal
+// span rendered as nested async slices (snoop, out-fifo, mesh, deposit)
+// plus datapath tracer events as instants. Load the output in Perfetto
+// (ui.perfetto.dev) or chrome://tracing.
+//
+//	go run ./cmd/shrimp-trace -mesh 4x4 -workload neighbors -o trace.json
+//
+// A per-stage latency summary goes to stderr so stdout stays pipeable:
+//
+//	go run ./cmd/shrimp-trace | gzip > trace.json.gz
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	shrimp "repro"
+)
+
+func main() {
+	mesh := flag.String("mesh", "4x4", "mesh dimensions, e.g. 4x4")
+	gen := flag.String("gen", "eisa", "generation: eisa or xpress")
+	workload := flag.String("workload", "neighbors", "workload: neighbors, hotspot or ring")
+	msgBytes := flag.Int("bytes", 1024, "message size")
+	rounds := flag.Int("rounds", 4, "workload rounds")
+	spans := flag.Int("spans", 0, "retain up to N completed spans (0 = default)")
+	traceN := flag.Int("trace", 4096, "retain the last N datapath events as instants")
+	out := flag.String("o", "", "write the timeline to this file (default stdout)")
+	flag.Parse()
+
+	var w, h int
+	if _, err := fmt.Sscanf(strings.ToLower(*mesh), "%dx%d", &w, &h); err != nil || w < 1 || h < 1 {
+		fmt.Fprintln(os.Stderr, "bad -mesh; want e.g. 4x4")
+		os.Exit(1)
+	}
+	g := shrimp.GenEISAPrototype
+	if *gen == "xpress" {
+		g = shrimp.GenXpress
+	}
+	cfg := shrimp.ConfigFor(w, h, g)
+	cfg.Metrics = true
+	cfg.SpanCapacity = *spans
+	cfg.TraceCapacity = *traceN
+	m := shrimp.New(cfg)
+	n := w * h
+
+	eps := make([]shrimp.Endpoint, n)
+	for i := range eps {
+		eps[i] = shrimp.NewEndpoint(m.Node(i))
+	}
+
+	type link struct{ src, dst int }
+	var links []link
+	switch *workload {
+	case "neighbors":
+		for i := 0; i < n; i++ {
+			x, y := i%w, i/w
+			j := y*w + (x+1)%w
+			if j != i {
+				links = append(links, link{i, j})
+			}
+		}
+	case "hotspot":
+		for i := 1; i < n; i++ {
+			links = append(links, link{i, 0})
+		}
+	case "ring":
+		for i := 0; i < n; i++ {
+			links = append(links, link{i, (i + 1) % n})
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "unknown workload; want neighbors, hotspot or ring")
+		os.Exit(1)
+	}
+
+	channels := make([]*shrimp.Channel, len(links))
+	pages := (*msgBytes+shrimp.PageSize-1)/shrimp.PageSize + 1
+	for i, l := range links {
+		ch, err := shrimp.NewChannel(m, eps[l.src], eps[l.dst], pages)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "map %d->%d: %v\n", l.src, l.dst, err)
+			os.Exit(1)
+		}
+		channels[i] = ch
+	}
+
+	payload := make([]byte, *msgBytes)
+	for i := range payload {
+		payload[i] = byte(i * 17)
+	}
+	for r := 0; r < *rounds; r++ {
+		for _, ch := range channels {
+			if err := ch.Send(payload); err != nil {
+				fmt.Fprintln(os.Stderr, "send:", err)
+				os.Exit(1)
+			}
+		}
+		for _, ch := range channels {
+			if _, err := ch.Recv(); err != nil {
+				fmt.Fprintln(os.Stderr, "recv:", err)
+				os.Exit(1)
+			}
+		}
+	}
+	m.RunUntilIdle(1_000_000_000)
+
+	w2 := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w2 = f
+	}
+	bw := bufio.NewWriter(w2)
+	if err := m.TraceJSON(bw); err != nil {
+		fmt.Fprintln(os.Stderr, "trace:", err)
+		os.Exit(1)
+	}
+	if err := bw.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "trace:", err)
+		os.Exit(1)
+	}
+
+	spansDone := len(m.Obs.CompletedSpans())
+	fmt.Fprintf(os.Stderr, "workload %q on %dx%d %s mesh: %d spans, %d tracer events\n",
+		*workload, w, h, g, spansDone, len(m.Tracer.Events()))
+	if err := m.Obs.WriteStageTable(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "stage table:", err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "timeline written to %s — open in ui.perfetto.dev\n", *out)
+	}
+}

@@ -18,6 +18,7 @@ package bus
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/phys"
 	"repro/internal/sim"
 )
@@ -98,6 +99,7 @@ type Xpress struct {
 	cmd      CommandTarget
 	busyTill sim.Time
 	stats    XpressStats
+	scope    *obs.NodeScope // nil when metrics are disabled
 }
 
 // NewXpress builds the memory bus over the given DRAM.
@@ -111,6 +113,9 @@ func (x *Xpress) AddSnooper(s Snooper) { x.snoopers = append(x.snoopers, s) }
 
 // SetCommandTarget registers the decoder for the command address space.
 func (x *Xpress) SetCommandTarget(t CommandTarget) { x.cmd = t }
+
+// SetObs attaches the node's metrics scope (nil detaches).
+func (x *Xpress) SetObs(s *obs.NodeScope) { x.scope = s }
 
 // Memory returns the DRAM behind the bus.
 func (x *Xpress) Memory() *phys.Memory { return x.mem }
@@ -144,8 +149,10 @@ func (x *Xpress) cost(n int) sim.Time {
 // traffic, returning its completion time.
 func (x *Xpress) acquire(n int) sim.Time {
 	start := x.eng.Now()
+	x.scope.Inc(obs.CtrBusTxns)
 	if x.busyTill > start {
 		x.stats.ContentionWait += x.busyTill - start
+		x.scope.Add(obs.CtrBusWaitPs, uint64(x.busyTill-start))
 		start = x.busyTill
 	}
 	d := x.cost(n)

@@ -15,6 +15,7 @@ import (
 	"repro/internal/mesh"
 	"repro/internal/nic"
 	"repro/internal/nipt"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/phys"
 	"repro/internal/sim"
@@ -30,6 +31,15 @@ type Config struct {
 	// TraceCapacity, when positive, attaches an event tracer retaining
 	// that many events across the whole machine.
 	TraceCapacity int
+	// Metrics attaches the machine-wide observability registry
+	// (internal/obs): per-node counters and histograms, per-link mesh
+	// stats, and causal packet spans. Off by default; enabling it never
+	// changes simulated results, only records them.
+	Metrics bool
+	// SpanCapacity bounds concurrently-active and retained-completed
+	// causal spans when Metrics is on (<= 0 selects
+	// obs.DefaultSpanCapacity).
+	SpanCapacity int
 
 	Mesh   mesh.Config
 	Xpress bus.XpressConfig
@@ -87,6 +97,7 @@ type Machine struct {
 	Net    *mesh.Network
 	Nodes  []*Node
 	Tracer *trace.Tracer // nil unless Config.TraceCapacity > 0
+	Obs    *obs.Registry // nil unless Config.Metrics
 }
 
 // CoordOf maps a node id to its mesh coordinates (row-major).
@@ -111,6 +122,10 @@ func New(cfg Config) *Machine {
 		m.Tracer = trace.New(eng, cfg.TraceCapacity)
 		net.Tracer = m.Tracer
 	}
+	if cfg.Metrics {
+		m.Obs = obs.New(eng, cfg.NodeCount(), cfg.SpanCapacity)
+		net.SetObs(m.Obs)
+	}
 
 	for id := 0; id < cfg.NodeCount(); id++ {
 		coord := cfg.CoordOf(packet.NodeID(id))
@@ -129,6 +144,11 @@ func New(cfg Config) *Machine {
 		k := kernel.New(eng, cfg.Kernel, packet.NodeID(id), coord, mem, xbus, nicDev, cpu, box)
 		nicDev.Tracer = m.Tracer
 		k.Tracer = m.Tracer
+		scope := m.Obs.Node(id) // nil when metrics are disabled
+		nicDev.SetObs(m.Obs)
+		xbus.SetObs(scope)
+		table.SetObs(scope)
+		k.Obs = scope
 		m.Nodes = append(m.Nodes, &Node{
 			Eng: eng, ID: packet.NodeID(id), Coord: coord, Mem: mem, Xbus: xbus,
 			EISA: eisaBus, Cache: ch, NIC: nicDev, CPU: cpu, Box: box, K: k,

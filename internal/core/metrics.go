@@ -1,0 +1,26 @@
+package core
+
+import (
+	"io"
+
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// Metrics returns a point-in-time snapshot of the machine's metrics
+// registry. With Config.Metrics off it returns a zero-value snapshot.
+func (m *Machine) Metrics() obs.Snapshot { return m.Obs.Snapshot() }
+
+// TraceJSON renders the machine's observability state — completed
+// causal spans as per-node async tracks, plus any trace.Tracer events
+// as instants — in Chrome trace-event JSON, loadable in Perfetto
+// (ui.perfetto.dev) or chrome://tracing. Spans require Config.Metrics;
+// instants require Config.TraceCapacity; with neither, the output is a
+// valid but empty timeline.
+func (m *Machine) TraceJSON(w io.Writer) error {
+	var events []trace.Event
+	if m.Tracer != nil {
+		events = m.Tracer.Events()
+	}
+	return obs.WriteChromeTrace(w, m.Cfg.NodeCount(), m.Obs.CompletedSpans(), events)
+}

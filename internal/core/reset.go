@@ -30,5 +30,6 @@ func (m *Machine) Reset() {
 		n.K.Reset()
 	}
 	m.Tracer.Reset()
+	m.Obs.Reset()
 	m.installKernelRings()
 }

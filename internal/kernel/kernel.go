@@ -17,6 +17,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/isa"
 	"repro/internal/nic"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/phys"
 	"repro/internal/sim"
@@ -118,6 +119,9 @@ type Kernel struct {
 	OnUserRecvIRQ func(page phys.PageNum)
 	// Tracer, when set, records kernel events (nil-safe).
 	Tracer *trace.Tracer
+	// Obs, when set, is this node's metrics scope for kernel page
+	// operations (nil-safe).
+	Obs *obs.NodeScope
 
 	sched scheduler
 	stats Stats

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/nipt"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/phys"
 	"repro/internal/trace"
@@ -214,6 +215,7 @@ func (k *Kernel) installMapping(m *Mapping, segs []pageSeg) {
 			DstShift: sg.dstShift,
 		}
 		k.installSegment(frame, sg, out)
+		k.Obs.Inc(obs.CtrKernelMaps)
 		k.Tracer.Record(int(k.id), trace.MapEstablished, uint64(frame), uint64(out.DstPage))
 		rec := &OutMapping{
 			Proc:          m.Proc,
@@ -291,6 +293,7 @@ func (k *Kernel) Unmap(m *Mapping) *Future {
 	for _, rec := range m.records {
 		if frame, ok := rec.Proc.AS.FrameOf(rec.VPN); ok && !rec.Invalidated {
 			k.removeSegment(frame, rec)
+			k.Obs.Inc(obs.CtrKernelUnmaps)
 			k.Tracer.Record(int(k.id), trace.MapTorn, uint64(frame), 0)
 		}
 		k.dropExportRecord(rec)

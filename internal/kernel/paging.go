@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/isa"
 	"repro/internal/nipt"
+	"repro/internal/obs"
 	"repro/internal/phys"
 	"repro/internal/trace"
 	"repro/internal/vm"
@@ -84,6 +85,7 @@ func (k *Kernel) finishEvict(p *Process, vpn vm.VPN, frame phys.PageNum) {
 	p.AS.Map(vpn, pte)
 	k.freeFrame(frame)
 	k.stats.Evictions++
+	k.Obs.Inc(obs.CtrKernelEvictions)
 	k.Tracer.Record(int(k.id), trace.PageEvicted, uint64(frame), 0)
 }
 
@@ -112,6 +114,7 @@ func (k *Kernel) pageIn(p *Process, vpn vm.VPN) error {
 		k.installSegment(frame, pageSeg{segStart: rec.SegStart, segEnd: rec.SegEnd}, rec.Seg)
 	}
 	k.stats.PageIns++
+	k.Obs.Inc(obs.CtrKernelPageIns)
 	k.Tracer.Record(int(k.id), trace.PageIn, uint64(frame), 0)
 	return nil
 }

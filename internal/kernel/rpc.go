@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/nipt"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/phys"
 	"repro/internal/trace"
@@ -321,6 +322,7 @@ func (k *Kernel) invalidateOutMapping(m *OutMapping) {
 	m.Invalidated = true
 	frame, ok := m.Proc.AS.FrameOf(m.VPN)
 	if ok {
+		k.Obs.Inc(obs.CtrKernelUnmaps)
 		k.Tracer.Record(int(k.id), trace.MapTorn, uint64(frame), 0)
 		e := k.nic.Table().Entry(frame)
 		seg := e.Out(m.SegmentOffset)

@@ -28,6 +28,7 @@ package mesh
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -74,6 +75,8 @@ type channel struct {
 	waiters []*worm
 	// injNode is the node index whose injection port this is, or -1.
 	injNode int
+	// stat is this channel's metrics block; nil when metrics are off.
+	stat *obs.LinkStat
 }
 
 // Worm lifecycle phases, dispatched by Fire.
@@ -195,6 +198,24 @@ func New(eng *sim.Engine, cfg Config) *Network {
 		}
 	}
 	return n
+}
+
+// SetObs registers every channel (links, injection and ejection ports)
+// with the metrics registry. A nil registry (metrics disabled) leaves
+// the channels uninstrumented.
+func (n *Network) SetObs(reg *obs.Registry) {
+	register := func(ch *channel) {
+		if ch != nil {
+			ch.stat = reg.Link(ch.name)
+		}
+	}
+	for i := range n.links {
+		register(n.inj[i])
+		register(n.ej[i])
+		for dir := range n.links[i] {
+			register(n.links[i][dir])
+		}
+	}
 }
 
 // OnInjectorFree registers a callback fired whenever c's injection port
@@ -361,6 +382,7 @@ func (n *Network) advance(w *worm) {
 		ch := w.path[w.acquired]
 		if ch.owner != nil || len(ch.waiters) > 0 {
 			ch.waiters = append(ch.waiters, w)
+			ch.stat.Wait(len(ch.waiters))
 			return
 		}
 		n.take(ch, w)
@@ -380,6 +402,7 @@ func (n *Network) take(ch *channel, w *worm) {
 	ch.owner = w
 	w.acquired++
 	n.stats.FlitHops += uint64(n.flits(w.wire))
+	ch.stat.Take(n.flits(w.wire))
 }
 
 // arrive offers the worm's head to the destination endpoint.

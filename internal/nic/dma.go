@@ -3,7 +3,9 @@ package nic
 import (
 	"repro/internal/bus"
 	"repro/internal/nipt"
+	"repro/internal/obs"
 	"repro/internal/phys"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -58,6 +60,7 @@ type dmaState struct {
 	pendingRemote   phys.PAddr
 	pendingLen      int
 	pendingSrcPage  phys.PageNum
+	pendingStart    sim.Time // instant the chunk's bus read was issued
 	pendingFinished bool
 }
 
@@ -70,7 +73,8 @@ func (ev *dmaChunkEvent) Fire() {
 	n := ev.n
 	d := &n.dma
 	n.flushMerge()
-	n.emit(d.pendingMap, d.pendingRemote, d.chunkBuf[:d.pendingLen], d.pendingSrcPage)
+	n.emit(d.pendingMap, d.pendingRemote, d.chunkBuf[:d.pendingLen], d.pendingSrcPage,
+		d.pendingStart, obs.SpanDeliberate)
 	d.chunking = false
 	if d.pendingFinished {
 		d.busy = false
@@ -128,6 +132,7 @@ func (n *NIC) CmdWrite(a phys.PAddr, v uint32) bool {
 	// Transfer command: v is a word count.
 	if n.dma.busy {
 		n.stats.DMARejected++
+		n.scope.Inc(obs.CtrDMARejected)
 		return false
 	}
 	if v == 0 || v > MaxDMAWords {
@@ -145,6 +150,7 @@ func (n *NIC) CmdWrite(a phys.PAddr, v uint32) bool {
 	n.dma.base = da
 	n.dma.cur = da
 	n.dma.remaining = v
+	n.scope.Inc(obs.CtrDMACommands)
 	n.Tracer.Record(int(n.node), trace.DMAStart, uint64(v), uint64(da))
 	n.dma.kick(n)
 	return true
@@ -177,6 +183,8 @@ func (d *dmaState) kick(n *NIC) {
 	if cap(d.chunkBuf) < chunk {
 		d.chunkBuf = make([]byte, chunk)
 	}
+	n.scope.Inc(obs.CtrDMAChunks)
+	d.pendingStart = n.eng.Now()
 	done := n.xbus.ReadInto(bus.InitNIC, d.cur, d.chunkBuf[:chunk])
 	d.pendingMap = m
 	d.pendingRemote = remote

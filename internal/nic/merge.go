@@ -2,6 +2,7 @@ package nic
 
 import (
 	"repro/internal/nipt"
+	"repro/internal/obs"
 	"repro/internal/phys"
 	"repro/internal/sim"
 )
@@ -29,6 +30,7 @@ type openPacket struct {
 	srcPage     phys.PageNum
 	startRemote phys.PAddr
 	buf         []byte
+	started     sim.Time // first merged store: the causal span's origin
 	lastWrite   sim.Time
 }
 
@@ -44,6 +46,7 @@ func (n *NIC) mergeWrite(m *nipt.OutMapping, remote phys.PAddr, data []byte, src
 			o.buf = append(o.buf, data...)
 			o.lastWrite = now
 			n.stats.MergedWrites++
+			n.scope.Inc(obs.CtrMergedWrites)
 			n.armMergeTimer()
 			return
 		}
@@ -59,6 +62,7 @@ func (n *NIC) mergeWrite(m *nipt.OutMapping, remote phys.PAddr, data []byte, src
 	o.srcPage = srcPage
 	o.startRemote = remote
 	o.buf = append(o.buf[:0], data...)
+	o.started = now
 	o.lastWrite = now
 	n.merge.open = o
 	n.armMergeTimer()
@@ -104,7 +108,8 @@ func (n *NIC) flushMerge() {
 	}
 	n.merge.open = nil
 	n.stats.MergedPackets++
-	n.emit(o.m, o.startRemote, o.buf, o.srcPage)
+	n.scope.Inc(obs.CtrMergedPackets)
+	n.emit(o.m, o.startRemote, o.buf, o.srcPage, o.started, obs.SpanBlockedWrite)
 	o.m = nil
 	n.merge.spare = o
 }

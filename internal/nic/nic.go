@@ -25,6 +25,7 @@ import (
 	"repro/internal/bus"
 	"repro/internal/mesh"
 	"repro/internal/nipt"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/phys"
 	"repro/internal/sim"
@@ -153,6 +154,11 @@ type NIC struct {
 	// Tracer, when set, records datapath events (nil-safe).
 	Tracer *trace.Tracer
 
+	// obs is the machine-wide metrics registry (spans) and scope this
+	// node's counters land in; both nil when metrics are disabled.
+	obs   *obs.Registry
+	scope *obs.NodeScope
+
 	out   outState
 	in    inState
 	dma   dmaState
@@ -199,6 +205,7 @@ type injectEvent struct{ n *NIC }
 func (ev *injectEvent) Fire() {
 	n := ev.n
 	head := n.out.q.peek()
+	n.obs.SpanInjected(head.pkt.Span)
 	n.net.Inject(n.coord, head.pkt, head.wire)
 }
 
@@ -271,6 +278,14 @@ func New(eng *sim.Engine, cfg Config, node packet.NodeID, coord packet.Coord,
 	net.Attach(coord, (*endpoint)(n))
 	net.OnInjectorFree(coord, n.injectorFree)
 	return n
+}
+
+// SetObs attaches the machine-wide metrics registry; the NIC records
+// into its own node's scope and mints causal spans from the registry.
+// A nil registry (metrics disabled) detaches.
+func (n *NIC) SetObs(reg *obs.Registry) {
+	n.obs = reg
+	n.scope = reg.Node(int(n.node))
 }
 
 // Table returns the NIPT (the kernel configures mappings through it).
@@ -346,6 +361,7 @@ func (n *NIC) SnoopWrite(init bus.Initiator, a phys.PAddr, data []byte) {
 		return
 	}
 	n.stats.SnoopedWrites++
+	n.scope.Inc(obs.CtrSnoopedWrites)
 	m, remote, ok := n.table.Resolve(a)
 	if !ok || m.Mode == nipt.DeliberateUpdate {
 		return
@@ -353,7 +369,7 @@ func (n *NIC) SnoopWrite(init bus.Initiator, a phys.PAddr, data []byte) {
 	switch m.Mode {
 	case nipt.SingleWriteAU:
 		n.flushMerge() // preserve store order across modes
-		n.emit(m, remote, data, a.Page())
+		n.emit(m, remote, data, a.Page(), n.eng.Now(), obs.SpanSingleWrite)
 	case nipt.BlockedWriteAU:
 		n.mergeWrite(m, remote, data, a.Page())
 	}
@@ -362,8 +378,12 @@ func (n *NIC) SnoopWrite(init bus.Initiator, a phys.PAddr, data []byte) {
 // emit packetizes payload destined for the given remote address and
 // queues it on the Outgoing FIFO after the packetize latency. The
 // payload bytes are copied into a pooled packet, so the caller's buffer
-// is free for reuse on return.
-func (n *NIC) emit(m *nipt.OutMapping, remote phys.PAddr, payload []byte, srcPage phys.PageNum) {
+// is free for reuse on return. start and kind seed the packet's causal
+// span: start is the initiating instant (first merged store for
+// blocked-write, the chunk read for deliberate update), which may
+// precede now.
+func (n *NIC) emit(m *nipt.OutMapping, remote phys.PAddr, payload []byte, srcPage phys.PageNum,
+	start sim.Time, kind obs.SpanKind) {
 	e := n.table.Entry(srcPage)
 	p := packet.Get()
 	p.Src = n.coord
@@ -372,7 +392,9 @@ func (n *NIC) emit(m *nipt.OutMapping, remote phys.PAddr, payload []byte, srcPag
 	p.Payload = append(p.Payload, payload...)
 	if e.KernelRing {
 		p.Kind = packet.KernelRing
+		kind = obs.SpanKernelRing
 	}
+	p.Span = n.obs.BeginSpan(int(n.node), int(m.DstNode), len(payload), kind, start)
 	ev := n.freeEnq
 	if ev == nil {
 		ev = &enqueueEvent{n: n}
@@ -394,6 +416,9 @@ func (n *NIC) enqueueOut(p *packet.Packet, wire int) {
 	}
 	n.out.q.push(queuedPacket{p, wire})
 	n.out.bytes += wire
+	n.obs.SpanEnqueued(p.Span)
+	n.scope.Set(obs.GaugeOutFIFOBytes, int64(n.out.bytes))
+	n.scope.Observe(obs.HistOutFIFODepth, uint64(n.out.bytes))
 	if n.out.bytes > n.stats.MaxOutFIFOBytes {
 		n.stats.MaxOutFIFOBytes = n.out.bytes
 	}
@@ -401,6 +426,7 @@ func (n *NIC) enqueueOut(p *packet.Packet, wire int) {
 		n.out.stalled = true
 		n.out.stallFrom = n.eng.Now()
 		n.stats.OutFullEvents++
+		n.scope.Inc(obs.CtrOutStalls)
 		n.Tracer.Record(int(n.node), trace.OutStall, uint64(n.out.bytes), 0)
 		if n.OnOutFull != nil {
 			n.OnOutFull()
@@ -433,6 +459,9 @@ func (n *NIC) injectorFree() {
 		n.stats.KernelPacketsOut++
 	}
 	n.stats.BytesOut += uint64(len(head.pkt.Payload))
+	n.scope.Inc(obs.CtrPacketsOut)
+	n.scope.Add(obs.CtrBytesOut, uint64(len(head.pkt.Payload)))
+	n.scope.Set(obs.GaugeOutFIFOBytes, int64(n.out.bytes))
 	n.Tracer.Record(int(n.node), trace.PacketOut, uint64(len(head.pkt.Payload)),
 		uint64(head.pkt.Dst.X)<<8|uint64(head.pkt.Dst.Y)&0xff)
 	if n.out.stalled && n.out.bytes <= n.cfg.OutThreshold {

@@ -2,6 +2,7 @@ package nic
 
 import (
 	"repro/internal/bus"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -26,6 +27,8 @@ func (e *endpoint) Accept(p *packet.Packet, wire int) bool {
 		panic("nic: incoming FIFO headroom too small for packet")
 	}
 	n.in.bytes += wire
+	n.scope.Set(obs.GaugeInFIFOBytes, int64(n.in.bytes))
+	n.scope.Observe(obs.HistInFIFODepth, uint64(n.in.bytes))
 	if n.in.bytes > n.stats.MaxInFIFOBytes {
 		n.stats.MaxInFIFOBytes = n.in.bytes
 	}
@@ -36,6 +39,7 @@ func (e *endpoint) Accept(p *packet.Packet, wire int) bool {
 // Incoming FIFO.
 func (e *endpoint) Deliver(p *packet.Packet, wire int) {
 	n := (*NIC)(e)
+	n.obs.SpanDelivered(p.Span)
 	n.in.q.push(queuedPacket{p, wire})
 	n.deposit()
 }
@@ -124,26 +128,36 @@ func (n *NIC) depositPacket(q queuedPacket) {
 func (n *NIC) finishDeposit(q queuedPacket, delivered bool) {
 	n.in.bytes -= q.wire
 	n.in.depositing = false
+	n.scope.Set(obs.GaugeInFIFOBytes, int64(n.in.bytes))
 	if delivered {
+		n.obs.SpanDeposited(q.pkt.Span)
 		n.stats.PacketsIn++
 		n.stats.BytesIn += uint64(len(q.pkt.Payload))
+		n.scope.Inc(obs.CtrPacketsIn)
+		n.scope.Add(obs.CtrBytesIn, uint64(len(q.pkt.Payload)))
+		n.scope.Observe(obs.HistPayload, uint64(len(q.pkt.Payload)))
 		page := q.pkt.DstAddr.Page()
 		n.Tracer.Record(int(n.node), trace.PacketIn, uint64(len(q.pkt.Payload)), uint64(page))
 		entry := n.table.Entry(page)
 		switch {
 		case entry.KernelRing:
 			n.stats.RecvIRQs++
+			n.scope.Inc(obs.CtrIRQs)
 			n.Tracer.Record(int(n.node), trace.IRQ, uint64(IRQKernelRing), uint64(page))
 			if n.OnIRQ != nil {
 				n.OnIRQ(IRQKernelRing, page)
 			}
 		case entry.RecvInterrupt || q.pkt.Interrupt:
 			n.stats.RecvIRQs++
+			n.scope.Inc(obs.CtrIRQs)
 			n.Tracer.Record(int(n.node), trace.IRQ, uint64(IRQRecv), uint64(page))
 			if n.OnIRQ != nil {
 				n.OnIRQ(IRQRecv, page)
 			}
 		}
+	} else {
+		n.obs.SpanDropped(q.pkt.Span)
+		n.scope.Inc(obs.CtrDrops)
 	}
 	// The payload has been deposited (or dropped); this NIC holds the
 	// last reference, so the packet returns to the pool for the next

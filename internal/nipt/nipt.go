@@ -12,6 +12,7 @@ package nipt
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/phys"
 )
@@ -96,6 +97,7 @@ func (e *Entry) MappedOut() bool {
 // Table is the page table of one network interface.
 type Table struct {
 	entries []Entry
+	scope   *obs.NodeScope // nil when metrics are disabled
 }
 
 // New returns a table covering the given number of physical pages.
@@ -103,6 +105,10 @@ func New(pages int) *Table { return &Table{entries: make([]Entry, pages)} }
 
 // Pages returns the number of entries.
 func (t *Table) Pages() int { return len(t.entries) }
+
+// SetObs attaches the node's metrics scope (nil detaches). Resolve
+// counts lookups and misses through it.
+func (t *Table) SetObs(s *obs.NodeScope) { t.scope = s }
 
 // Entry returns the entry for page p. The pointer stays valid for the
 // table's lifetime; callers mutate entries through it (the hardware
@@ -147,9 +153,11 @@ func (t *Table) UnmapOut(p phys.PageNum) {
 // address the data should be delivered to, or ok=false when the address
 // is not mapped out.
 func (t *Table) Resolve(a phys.PAddr) (m *OutMapping, remote phys.PAddr, ok bool) {
+	t.scope.Inc(obs.CtrNIPTLookups)
 	e := t.Entry(a.Page())
 	m = e.Out(a.Offset())
 	if m.Mode == Unmapped {
+		t.scope.Inc(obs.CtrNIPTMisses)
 		return nil, 0, false
 	}
 	off := int64(a.Offset()) + int64(m.DstShift)
@@ -157,6 +165,7 @@ func (t *Table) Resolve(a phys.PAddr) (m *OutMapping, remote phys.PAddr, ok bool
 		// A shifted split mapping can push an offset outside the remote
 		// page; the kernel must set up splits so this cannot happen, and
 		// the hardware would drop such a write.
+		t.scope.Inc(obs.CtrNIPTMisses)
 		return nil, 0, false
 	}
 	return m, m.DstPage.Addr(uint32(off)), true

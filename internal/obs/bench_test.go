@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// instrumentedHandler reschedules itself like sim's tickHandler but
+// records the full metrics complement each firing — the worst-case
+// per-event instrumentation load of a real component.
+type instrumentedHandler struct {
+	e    *sim.Engine
+	r    *Registry
+	s    *NodeScope
+	l    *LinkStat
+	left int
+}
+
+func (h *instrumentedHandler) Fire() {
+	if h.left == 0 {
+		return
+	}
+	h.left--
+	h.s.Inc(CtrSnoopedWrites)
+	h.s.Add(CtrBytesOut, 64)
+	h.s.Set(GaugeOutFIFOBytes, int64(h.left&1023))
+	h.s.Observe(HistOutFIFODepth, uint64(h.left&1023))
+	h.l.Take(8)
+	ref := h.r.BeginSpan(0, 1, 64, SpanSingleWrite, h.e.Now())
+	h.r.SpanEnqueued(ref)
+	h.r.SpanInjected(ref)
+	h.r.SpanDelivered(ref)
+	h.r.SpanDeposited(ref)
+	h.e.ScheduleAfter(10, h)
+}
+
+// BenchmarkEngineMetrics is BenchmarkEngine's shape (64 self-
+// rescheduling handlers) with metrics enabled and a full span lifecycle
+// per event. The acceptance bar — enforced by ci.sh — is 0 allocs/op:
+// instrumentation must never allocate on the hot path.
+func BenchmarkEngineMetrics(b *testing.B) {
+	e := sim.NewEngine()
+	r := New(e, 4, 256)
+	handlers := make([]*instrumentedHandler, 64)
+	for i := range handlers {
+		handlers[i] = &instrumentedHandler{
+			e: e, r: r, s: r.Node(i % 4), l: r.Link("bench"), left: b.N,
+		}
+		e.Schedule(sim.Time(i), handlers[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+	b.StopTimer()
+	for i := range handlers {
+		handlers[i].left = 0
+	}
+	e.Run()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+}

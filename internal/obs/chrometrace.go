@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/trace"
+)
+
+// Chrome trace-event JSON export (the format Perfetto and
+// chrome://tracing load). Each simulated node becomes one process
+// track; completed causal spans render as nestable async slices — one
+// sequence of snoop → out-fifo → mesh stages under the source node and
+// a deposit stage under the destination node, tied together by the span
+// ID — and trace.Tracer events render as instants on a per-node thread.
+//
+// Timestamps are microseconds (the format's unit); durations below 1 us
+// survive because ts is fractional and displayTimeUnit is ns.
+
+// chromeEvent is one trace-event object. Field names follow the trace
+// event format specification.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	ID    string         `json:"id,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// usPerPs converts simulated picoseconds to trace-event microseconds.
+const usPerPs = 1e-6
+
+// spanStage is one rendered stage of a span's pipeline.
+type spanStage struct {
+	name       string
+	begin, end int64 // ps
+	pid        int
+}
+
+// WriteChromeTrace renders spans and tracer events for a machine of the
+// given node count as Chrome trace-event JSON. Either slice may be nil.
+func WriteChromeTrace(w io.Writer, nodes int, spans []Span, events []trace.Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ns","traceEvents":[` + "\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(ev chromeEvent) error {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err = bw.Write(b)
+		return err
+	}
+
+	for n := 0; n < nodes; n++ {
+		if err := emit(chromeEvent{
+			Name: "process_name", Ph: "M", Pid: n,
+			Args: map[string]any{"name": fmt.Sprintf("node %d", n)},
+		}); err != nil {
+			return err
+		}
+		if err := emit(chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: n, Tid: 0,
+			Args: map[string]any{"name": "trace events"},
+		}); err != nil {
+			return err
+		}
+	}
+
+	for i := range spans {
+		s := &spans[i]
+		id := fmt.Sprintf("0x%x", s.ID)
+		depositName := "deposit"
+		if s.Dropped {
+			depositName = "drop"
+		}
+		stages := [...]spanStage{
+			{"snoop", int64(s.Start), int64(s.Enqueued), s.Src},
+			{"out-fifo", int64(s.Enqueued), int64(s.Injected), s.Src},
+			{"mesh", int64(s.Injected), int64(s.Delivered), s.Src},
+			{depositName, int64(s.Delivered), int64(s.Deposited), s.Dst},
+		}
+		args := map[string]any{
+			"span": s.ID, "src": s.Src, "dst": s.Dst,
+			"bytes": s.Bytes, "kind": s.Kind.String(),
+		}
+		for _, st := range stages {
+			if st.end < st.begin {
+				continue // span truncated before this stage
+			}
+			if err := emit(chromeEvent{
+				Name: st.name, Cat: "xfer", Ph: "b", Pid: st.pid, Tid: 0,
+				Ts: float64(st.begin) * usPerPs, ID: id, Args: args,
+			}); err != nil {
+				return err
+			}
+			if err := emit(chromeEvent{
+				Name: st.name, Cat: "xfer", Ph: "e", Pid: st.pid, Tid: 0,
+				Ts: float64(st.end) * usPerPs, ID: id,
+			}); err != nil {
+				return err
+			}
+		}
+	}
+
+	for _, e := range events {
+		if err := emit(chromeEvent{
+			Name: e.Kind.String(), Cat: "trace", Ph: "i", Scope: "t",
+			Pid: e.Node, Tid: 0, Ts: float64(e.At) * usPerPs,
+			Args: map[string]any{"a": e.A, "b": e.B},
+		}); err != nil {
+			return err
+		}
+	}
+
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

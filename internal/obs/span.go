@@ -1,0 +1,239 @@
+package obs
+
+import "repro/internal/sim"
+
+// Causal packet spans. A span is minted when a transfer is initiated —
+// the snooped store for automatic update, the chunk read of an accepted
+// LOCK CMPXCHG command for deliberate update — and its reference rides
+// the packet (packet.Packet.Span) through the outgoing FIFO, the
+// wormhole mesh, and the receiving NIC's deposit pipeline. Completion
+// feeds the per-stage histograms on the *source* node's scope and
+// retains the span in a bounded ring for timeline export.
+//
+// Stage boundaries:
+//
+//	Start     initiating store snooped / DMA chunk read issued /
+//	          first write merged into a blocked-write packet
+//	Enqueued  packet entered the Outgoing FIFO (snoop+packetize done)
+//	Injected  packet's worm entered the routing backplane
+//	Delivered worm fully drained into the receiving Incoming FIFO
+//	Deposited payload written to destination memory (or the packet
+//	          was dropped: Dropped is set and Deposited is the drop
+//	          instant)
+
+// SpanKind classifies what initiated a span's transfer.
+type SpanKind uint8
+
+const (
+	// SpanSingleWrite: one snooped store, single-write automatic update.
+	SpanSingleWrite SpanKind = iota
+	// SpanBlockedWrite: a merged blocked-write packet; Start is the
+	// first merged store.
+	SpanBlockedWrite
+	// SpanDeliberate: one chunk of a deliberate-update DMA transfer;
+	// Start is the chunk's Xpress read.
+	SpanDeliberate
+	// SpanKernelRing: traffic on the boot-time kernel message rings.
+	SpanKernelRing
+	numSpanKinds
+)
+
+var spanKindNames = [...]string{"single-write", "blocked-write", "deliberate", "kernel-ring"}
+
+const _ = uint(int(numSpanKinds) - len(spanKindNames))
+
+var _ = spanKindNames[numSpanKinds-1]
+
+func (k SpanKind) String() string {
+	if int(k) < len(spanKindNames) {
+		return spanKindNames[k]
+	}
+	return "span(?)"
+}
+
+// Span is one transfer's record. All timestamps are absolute simulated
+// time; a zero later-stage timestamp means the span never reached that
+// stage (only possible for spans still in flight at export time).
+type Span struct {
+	ID        uint64   `json:"id"`
+	Src       int      `json:"src"`
+	Dst       int      `json:"dst"`
+	Bytes     int      `json:"bytes"`
+	Kind      SpanKind `json:"kind"`
+	Dropped   bool     `json:"dropped,omitempty"`
+	Start     sim.Time `json:"start"`
+	Enqueued  sim.Time `json:"enqueued"`
+	Injected  sim.Time `json:"injected"`
+	Delivered sim.Time `json:"delivered"`
+	Deposited sim.Time `json:"deposited"`
+}
+
+// spanTable is the preallocated slab of in-flight spans plus the
+// bounded ring of completed ones. References handed to packets are
+// slot+1 (0 = no span), so the hot path is two array indexings.
+type spanTable struct {
+	active    []Span
+	freeList  []int32 // slots returned by finished spans
+	virgin    int     // next never-used slot; active[virgin:] is all zero
+	completed []Span  // ring of the last cap(completed) finished spans
+	next      int     // ring write position
+	nextID    uint64
+	finished  uint64 // completed spans (including dropped)
+	dropped   uint64 // completed spans that were packet drops
+	truncated uint64 // spans not tracked because the slab was full
+}
+
+func (t *spanTable) init(capacity int) {
+	t.active = make([]Span, capacity)
+	t.freeList = make([]int32, 0, capacity)
+	t.completed = make([]Span, 0, capacity)
+	t.reset()
+}
+
+// reset costs O(slots actually used), not O(capacity): finish() zeroes
+// each freed slot, so only the touched prefix needs clearing, and the
+// free list empties rather than refilling. Reset state is independent
+// of prior traffic, keeping Reset-reused machines bit-identical to
+// fresh ones — a sweep pool resets per point and must not pay for the
+// whole slab each time.
+func (t *spanTable) reset() {
+	clear(t.active[:t.virgin])
+	t.freeList = t.freeList[:0]
+	t.virgin = 0
+	t.completed = t.completed[:0]
+	t.next = 0
+	t.nextID = 0
+	t.finished = 0
+	t.dropped = 0
+	t.truncated = 0
+}
+
+// BeginSpan mints a span and returns its reference for the packet (0
+// when untracked: nil registry or slab exhausted). start may precede
+// the current time (blocked-write packets start at their first merged
+// store).
+func (r *Registry) BeginSpan(src, dst, bytes int, kind SpanKind, start sim.Time) uint64 {
+	if r == nil {
+		return 0
+	}
+	// Freed slots are reused first, then never-used ones — the same
+	// ascending order a pre-filled descending free list would hand out.
+	t := &r.spans
+	var slot int32
+	if n := len(t.freeList); n > 0 {
+		slot = t.freeList[n-1]
+		t.freeList = t.freeList[:n-1]
+	} else if t.virgin < len(t.active) {
+		slot = int32(t.virgin)
+		t.virgin++
+	} else {
+		t.truncated++
+		return 0
+	}
+	t.nextID++
+	t.active[slot] = Span{
+		ID: t.nextID, Src: src, Dst: dst, Bytes: bytes, Kind: kind, Start: start,
+	}
+	return uint64(slot) + 1
+}
+
+// span resolves a packet reference to its active slot, or nil.
+func (r *Registry) span(ref uint64) *Span {
+	if r == nil || ref == 0 {
+		return nil
+	}
+	return &r.spans.active[ref-1]
+}
+
+// SpanEnqueued records the packet entering the Outgoing FIFO; nil-safe.
+func (r *Registry) SpanEnqueued(ref uint64) {
+	if s := r.span(ref); s != nil {
+		s.Enqueued = r.eng.Now()
+	}
+}
+
+// SpanInjected records the packet's worm entering the backplane;
+// nil-safe.
+func (r *Registry) SpanInjected(ref uint64) {
+	if s := r.span(ref); s != nil {
+		s.Injected = r.eng.Now()
+	}
+}
+
+// SpanDelivered records the worm fully drained into the receiving
+// Incoming FIFO; nil-safe.
+func (r *Registry) SpanDelivered(ref uint64) {
+	if s := r.span(ref); s != nil {
+		s.Delivered = r.eng.Now()
+	}
+}
+
+// SpanDeposited completes the span: the payload reached destination
+// memory. Stage durations feed the source node's histograms and the
+// span is retained for export; nil-safe.
+func (r *Registry) SpanDeposited(ref uint64) { r.finish(ref, false) }
+
+// SpanDropped completes the span as a packet drop (wrong destination,
+// CRC failure, or not mapped in). Stages reached still feed the
+// histograms; the total-stage histogram does not; nil-safe.
+func (r *Registry) SpanDropped(ref uint64) { r.finish(ref, true) }
+
+func (r *Registry) finish(ref uint64, dropped bool) {
+	s := r.span(ref)
+	if s == nil {
+		return
+	}
+	now := r.eng.Now()
+	s.Deposited = now
+	s.Dropped = dropped
+	src := &r.nodes[s.Src]
+	src.ObserveTime(HistStageSnoop, s.Enqueued-s.Start)
+	src.ObserveTime(HistStageFIFO, s.Injected-s.Enqueued)
+	src.ObserveTime(HistStageMesh, s.Delivered-s.Injected)
+	src.ObserveTime(HistStageDeposit, now-s.Delivered)
+	if !dropped {
+		src.ObserveTime(HistStageTotal, now-s.Start)
+	}
+
+	t := &r.spans
+	t.finished++
+	if dropped {
+		t.dropped++
+	}
+	// Retain in the bounded completed ring (last cap spans win).
+	if len(t.completed) < cap(t.completed) {
+		t.completed = append(t.completed, *s)
+	} else {
+		t.completed[t.next] = *s
+		t.next = (t.next + 1) % cap(t.completed)
+	}
+	slot := int32(ref - 1)
+	t.active[slot] = Span{}
+	t.freeList = append(t.freeList, slot)
+}
+
+// CompletedSpans returns the retained completed spans in completion
+// order; nil-safe.
+func (r *Registry) CompletedSpans() []Span {
+	if r == nil {
+		return nil
+	}
+	t := &r.spans
+	if len(t.completed) < cap(t.completed) {
+		return append([]Span(nil), t.completed...)
+	}
+	out := make([]Span, 0, len(t.completed))
+	out = append(out, t.completed[t.next:]...)
+	out = append(out, t.completed[:t.next]...)
+	return out
+}
+
+// SpanCounts reports lifetime span accounting: completed spans
+// (including drops), completed spans that were drops, and spans left
+// untracked because the slab was full; nil-safe.
+func (r *Registry) SpanCounts() (finished, dropped, truncated uint64) {
+	if r == nil {
+		return 0, 0, 0
+	}
+	return r.spans.finished, r.spans.dropped, r.spans.truncated
+}

@@ -66,6 +66,12 @@ type Packet struct {
 	// a CRC verification failure (a real packet's trailing CRC would
 	// mismatch). It is not part of the wire format.
 	Corrupt bool
+
+	// Span is the causal-span reference minted by the sending NIC when
+	// metrics are enabled (0 = untracked). It rides the packet so the
+	// receiving NIC can complete the span at deposit time. Not part of
+	// the wire format.
+	Span uint64
 }
 
 // pool recycles packets (and, critically, their payload buffers) through

@@ -112,10 +112,11 @@ func (a *event) before(b *event) bool {
 // Engine is a discrete-event simulator: a clock plus a pending-event queue.
 // The zero value is ready to use at time zero.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events []event // 4-ary min-heap on (at, seq)
-	fired  uint64
+	now        Time
+	seq        uint64
+	events     []event // 4-ary min-heap on (at, seq)
+	fired      uint64
+	maxPending int
 }
 
 // NewEngine returns an Engine starting at time zero.
@@ -129,6 +130,10 @@ func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending returns the number of events waiting to fire.
 func (e *Engine) Pending() int { return len(e.events) }
+
+// MaxPending returns the deepest the event queue has been since the
+// engine was built or Reset: the simulation's peak concurrency.
+func (e *Engine) MaxPending() int { return e.maxPending }
 
 // At schedules fn to run at absolute time t. Scheduling in the past (t <
 // Now) panics: it would silently reorder causality.
@@ -161,6 +166,9 @@ func (e *Engine) ScheduleAfter(d Time, h Handler) { e.Schedule(e.now+d, h) }
 func (e *Engine) push(ev event) {
 	h := append(e.events, ev)
 	e.events = h
+	if len(h) > e.maxPending {
+		e.maxPending = len(h)
+	}
 	i := len(h) - 1
 	for i > 0 {
 		p := (i - 1) >> 2
@@ -322,4 +330,5 @@ func (e *Engine) Reset() {
 	e.now = 0
 	e.seq = 0
 	e.fired = 0
+	e.maxPending = 0
 }

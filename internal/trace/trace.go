@@ -55,6 +55,13 @@ var kindNames = [...]string{
 	"out-stall", "out-resume", "park", "map", "unmap", "evict", "page-in",
 }
 
+// Compile-time guards: kindNames must list exactly numKinds names. The
+// const fails to compile when names outnumber kinds (negative uint), the
+// index fails when kinds outnumber names (out-of-range constant index).
+const _ = uint(int(numKinds) - len(kindNames))
+
+var _ = kindNames[numKinds-1]
+
 func (k Kind) String() string {
 	if int(k) < len(kindNames) {
 		return kindNames[k]
@@ -68,6 +75,17 @@ const (
 	DropWrongDest
 	DropCRC
 )
+
+var dropReasonNames = [...]string{"not-mapped-in", "wrong-dest", "crc"}
+
+// dropReason renders a Drop event's A argument without trusting it:
+// events are data, and an out-of-range reason must not panic String.
+func dropReason(a uint64) string {
+	if a < uint64(len(dropReasonNames)) {
+		return dropReasonNames[a]
+	}
+	return fmt.Sprintf("reason(%d)", a)
+}
 
 // Event is one recorded occurrence.
 type Event struct {
@@ -84,8 +102,7 @@ func (e Event) String() string {
 	case PacketIn:
 		return fmt.Sprintf("%12v node%-2d packet-in   %4dB page %d", e.At, e.Node, e.A, e.B)
 	case Drop:
-		reason := [...]string{"not-mapped-in", "wrong-dest", "crc"}[e.A]
-		return fmt.Sprintf("%12v node%-2d DROP        %s page %d", e.At, e.Node, reason, e.B)
+		return fmt.Sprintf("%12v node%-2d DROP        %s page %d", e.At, e.Node, dropReason(e.A), e.B)
 	case DMAStart:
 		return fmt.Sprintf("%12v node%-2d dma-start   %d words @%#x", e.At, e.Node, e.A, e.B)
 	case DMADone:

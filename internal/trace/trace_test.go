@@ -80,6 +80,55 @@ func TestEventStrings(t *testing.T) {
 	}
 }
 
+func TestReset(t *testing.T) {
+	eng := sim.NewEngine()
+	tr := New(eng, 4)
+	for i := 0; i < 7; i++ {
+		tr.Record(i, IRQ, 0, 0)
+	}
+	tr.Reset()
+	if tr.Total() != 0 || tr.CountOf(IRQ) != 0 || len(tr.Events()) != 0 {
+		t.Fatal("reset left state behind")
+	}
+	// The ring records correctly again after reset, including the
+	// wraparound path (write position must have rewound to the start).
+	for i := 0; i < 6; i++ {
+		tr.Record(i, PacketOut, uint64(i), 0)
+	}
+	evs := tr.Events()
+	if len(evs) != 4 || evs[0].Node != 2 || evs[3].Node != 5 {
+		t.Fatalf("post-reset events %v", evs)
+	}
+	var nilTr *Tracer
+	nilTr.Reset() // must not panic
+}
+
+func TestDropReasonFallback(t *testing.T) {
+	// A Drop event with an out-of-range reason must render, not panic:
+	// trace events are data, and String runs on whatever was recorded.
+	e := Event{Kind: Drop, A: 99, B: 3}
+	got := e.String()
+	if !strings.Contains(got, "reason(99)") {
+		t.Fatalf("fallback rendering: %q", got)
+	}
+	if s := (Event{Kind: Drop, A: DropWrongDest}).String(); !strings.Contains(s, "wrong-dest") {
+		t.Fatalf("known reason rendering: %q", s)
+	}
+}
+
+func TestKindNamesInSync(t *testing.T) {
+	// The compile-time guards next to kindNames catch count mismatches;
+	// this catches accidentally empty or placeholder entries.
+	for k := Kind(0); k < numKinds; k++ {
+		if name := k.String(); name == "" || strings.HasPrefix(name, "Kind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if got := numKinds.String(); !strings.HasPrefix(got, "Kind(") {
+		t.Fatalf("out-of-range kind rendered as %q", got)
+	}
+}
+
 func TestMachineLevelTrace(t *testing.T) {
 	// Every kind renders without panicking.
 	eng := sim.NewEngine()

@@ -41,6 +41,7 @@ import (
 	"repro/internal/nic"
 	"repro/internal/nipt"
 	"repro/internal/nx"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/phys"
 	"repro/internal/sim"
@@ -115,6 +116,20 @@ const PageSize = phys.PageSize
 // Tracer is the machine-wide datapath event tracer (see
 // Config.TraceCapacity).
 type Tracer = trace.Tracer
+
+// Observability (see Config.Metrics). The registry lives on
+// Machine.Obs; Machine.Metrics() snapshots it and Machine.TraceJSON
+// exports a Perfetto-loadable timeline.
+type (
+	// Metrics is the machine-wide registry of counters, gauges,
+	// histograms, link stats and causal packet spans.
+	Metrics = obs.Registry
+	// MetricsSnapshot is a point-in-time export of the registry.
+	MetricsSnapshot = obs.Snapshot
+	// Span is one transfer's causal record: snoop → outgoing FIFO →
+	// mesh → deposit timestamps.
+	Span = obs.Span
+)
 
 // Simulated time.
 type Time = sim.Time
