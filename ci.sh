@@ -18,5 +18,16 @@ go run -race ./cmd/shrimp-bench -parallel 4 -iters 2 -only sweep -o /dev/null
 # race runtime itself allocates and would mask a regression.
 go test -run TestInstrumentationZeroAlloc -count 1 ./internal/obs
 go test -run '^$' -bench BenchmarkEngineMetrics -benchtime 100x ./internal/obs
+# Batched-interpretation guards: the differential tests (batched versus
+# per-instruction stepping must be bit-identical) run under -race above;
+# here the zero-alloc contract — the batched step path and the bus
+# Write32/Read32/command-read paths must not touch the heap.
+go test -run '^$' -bench 'BenchmarkStepBatched' -benchtime 1000x -benchmem ./internal/isa | grep 'BenchmarkStepBatched' | grep -q ' 0 allocs/op'
+go test -run '^$' -bench 'BenchmarkBus' -benchtime 1000x -benchmem ./internal/bus | grep 'BenchmarkBus' | awk '!/ 0 allocs\/op/ {bad=1} END {exit bad}'
+# Simulator-performance regression gate: rerun the benchmark suite and
+# compare events/sec and allocs/op against the committed BENCH_3.json
+# snapshot (>10% worse fails). Few iterations keep this a smoke test;
+# BENCH_4.json is the full committed snapshot.
+go run ./cmd/shrimp-bench -iters 3 -compare BENCH_3.json -o /dev/null
 # Timeline smoke: a 16-node run must export valid Chrome trace JSON.
 go run ./cmd/shrimp-trace -rounds 1 -o /dev/null

@@ -27,6 +27,8 @@ func main() {
 	parallel := flag.Int("parallel", 1, "sweep worker-pool size for the sweep/*/par benchmarks (0 = GOMAXPROCS)")
 	only := flag.String("only", "", "run only benchmarks whose name contains this substring")
 	out := flag.String("o", "", "write JSON report to this file (default stdout)")
+	compare := flag.String("compare", "", "baseline report JSON; exit 1 on events/sec or allocs/op regressions beyond -tol")
+	tol := flag.Float64("tol", 0.10, "fractional regression tolerance for -compare")
 	flag.Parse()
 
 	workers := *parallel
@@ -83,6 +85,15 @@ func main() {
 	run("metrics/sweep/off", func() perf.Sample { return metricsSweepSample(false) })
 	run("metrics/sweep/on", func() perf.Sample { return metricsSweepSample(true) })
 
+	// Batched CPU interpretation: the instruction-bound compute loop with
+	// per-instruction stepping versus the default batch quantum. Events
+	// here are retired instructions — the mode-independent unit of work —
+	// so the off/on ratio is the interpreter speedup; engine events per
+	// op (mode-dependent, the thing batching shrinks) ride along as a
+	// metric. BENCH_4.json is the committed snapshot of this pair.
+	run("cpu/batch/off", func() perf.Sample { return cpuBoundSample(1) })
+	run("cpu/batch/on", func() perf.Sample { return cpuBoundSample(shrimp.DefaultConfig().CPU.MaxBatch) })
+
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -96,6 +107,29 @@ func main() {
 	if err := rep.WriteJSON(w); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	if *compare != "" {
+		f, err := os.Open(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		base, err := perf.ReadReport(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		regs := perf.Compare(base, rep, *tol)
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "regressions vs %s (tolerance %.0f%%):\n", *compare, 100**tol)
+			for _, r := range regs {
+				fmt.Fprintf(os.Stderr, "  %s\n", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "no regressions vs %s (tolerance %.0f%%)\n", *compare, 100**tol)
 	}
 }
 
@@ -199,6 +233,24 @@ func bandwidthSweepSample(workers int) perf.Sample {
 		"workers": float64(workers),
 	}
 	return s
+}
+
+// cpuBoundSample runs the instruction-bound compute loop at the given
+// batch quantum. Sample.Events is instructions retired, identical in
+// both modes; the engine event count is reported as a metric.
+func cpuBoundSample(maxBatch int) perf.Sample {
+	cfg := shrimp.ConfigFor(2, 1, shrimp.GenEISAPrototype)
+	cfg.CPU.MaxBatch = maxBatch
+	r := shrimp.MeasureCPUBound(cfg, 20_000)
+	return perf.Sample{
+		Events:  r.Instructions,
+		SimTime: r.SimEnd,
+		Metrics: map[string]float64{
+			"engine_events_per_op": float64(r.EngineEvents),
+			"cpu_sim_us":           r.CPUTime.Microseconds(),
+			"max_batch":            float64(maxBatch),
+		},
+	}
 }
 
 func neighborLinks(w, h int) [][2]int {

@@ -86,9 +86,23 @@ type XpressStats struct {
 	CmdWrites      uint64
 	BytesRead      uint64
 	BytesWritten   uint64
+	// SnoopsFiltered counts CPU writes that skipped the snooper fan-out
+	// because the snoop filter reported no interested snooper (see
+	// SetSnoopFilter).
+	SnoopsFiltered uint64
 	ContentionWait sim.Time
 	BusyTime       sim.Time
 }
+
+// SnoopFilter decides, for a CPU-initiated write to a physical address,
+// whether any registered snooper could care. The NIC installs a
+// page-granular filter (does the NIPT map this page out?) so the common
+// case — stores to private pages — skips the snooper fan-out entirely.
+// The filter is consulted live on every write, never cached, so direct
+// NIPT entry mutations need no invalidation hook. Only CPU-initiated
+// writes are filtered: DMA traffic must always reach the cache's
+// invalidation port.
+type SnoopFilter func(a phys.PAddr) bool
 
 // Xpress is one node's memory bus.
 type Xpress struct {
@@ -97,9 +111,11 @@ type Xpress struct {
 	mem      *phys.Memory
 	snoopers []Snooper
 	cmd      CommandTarget
+	filter   SnoopFilter
 	busyTill sim.Time
 	stats    XpressStats
 	scope    *obs.NodeScope // nil when metrics are disabled
+	scratch  [4]byte        // Write32/Read32/cmd-read staging; consumers copy synchronously
 }
 
 // NewXpress builds the memory bus over the given DRAM.
@@ -113,6 +129,10 @@ func (x *Xpress) AddSnooper(s Snooper) { x.snoopers = append(x.snoopers, s) }
 
 // SetCommandTarget registers the decoder for the command address space.
 func (x *Xpress) SetCommandTarget(t CommandTarget) { x.cmd = t }
+
+// SetSnoopFilter installs the CPU-write snoop filter (nil removes it:
+// every write fans out, the conservative default).
+func (x *Xpress) SetSnoopFilter(f SnoopFilter) { x.filter = f }
 
 // SetObs attaches the node's metrics scope (nil detaches).
 func (x *Xpress) SetObs(s *obs.NodeScope) { x.scope = s }
@@ -181,18 +201,27 @@ func (x *Xpress) Write(init Initiator, a phys.PAddr, data []byte) (done sim.Time
 	x.stats.Writes++
 	x.stats.BytesWritten += uint64(len(data))
 	x.mem.Write(a, data)
+	if init == InitCPU && x.filter != nil && !x.filter(a) {
+		x.stats.SnoopsFiltered++
+		x.scope.Inc(obs.CtrSnoopsFiltered)
+		return done
+	}
 	for _, s := range x.snoopers {
 		s.SnoopWrite(init, a, data)
 	}
 	return done
 }
 
-// Write32 is a convenience 32-bit Write.
+// Write32 is a convenience 32-bit Write. The payload is staged in the
+// bus-owned scratch buffer (snoopers copy write data synchronously and
+// never retain the slice), so it allocates nothing.
 func (x *Xpress) Write32(init Initiator, a phys.PAddr, v uint32) sim.Time {
-	return x.Write(init, a, []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)})
+	return x.Write(init, a, x.leBytes(v))
 }
 
-// Read performs a read transaction of n bytes at a.
+// Read performs a read transaction of n bytes at a. Command-space reads
+// return a view of the bus-owned scratch buffer, valid until the next
+// transaction; callers consume read data synchronously.
 func (x *Xpress) Read(init Initiator, a phys.PAddr, n int) (data []byte, done sim.Time) {
 	done = x.acquire(n)
 	if x.mem.IsCmd(a) {
@@ -200,8 +229,7 @@ func (x *Xpress) Read(init Initiator, a phys.PAddr, n int) (data []byte, done si
 			panic(fmt.Sprintf("bus: command read %#x with no command target", uint32(a)))
 		}
 		x.stats.CmdReads++
-		v := x.cmd.CmdRead(a)
-		return []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)}[:min(n, 4)], done
+		return x.leBytes(x.cmd.CmdRead(a))[:min(n, 4)], done
 	}
 	x.stats.Reads++
 	x.stats.BytesRead += uint64(n)
@@ -223,14 +251,20 @@ func (x *Xpress) ReadInto(init Initiator, a phys.PAddr, dst []byte) (done sim.Ti
 	return done
 }
 
-// Read32 is a convenience 32-bit Read.
+// Read32 is a convenience 32-bit Read; it bypasses the slice-returning
+// path entirely, so 4-byte kernel/NIC/cache reads allocate nothing.
 func (x *Xpress) Read32(init Initiator, a phys.PAddr) (uint32, sim.Time) {
-	b, done := x.Read(init, a, 4)
-	var v uint32
-	for i := 0; i < len(b); i++ {
-		v |= uint32(b[i]) << (8 * i)
+	done := x.acquire(4)
+	if x.mem.IsCmd(a) {
+		if x.cmd == nil {
+			panic(fmt.Sprintf("bus: command read %#x with no command target", uint32(a)))
+		}
+		x.stats.CmdReads++
+		return x.cmd.CmdRead(a), done
 	}
-	return v, done
+	x.stats.Reads++
+	x.stats.BytesRead += 4
+	return x.mem.Read32(a), done
 }
 
 // LockedCmpxchg performs the locked compare-and-exchange bus sequence of
@@ -259,10 +293,26 @@ func (x *Xpress) LockedCmpxchg(init Initiator, a phys.PAddr, expect, repl uint32
 	if read == expect {
 		x.stats.Writes++
 		x.mem.Write32(a, repl)
-		for _, s := range x.snoopers {
-			s.SnoopWrite(init, a, []byte{byte(repl), byte(repl >> 8), byte(repl >> 16), byte(repl >> 24)})
+		if init == InitCPU && x.filter != nil && !x.filter(a) {
+			x.stats.SnoopsFiltered++
+			x.scope.Inc(obs.CtrSnoopsFiltered)
+		} else {
+			for _, s := range x.snoopers {
+				s.SnoopWrite(init, a, x.leBytes(repl))
+			}
 		}
 		swapped = true
 	}
 	return read, swapped, done
+}
+
+// leBytes stages v little-endian in the bus-owned scratch buffer. Bus
+// consumers copy read/write data synchronously and never retain the
+// slice, so reusing one buffer per bus is safe.
+func (x *Xpress) leBytes(v uint32) []byte {
+	x.scratch[0] = byte(v)
+	x.scratch[1] = byte(v >> 8)
+	x.scratch[2] = byte(v >> 16)
+	x.scratch[3] = byte(v >> 24)
+	return x.scratch[:4]
 }

@@ -148,6 +148,7 @@ func New(cfg Config) *Machine {
 		nicDev.SetObs(m.Obs)
 		xbus.SetObs(scope)
 		table.SetObs(scope)
+		cpu.SetObs(scope)
 		k.Obs = scope
 		m.Nodes = append(m.Nodes, &Node{
 			Eng: eng, ID: packet.NodeID(id), Coord: coord, Mem: mem, Xbus: xbus,

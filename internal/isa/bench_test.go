@@ -1,0 +1,59 @@
+package isa
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// Instruction-bound ALU loop: the workload batching exists for. One run
+// retires ~6*benchIters+3 instructions with no bus traffic, so events
+// fired per run ≈ instructions in per-instruction mode and collapses to
+// ~runs/quantum in batched mode.
+const benchIters = 1000
+
+const benchLoop = `
+main:
+	mov	ecx, ITERS
+	xor	ebx, ebx
+bloop:
+	mov	eax, ebx
+	add	eax, 12345
+	xor	eax, 0x5a5a
+	add	ebx, 1
+	dec	ecx
+	jnz	bloop
+	hlt
+`
+
+// benchStep measures whole runs of the loop at the given batch quantum.
+// ci.sh greps the batched variant for "0 allocs/op": the entire batched
+// step path — dispatch, execute, batch bookkeeping — must stay off the
+// heap.
+func benchStep(b *testing.B, maxBatch int) {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig()
+	cfg.MaxBatch = maxBatch
+	c := NewCPU(eng, cfg, newFlatMem())
+	c.Load(MustAssemble("bench", benchLoop, map[string]int64{"ITERS": benchIters}))
+	run := func() {
+		c.R = [8]uint32{}
+		c.R[ESP] = 0x8000
+		if err := c.Start("main"); err != nil {
+			b.Fatal(err)
+		}
+		eng.Drain(100_000_000)
+		if !c.Halted() || c.Err() != nil {
+			b.Fatalf("halted=%v err=%v", c.Halted(), c.Err())
+		}
+	}
+	run() // warm the event heap and the assembler cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+}
+
+func BenchmarkStepPerInstruction(b *testing.B) { benchStep(b, 1) }
+func BenchmarkStepBatched(b *testing.B)       { benchStep(b, 64) }

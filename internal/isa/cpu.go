@@ -3,6 +3,7 @@ package isa
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/vm"
 )
@@ -48,6 +49,15 @@ type Config struct {
 	// StringIterCycles is the extra cycles per string-op iteration
 	// beyond its memory traffic.
 	StringIterCycles int
+	// MaxBatch bounds how many instructions the interpreter retires
+	// inside a single engine event (the batching quantum). Values <= 1
+	// select per-instruction stepping: one event per instruction, the
+	// pre-batching behavior. Batching is a pure simulator optimization:
+	// the CPU runs ahead on the engine clock between hazard boundaries
+	// (pending event, fault, halt, freeze, quantum), so all simulated
+	// results are bit-identical at any setting — the differential tests
+	// in internal/core and internal/msg pin this.
+	MaxBatch int
 }
 
 // DefaultConfig models a 66 MHz i486-class CPU: one cycle per simple
@@ -60,6 +70,7 @@ func DefaultConfig() Config {
 		TakenBranchCycles: 2,
 		CallRetCycles:     2,
 		StringIterCycles:  1,
+		MaxBatch:          64,
 	}
 }
 
@@ -112,6 +123,7 @@ type CPU struct {
 	pendingIRQ []int
 	counters   Counters
 	name       string
+	scope      *obs.NodeScope // nil when metrics are disabled
 }
 
 // NewCPU builds a CPU over the given memory port.
@@ -121,6 +133,11 @@ func NewCPU(eng *sim.Engine, cfg Config, mem MemPort) *CPU {
 
 // SetName labels the CPU in diagnostics.
 func (c *CPU) SetName(n string) { c.name = n }
+
+// SetObs attaches the node's metrics scope (nil detaches). The CPU
+// records batch lengths and hazard-break reasons; recording never
+// changes simulated results.
+func (c *CPU) SetObs(s *obs.NodeScope) { c.scope = s }
 
 // InstallISR routes an interrupt/trap vector to an ISA handler label in
 // the currently loaded program.
@@ -201,7 +218,7 @@ func (c *CPU) Start(entry string) error {
 	if _, f := c.push(ReturnSentinel); f != nil {
 		return fmt.Errorf("isa: cannot push return sentinel: %w", f)
 	}
-	c.Eng.After(0, c.step)
+	c.Eng.ScheduleAfter(0, c)
 	return nil
 }
 
@@ -216,7 +233,7 @@ func (c *CPU) Thaw() {
 	}
 	c.frozen = false
 	if c.started && !c.halted {
-		c.Eng.After(0, c.step)
+		c.Eng.ScheduleAfter(0, c)
 	}
 }
 
@@ -231,9 +248,17 @@ func (c *CPU) RaiseIRQ(vector int) {
 		// Ensure a step is pending even if the CPU idles at a HLT-less
 		// boundary (it always is while started, so this is belt and
 		// braces for Go-handler reentry).
-		c.Eng.After(0, func() {})
+		c.Eng.ScheduleAfter(0, nopWake)
 	}
 }
+
+// nopEvent is the shared do-nothing wake event RaiseIRQ schedules; a
+// zero-size value converts to sim.Handler without allocating.
+type nopEvent struct{}
+
+func (nopEvent) Fire() {}
+
+var nopWake sim.Handler = nopEvent{}
 
 func (c *CPU) halt() {
 	c.halted = true
@@ -247,48 +272,108 @@ func (c *CPU) abort(err error) {
 	c.halt()
 }
 
+// Fire implements sim.Handler: the CPU itself is the schedulable step
+// event, so advancing execution never allocates a closure.
+func (c *CPU) Fire() { c.step() }
+
+// step executes up to Config.MaxBatch instructions inside one engine
+// event. The "local clock" the CPU runs ahead on IS the engine clock,
+// advanced inline (Engine.AdvanceTo) between instructions: every memory,
+// bus and NIC interaction reads Engine.Now synchronously, so arbitration,
+// snoop timing and latencies are bit-identical to per-instruction
+// stepping by construction. The batch yields back to the event loop at
+// hazard boundaries:
+//
+//   - a pending engine event (or the edge of a RunUntil window) inside
+//     the next instruction's time slot — the event may change anything
+//     the CPU observes, so it must fire first;
+//   - a translation fault (the retry reschedules, as before);
+//   - HLT, sentinel RET, or abort;
+//   - a freeze (Thaw reschedules);
+//   - the MaxBatch quantum.
+//
+// Yielding schedules the CPU at the exact timestamp the next instruction
+// would have started, before any intervening event fires, so the (at,
+// seq) event order matches per-instruction stepping event for event.
 func (c *CPU) step() {
 	if c.halted || c.frozen || !c.started {
 		return
 	}
-	// Hardware interrupts dispatch at instruction boundaries, outside
-	// handlers.
-	if len(c.pendingIRQ) > 0 && !c.kernelMode {
-		v := c.pendingIRQ[0]
-		c.pendingIRQ = c.pendingIRQ[1:]
-		c.dispatchIRQ(v)
-		if c.halted || c.frozen {
+	quantum := c.cfg.MaxBatch
+	if quantum < 1 {
+		quantum = 1
+	}
+	batched := 0
+	for {
+		// Hardware interrupts dispatch at instruction boundaries, outside
+		// handlers.
+		if len(c.pendingIRQ) > 0 && !c.kernelMode {
+			v := c.pendingIRQ[0]
+			c.pendingIRQ = c.pendingIRQ[1:]
+			c.dispatchIRQ(v)
+			if c.halted {
+				c.endBatch(batched, obs.CtrBatchBreakHalt)
+				return
+			}
+			if c.frozen {
+				c.endBatch(batched, obs.CtrBatchBreakFreeze)
+				return
+			}
+		}
+		if c.eip < 0 || c.eip >= len(c.prog.Instrs) {
+			c.abort(fmt.Errorf("isa: %s: eip %d outside program %q", c.name, c.eip, c.prog.Name))
+			c.endBatch(batched, obs.CtrBatchBreakHalt)
 			return
 		}
-	}
-	if c.eip < 0 || c.eip >= len(c.prog.Instrs) {
-		c.abort(fmt.Errorf("isa: %s: eip %d outside program %q", c.name, c.eip, c.prog.Name))
-		return
-	}
-	in := &c.prog.Instrs[c.eip]
-	cost, fault := c.execute(in)
-	if fault != nil {
-		c.counters.Faults++
-		action := FaultAbort
-		if c.FaultHandler != nil {
-			action = c.FaultHandler(c, fault)
-		}
-		if action == FaultAbort {
-			c.abort(fmt.Errorf("isa: %s at %q#%d (%s): %w", c.name, c.prog.Name, c.eip, in, fault))
+		in := &c.prog.Instrs[c.eip]
+		cost, fault := c.execute(in)
+		if fault != nil {
+			c.counters.Faults++
+			action := FaultAbort
+			if c.FaultHandler != nil {
+				action = c.FaultHandler(c, fault)
+			}
+			if action == FaultAbort {
+				c.abort(fmt.Errorf("isa: %s at %q#%d (%s): %w", c.name, c.prog.Name, c.eip, in, fault))
+				c.endBatch(batched, obs.CtrBatchBreakHalt)
+				return
+			}
+			// Retry: eip unchanged; the handler may have frozen us.
+			if !c.halted && !c.frozen {
+				c.Eng.ScheduleAfter(c.cfg.CycleTime, c)
+			}
+			c.endBatch(batched, obs.CtrBatchBreakFault)
 			return
 		}
-		// Retry: eip unchanged; the handler may have frozen us.
-		if !c.halted && !c.frozen {
-			c.Eng.After(c.cfg.CycleTime, c.step)
+		batched++
+		if c.halted {
+			c.endBatch(batched, obs.CtrBatchBreakHalt)
+			return
 		}
-		return
+		if c.frozen {
+			c.endBatch(batched, obs.CtrBatchBreakFreeze)
+			return
+		}
+		if batched >= quantum {
+			c.Eng.ScheduleAfter(cost, c)
+			c.endBatch(batched, obs.CtrBatchBreakQuantum)
+			return
+		}
+		next := c.Eng.Now() + cost
+		if c.Eng.NextEventAt() <= next || next > c.Eng.RunBound() {
+			c.Eng.ScheduleAfter(cost, c)
+			c.endBatch(batched, obs.CtrBatchBreakEvent)
+			return
+		}
+		c.Eng.AdvanceTo(next)
 	}
-	if c.halted {
-		return
-	}
-	if !c.frozen {
-		c.Eng.After(cost, c.step)
-	}
+}
+
+// endBatch records one batch's telemetry at its yield point; nil-scope
+// safe and allocation-free.
+func (c *CPU) endBatch(n int, why obs.Counter) {
+	c.scope.Observe(obs.HistBatchLen, uint64(n))
+	c.scope.Inc(why)
 }
 
 func (c *CPU) dispatchIRQ(vector int) {

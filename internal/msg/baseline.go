@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/nic"
 	"repro/internal/nipt"
@@ -717,7 +718,13 @@ type BaselinePair struct {
 // transport ring (blocked-write mapping), arrival and credit doorbells,
 // and the interrupt plumbing.
 func NewBaselinePair(gen nic.Generation) *BaselinePair {
-	p := NewPair(gen)
+	return NewBaselinePairCfg(core.ConfigFor(2, 1, gen))
+}
+
+// NewBaselinePairCfg is NewBaselinePair on a pair built from the given
+// config.
+func NewBaselinePairCfg(cfg core.Config) *BaselinePair {
+	p := NewPairOn(cfg, 0, 1)
 	baseConsts(p.SSyms)
 	baseConsts(p.RSyms)
 	b := &BaselinePair{Pair: p}
@@ -910,7 +917,13 @@ func (c BaselineComparison) Ratio() float64 {
 // MeasureBaseline runs both implementations and verifies the baseline
 // actually delivers the message.
 func MeasureBaseline(gen nic.Generation) BaselineComparison {
-	b := NewBaselinePair(gen)
+	return MeasureBaselineCfg(core.ConfigFor(2, 1, gen))
+}
+
+// MeasureBaselineCfg is MeasureBaseline on a pair built from the given
+// config.
+func MeasureBaselineCfg(cfg core.Config) BaselineComparison {
+	b := NewBaselinePairCfg(cfg)
 	payload := []byte("baseline NX/2 message through the kernel")
 	sc := b.Csend(9, payload)
 	b.Drain()
@@ -920,7 +933,7 @@ func MeasureBaseline(gen nic.Generation) BaselineComparison {
 		panic(fmt.Sprintf("msg: baseline corrupted message: %q", got))
 	}
 	return BaselineComparison{
-		Shrimp:        MeasureNX2(gen),
+		Shrimp:        MeasureNX2Cfg(cfg),
 		BaseCsend:     sc,
 		BaseCrecv:     rc,
 		PaperBaseSend: 222,

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/nic"
 	"repro/internal/nipt"
@@ -337,7 +338,12 @@ type NX2Pair struct {
 // counter sender→receiver, consumed counter receiver→sender, channel
 // structs and hash tables in private memory on both sides.
 func NewNX2Pair(gen nic.Generation, msgType uint32) *NX2Pair {
-	p := NewPair(gen)
+	return NewNX2PairCfg(core.ConfigFor(2, 1, gen), msgType)
+}
+
+// NewNX2PairCfg is NewNX2Pair on a pair built from the given config.
+func NewNX2PairCfg(cfg core.Config, msgType uint32) *NX2Pair {
+	p := NewPairOn(cfg, 0, 1)
 	nx2Consts(p.SSyms)
 	nx2Consts(p.RSyms)
 	n := &NX2Pair{Pair: p, Type: msgType}
@@ -459,7 +465,12 @@ func (n *NX2Pair) Crecv(maxBytes int) (Counts, []byte) {
 // MeasureNX2 produces the csend/crecv Table 1 row, verifying the
 // message round trip.
 func MeasureNX2(gen nic.Generation) Overhead {
-	n := NewNX2Pair(gen, 7)
+	return MeasureNX2Cfg(core.ConfigFor(2, 1, gen))
+}
+
+// MeasureNX2Cfg is MeasureNX2 on a pair built from the given config.
+func MeasureNX2Cfg(cfg core.Config) Overhead {
+	n := NewNX2PairCfg(cfg, 7)
 	payload := []byte("an NX/2 message with FIFO type dispatch")
 	sc := n.Csend(payload)
 	n.Drain()

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/nic"
 	"repro/internal/nipt"
@@ -105,7 +106,15 @@ recv:
 // MeasureSingleBuffering runs the single-buffering primitive end to end
 // and returns its Table 1 row. withCopy selects the copying receiver.
 func MeasureSingleBuffering(gen nic.Generation, withCopy bool) Overhead {
-	p := NewPair(gen)
+	return MeasureSingleBufferingCfg(core.ConfigFor(2, 1, gen), withCopy)
+}
+
+// MeasureSingleBufferingCfg is MeasureSingleBuffering on a pair built
+// from the given config — the config-injection twin that lets the batch
+// differential tests (and ablations) vary simulator knobs like
+// Config.CPU.MaxBatch without touching the measured workload.
+func MeasureSingleBufferingCfg(cfg core.Config, withCopy bool) Overhead {
+	p := NewPairOn(cfg, 0, 1)
 	_, rbuf := p.MapBuf("RBUF", 1, 1, nipt.SingleWriteAU)
 	sflag, rflag := p.MapBuf("FLAG", 1, 1, nipt.SingleWriteAU)
 	p.MapBack(sflag, rflag, 1, nipt.SingleWriteAU)
@@ -230,7 +239,13 @@ recv:
 
 // MeasureDoubleBuffering measures loop case 1, 2 or 3.
 func MeasureDoubleBuffering(gen nic.Generation, loopCase int) Overhead {
-	p := NewPair(gen)
+	return MeasureDoubleBufferingCfg(core.ConfigFor(2, 1, gen), loopCase)
+}
+
+// MeasureDoubleBufferingCfg is MeasureDoubleBuffering on a pair built
+// from the given config.
+func MeasureDoubleBufferingCfg(cfg core.Config, loopCase int) Overhead {
+	p := NewPairOn(cfg, 0, 1)
 	sbuf, rbuf := p.MapBuf("BUF", 2, 2, nipt.SingleWriteAU)
 	if loopCase == 3 {
 		// Complementary mapping so the consumed signal propagates back.
@@ -363,7 +378,13 @@ dcheck:
 // MeasureDeliberateUpdate measures the single-page deliberate-update
 // send (13 instructions) plus the completion check (2).
 func MeasureDeliberateUpdate(gen nic.Generation) Overhead {
-	p := NewPair(gen)
+	return MeasureDeliberateUpdateCfg(core.ConfigFor(2, 1, gen))
+}
+
+// MeasureDeliberateUpdateCfg is MeasureDeliberateUpdate on a pair built
+// from the given config.
+func MeasureDeliberateUpdateCfg(cfg core.Config) Overhead {
+	p := NewPairOn(cfg, 0, 1)
 	sbuf, rbuf := p.MapBuf("DBUF", 1, 1, nipt.DeliberateUpdate)
 	p.GrantCmd(sbuf, 1)
 	p.Drain()
@@ -404,7 +425,13 @@ func MeasureDeliberateUpdate(gen nic.Generation) Overhead {
 // send macro (not a Table 1 row; used by tests and the ablation bench).
 // It returns the sender instruction count.
 func MeasureMultiPageDeliberate(gen nic.Generation, bytes int) (Counts, bool) {
-	p := NewPair(gen)
+	return MeasureMultiPageDeliberateCfg(core.ConfigFor(2, 1, gen), bytes)
+}
+
+// MeasureMultiPageDeliberateCfg is MeasureMultiPageDeliberate on a pair
+// built from the given config.
+func MeasureMultiPageDeliberateCfg(cfg core.Config, bytes int) (Counts, bool) {
+	p := NewPairOn(cfg, 0, 1)
 	pages := (bytes + phys.PageSize - 1) / phys.PageSize
 	sbuf, rbuf := p.MapBuf("DBUF", pages, 1, nipt.DeliberateUpdate)
 	p.GrantCmd(sbuf, pages)
@@ -437,14 +464,20 @@ func MeasureMultiPageDeliberate(gen nic.Generation, bytes int) (Counts, bool) {
 // MeasureTable1 produces every row of Table 1 (csend/crecv rows come
 // from the nx2 files).
 func MeasureTable1(gen nic.Generation) []Overhead {
+	return MeasureTable1Cfg(core.ConfigFor(2, 1, gen))
+}
+
+// MeasureTable1Cfg is MeasureTable1 with every harness built from the
+// given config.
+func MeasureTable1Cfg(cfg core.Config) []Overhead {
 	rows := []Overhead{
-		MeasureSingleBuffering(gen, false),
-		MeasureSingleBuffering(gen, true),
-		MeasureDoubleBuffering(gen, 1),
-		MeasureDoubleBuffering(gen, 2),
-		MeasureDoubleBuffering(gen, 3),
-		MeasureDeliberateUpdate(gen),
+		MeasureSingleBufferingCfg(cfg, false),
+		MeasureSingleBufferingCfg(cfg, true),
+		MeasureDoubleBufferingCfg(cfg, 1),
+		MeasureDoubleBufferingCfg(cfg, 2),
+		MeasureDoubleBufferingCfg(cfg, 3),
+		MeasureDeliberateUpdateCfg(cfg),
 	}
-	rows = append(rows, MeasureNX2(gen))
+	rows = append(rows, MeasureNX2Cfg(cfg))
 	return rows
 }

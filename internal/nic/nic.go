@@ -275,6 +275,7 @@ func New(eng *sim.Engine, cfg Config, node packet.NodeID, coord packet.Coord,
 	}
 	xbus.AddSnooper(n)
 	xbus.SetCommandTarget(n)
+	xbus.SetSnoopFilter(n.snoopNeeded)
 	net.Attach(coord, (*endpoint)(n))
 	net.OnInjectorFree(coord, n.injectorFree)
 	return n
@@ -353,9 +354,23 @@ func (n *NIC) Reset() {
 	n.stats = Stats{}
 }
 
+// snoopNeeded is the page-granular CPU-write snoop filter the NIC
+// installs on the Xpress bus. The NIC is the only snooper interested in
+// CPU-mastered writes (the cache's invalidation port ignores them), and
+// it only acts on pages the NIPT maps out — kernel ring pages included,
+// since the boot firmware installs them as out-mappings. The NIPT entry
+// is consulted live on every write, so direct entry mutations (MapOut,
+// UnmapOut, eviction) need no filter maintenance.
+func (n *NIC) snoopNeeded(a phys.PAddr) bool {
+	return n.table.Entry(a.Page()).MappedOut()
+}
+
 // SnoopWrite implements bus.Snooper: the outgoing half of Figure 4.
 // Only CPU-mastered writes are candidates for forwarding; DMA deposits
-// from the network must not be re-forwarded.
+// from the network must not be re-forwarded. With the snoop filter
+// installed, only writes to mapped-out pages arrive here, so
+// Stats.SnoopedWrites counts forward-candidate writes; filtered writes
+// land in XpressStats.SnoopsFiltered instead.
 func (n *NIC) SnoopWrite(init bus.Initiator, a phys.PAddr, data []byte) {
 	if init != bus.InitCPU {
 		return

@@ -76,8 +76,20 @@ func TestUnmappedWritesIgnored(t *testing.T) {
 	if r.nics[0].Stats().PacketsOut != 0 {
 		t.Fatal("unmapped write forwarded")
 	}
+	// The page-granular snoop filter short-circuits writes to pages with
+	// no out-mapping before the snooper fan-out: the NIC never sees them.
+	if r.nics[0].Stats().SnoopedWrites != 0 {
+		t.Fatal("unmapped write reached the NIC snooper")
+	}
+	if r.xbus[0].Stats().SnoopsFiltered != 1 {
+		t.Fatalf("snoop filter stats %+v", r.xbus[0].Stats())
+	}
+	// A write to a mapped page must still pass the filter.
+	r.mapOut(4, 8, nipt.SingleWriteAU)
+	r.cpuWrite32(0, phys.PageNum(4).Addr(0), 2)
+	r.drain()
 	if r.nics[0].Stats().SnoopedWrites != 1 {
-		t.Fatal("write not snooped")
+		t.Fatal("mapped write filtered out")
 	}
 }
 

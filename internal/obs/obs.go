@@ -60,6 +60,15 @@ const (
 	CtrKernelUnmaps
 	CtrKernelEvictions
 	CtrKernelPageIns
+	// Snoop filter: CPU writes that skipped the snooper fan-out because
+	// the target page has no out-mapping.
+	CtrSnoopsFiltered
+	// Batched CPU interpretation: why each batch ended (see isa.CPU).
+	CtrBatchBreakEvent   // a pending engine event inside the run-ahead window
+	CtrBatchBreakQuantum // the configured max-batch quantum was reached
+	CtrBatchBreakFault   // a translation fault (retry reschedules)
+	CtrBatchBreakHalt    // HLT, sentinel RET, or abort
+	CtrBatchBreakFreeze  // the kernel froze the CPU mid-batch
 	numCounters
 )
 
@@ -71,6 +80,9 @@ var counterNames = [...]string{
 	"nipt-lookups", "nipt-misses",
 	"bus-txns", "bus-wait-ps",
 	"kernel-maps", "kernel-unmaps", "kernel-evictions", "kernel-pageins",
+	"snoops-filtered",
+	"batch-break-event", "batch-break-quantum", "batch-break-fault",
+	"batch-break-halt", "batch-break-freeze",
 }
 
 // Compile-time guards: counterNames must list exactly numCounters names.
@@ -135,12 +147,16 @@ const (
 	HistStageDeposit
 	// HistStageTotal: initiating store → deposited (end to end).
 	HistStageTotal
+	// HistBatchLen observes the number of instructions the CPU retired
+	// per engine event (batched interpretation; see isa.CPU).
+	HistBatchLen
 	numHists
 )
 
 var histNames = [...]string{
 	"out-fifo-depth", "in-fifo-depth", "payload-bytes",
 	"stage-snoop", "stage-fifo", "stage-mesh", "stage-deposit", "stage-total",
+	"batch-len",
 }
 
 const _ = uint(int(numHists) - len(histNames))

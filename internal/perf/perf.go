@@ -6,6 +6,7 @@ package perf
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"runtime"
 	"time"
@@ -111,4 +112,60 @@ func (r *Report) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)
+}
+
+// ReadReport parses a report previously written by WriteJSON.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(rd).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("perf: parsing report: %w", err)
+	}
+	return &rep, nil
+}
+
+// Regression is one benchmark that got worse than its baseline beyond
+// tolerance.
+type Regression struct {
+	Name   string
+	Metric string  // "events_per_sec" or "allocs_per_op"
+	Old    float64
+	New    float64
+	Change float64 // fractional change, positive = worse
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %s %.0f -> %.0f (%.1f%% worse)",
+		r.Name, r.Metric, r.Old, r.New, 100*r.Change)
+}
+
+// Compare flags benchmarks of cur that regressed against base by more
+// than tol (0.10 = 10%): events/sec lower, or allocs/op higher.
+// Benchmarks present in only one report are ignored — new benchmarks
+// are not regressions, and retired ones are not failures. A zero-alloc
+// baseline allows one alloc/op of runtime noise before flagging.
+func Compare(base, cur *Report, tol float64) []Regression {
+	old := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		old[r.Name] = r
+	}
+	var regs []Regression
+	for _, n := range cur.Results {
+		b, ok := old[n.Name]
+		if !ok {
+			continue
+		}
+		if b.EventsPerSec > 0 {
+			if drop := 1 - n.EventsPerSec/b.EventsPerSec; drop > tol {
+				regs = append(regs, Regression{n.Name, "events_per_sec", b.EventsPerSec, n.EventsPerSec, drop})
+			}
+		}
+		if b.AllocsPerOp > 0 {
+			if rise := n.AllocsPerOp/b.AllocsPerOp - 1; rise > tol {
+				regs = append(regs, Regression{n.Name, "allocs_per_op", b.AllocsPerOp, n.AllocsPerOp, rise})
+			}
+		} else if n.AllocsPerOp > 1 {
+			regs = append(regs, Regression{n.Name, "allocs_per_op", b.AllocsPerOp, n.AllocsPerOp, n.AllocsPerOp})
+		}
+	}
+	return regs
 }

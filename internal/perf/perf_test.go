@@ -57,4 +57,47 @@ func TestReportJSONRoundTrip(t *testing.T) {
 	if back.GoVersion == "" || back.CPUs <= 0 {
 		t.Fatalf("environment not recorded: %+v", back)
 	}
+	// ReadReport parses what WriteJSON wrote.
+	read, err := ReadReport(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if read.Paper != rep.Paper || len(read.Results) != 1 {
+		t.Fatalf("ReadReport mangled report: %+v", read)
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := &Report{Results: []Result{
+		{Name: "a", EventsPerSec: 1000, AllocsPerOp: 100},
+		{Name: "b", EventsPerSec: 1000, AllocsPerOp: 0},
+		{Name: "gone", EventsPerSec: 1000},
+	}}
+	cur := &Report{Results: []Result{
+		{Name: "a", EventsPerSec: 800, AllocsPerOp: 150}, // both worse
+		{Name: "b", EventsPerSec: 990, AllocsPerOp: 0.5}, // within tolerance
+		{Name: "new", EventsPerSec: 1},                   // no baseline: ignored
+	}}
+	regs := Compare(base, cur, 0.10)
+	if len(regs) != 2 {
+		t.Fatalf("regressions %v, want 2 on %q", regs, "a")
+	}
+	for _, r := range regs {
+		if r.Name != "a" {
+			t.Fatalf("unexpected regression %v", r)
+		}
+		if r.String() == "" {
+			t.Fatal("empty regression description")
+		}
+	}
+	// Improvements are never flagged.
+	better := &Report{Results: []Result{{Name: "a", EventsPerSec: 5000, AllocsPerOp: 1}}}
+	if regs := Compare(base, better, 0.10); len(regs) != 0 {
+		t.Fatalf("flagged improvements: %v", regs)
+	}
+	// A zero-alloc baseline tolerates sub-1 noise, not real allocations.
+	leak := &Report{Results: []Result{{Name: "b", EventsPerSec: 1000, AllocsPerOp: 40}}}
+	if regs := Compare(base, leak, 0.10); len(regs) != 1 || regs[0].Metric != "allocs_per_op" {
+		t.Fatalf("zero-alloc baseline leak not flagged: %v", regs)
+	}
 }

@@ -117,6 +117,11 @@ type Engine struct {
 	events     []event // 4-ary min-heap on (at, seq)
 	fired      uint64
 	maxPending int
+	// bound/bounded track an active RunUntil window so synchronous
+	// run-ahead components (the batched CPU interpreter) never advance
+	// the clock past the window a caller asked for.
+	bound   Time
+	bounded bool
 }
 
 // NewEngine returns an Engine starting at time zero.
@@ -134,6 +139,28 @@ func (e *Engine) Pending() int { return len(e.events) }
 // MaxPending returns the deepest the event queue has been since the
 // engine was built or Reset: the simulation's peak concurrency.
 func (e *Engine) MaxPending() int { return e.maxPending }
+
+// NextEventAt returns the timestamp of the earliest pending event, or
+// Forever when the queue is empty. Synchronous run-ahead components use
+// it as their hazard horizon: they may consume time inline only up to
+// (not through) the next scheduled event.
+func (e *Engine) NextEventAt() Time {
+	if len(e.events) == 0 {
+		return Forever
+	}
+	return e.events[0].at
+}
+
+// RunBound returns the upper edge of the active RunUntil/RunFor window,
+// or Forever outside one. A run-ahead component may advance the clock to
+// RunBound but no further, preserving the per-event illusion that
+// nothing happens after the window a caller asked for.
+func (e *Engine) RunBound() Time {
+	if !e.bounded {
+		return Forever
+	}
+	return e.bound
+}
 
 // At schedules fn to run at absolute time t. Scheduling in the past (t <
 // Now) panics: it would silently reorder causality.
@@ -248,10 +275,15 @@ func (e *Engine) Run() {
 }
 
 // RunUntil fires events with timestamps <= t and then sets the clock to t.
+// The window is published through RunBound while it runs (save/restore,
+// so nested windows compose).
 func (e *Engine) RunUntil(t Time) {
+	prevBound, prevBounded := e.bound, e.bounded
+	e.bound, e.bounded = t, true
 	for len(e.events) > 0 && e.events[0].at <= t {
 		e.Step()
 	}
+	e.bound, e.bounded = prevBound, prevBounded
 	if t > e.now {
 		e.now = t
 	}
@@ -331,4 +363,6 @@ func (e *Engine) Reset() {
 	e.seq = 0
 	e.fired = 0
 	e.maxPending = 0
+	e.bound = 0
+	e.bounded = false
 }

@@ -325,6 +325,17 @@ func MeasureMergeWindow(cfg Config, window, storeGap Time, stores int) MergeWind
 	return core.MeasureMergeWindow(cfg, window, storeGap, stores)
 }
 
+// CPUBoundResult is one run of the pure instruction-interpretation
+// benchmark (see core.MeasureCPUBound).
+type CPUBoundResult = core.CPUBoundResult
+
+// MeasureCPUBound runs the instruction-bound compute loop and reports
+// instruction/event accounting — the workload the CPU batch quantum
+// (Config.CPU.MaxBatch) is benchmarked on.
+func MeasureCPUBound(cfg Config, iters int) CPUBoundResult {
+	return core.MeasureCPUBound(cfg, iters)
+}
+
 // Assembly tooling (the simulated i386-subset used by the measured
 // primitives; exposed for the shrimp-asm tool and power users).
 type (
