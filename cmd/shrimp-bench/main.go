@@ -94,6 +94,15 @@ func main() {
 	run("cpu/batch/off", func() perf.Sample { return cpuBoundSample(1) })
 	run("cpu/batch/on", func() perf.Sample { return cpuBoundSample(shrimp.DefaultConfig().CPU.MaxBatch) })
 
+	// Fault-subsystem tax: the same deliberate-update stream with the
+	// fault hooks absent versus armed at zero loss (seeded injector,
+	// reliable delivery, ring CRC). The off path must stay within 10% of
+	// the fault-free baseline and allocation-free (the ci.sh
+	// BenchmarkStoreNoFaults guard); BENCH_5.json is the committed
+	// snapshot of this pair.
+	run("faults/off", func() perf.Sample { return faultsSample(false) })
+	run("faults/on", func() perf.Sample { return faultsSample(true) })
+
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -233,6 +242,29 @@ func bandwidthSweepSample(workers int) perf.Sample {
 		"workers": float64(workers),
 	}
 	return s
+}
+
+// faultsSample streams 256 KB of deliberate updates with the fault
+// subsystem off or armed at zero rates with reliable delivery — the
+// off/on gap is the price of sequence tagging, retained-payload
+// bookkeeping, ACK traffic and the ring CRC on a loss-free fabric.
+func faultsSample(armed bool) perf.Sample {
+	cfg := shrimp.ConfigFor(2, 1, shrimp.GenXpress)
+	on := 0.0
+	if armed {
+		cfg.Faults = shrimp.FaultConfig{Seed: 1729, Reliable: true}
+		on = 1
+	}
+	r := shrimp.MeasureFaultyTransfer(cfg, 0, 1, 1024, 256*1024)
+	return perf.Sample{
+		Events:  r.Events,
+		SimTime: r.Elapsed,
+		Metrics: map[string]float64{
+			"goodput_sim_mbps": r.GoodputMBps,
+			"faults":           on,
+			"acks":             float64(r.AcksSent),
+		},
+	}
 }
 
 // cpuBoundSample runs the instruction-bound compute loop at the given

@@ -6,10 +6,12 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/bus"
 	"repro/internal/cache"
+	"repro/internal/fault"
 	"repro/internal/isa"
 	"repro/internal/kernel"
 	"repro/internal/mesh"
@@ -40,6 +42,11 @@ type Config struct {
 	// causal spans when Metrics is on (<= 0 selects
 	// obs.DefaultSpanCapacity).
 	SpanCapacity int
+	// Faults configures the deterministic fault-injection subsystem
+	// (internal/fault). The zero value disables it entirely: no injector
+	// is built and the machine is bit-identical to one without the
+	// subsystem.
+	Faults fault.Config
 
 	Mesh   mesh.Config
 	Xpress bus.XpressConfig
@@ -96,8 +103,9 @@ type Machine struct {
 	Cfg    Config
 	Net    *mesh.Network
 	Nodes  []*Node
-	Tracer *trace.Tracer // nil unless Config.TraceCapacity > 0
-	Obs    *obs.Registry // nil unless Config.Metrics
+	Tracer *trace.Tracer   // nil unless Config.TraceCapacity > 0
+	Obs    *obs.Registry   // nil unless Config.Metrics
+	Faults *fault.Injector // nil unless Config.Faults.Enabled()
 }
 
 // CoordOf maps a node id to its mesh coordinates (row-major).
@@ -126,6 +134,10 @@ func New(cfg Config) *Machine {
 		m.Obs = obs.New(eng, cfg.NodeCount(), cfg.SpanCapacity)
 		net.SetObs(m.Obs)
 	}
+	if cfg.Faults.Enabled() {
+		m.Faults = fault.NewInjector(eng, cfg.Faults, cfg.NodeCount())
+		net.SetFaults(m.Faults)
+	}
 
 	for id := 0; id < cfg.NodeCount(); id++ {
 		coord := cfg.CoordOf(packet.NodeID(id))
@@ -150,12 +162,17 @@ func New(cfg Config) *Machine {
 		table.SetObs(scope)
 		cpu.SetObs(scope)
 		k.Obs = scope
+		if m.Faults != nil {
+			nicDev.SetFaults(m.Faults)
+			k.SetRingCRC(cfg.Faults.Reliable)
+		}
 		m.Nodes = append(m.Nodes, &Node{
 			Eng: eng, ID: packet.NodeID(id), Coord: coord, Mem: mem, Xbus: xbus,
 			EISA: eisaBus, Cache: ch, NIC: nicDev, CPU: cpu, Box: box, K: k,
 		})
 	}
 	m.installKernelRings()
+	m.applyFaults()
 	return m
 }
 
@@ -230,15 +247,27 @@ func peerIndex(a, b int) int {
 // Node returns node i.
 func (m *Machine) Node(i int) *Node { return m.Nodes[i] }
 
-// RunUntilIdle drains the event queue, panicking after limit events
-// (livelock guard).
-func (m *Machine) RunUntilIdle(limit uint64) { m.Eng.Drain(limit) }
+// RunUntilIdle drains the event queue and returns the machine check a
+// component raised through the engine's failure surface, if any. It
+// still panics after limit events (livelock guard): a blown budget is a
+// harness bug, not a simulated fault.
+func (m *Machine) RunUntilIdle(limit uint64) error {
+	err := m.Eng.DrainBudget(limit)
+	if errors.Is(err, sim.ErrBudget) {
+		panic(fmt.Sprintf("core: RunUntilIdle exceeded %d events: %v", limit, err))
+	}
+	return err
+}
 
 // Await drives the simulation until the future resolves, then returns
-// its error. It panics if the event queue runs dry first.
+// its error. A machine check raised while waiting is returned instead;
+// it panics only if the event queue runs dry with no failure recorded.
 func (m *Machine) Await(f *kernel.Future) error {
 	ok := m.Eng.RunWhile(func() bool { return !f.Done() })
 	if !ok && !f.Done() {
+		if err := m.Eng.Failed(); err != nil {
+			return err
+		}
 		panic("core: Await ran out of events before future resolved")
 	}
 	return f.Err()

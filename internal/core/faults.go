@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/exp"
+	"repro/internal/fault"
+	"repro/internal/nipt"
+	"repro/internal/packet"
+	"repro/internal/phys"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// applyFaults installs the deterministic fault plan on a post-boot
+// machine: the link-outage window on the mesh and the scheduled node
+// crash/freeze events on the engine. Reset calls it again after the
+// engine reset discards the pending events, so a reset machine replays
+// the identical plan. No-op without an injector.
+func (m *Machine) applyFaults() {
+	if m.Faults == nil {
+		return
+	}
+	fc := m.Cfg.Faults
+	if fc.LinkDownAt > 0 {
+		from := m.Cfg.CoordOf(packet.NodeID(fc.LinkFrom))
+		to := m.Cfg.CoordOf(packet.NodeID(fc.LinkTo))
+		if err := m.Net.SetLinkFault(from, to, fc.LinkDownAt, fc.LinkRepairAt); err != nil {
+			panic(err) // Validate already rejected non-adjacent pairs
+		}
+	}
+	for _, nf := range fc.Nodes {
+		switch nf.Kind {
+		case fault.NodeCrash:
+			m.Eng.Schedule(nf.At, &nodeFaultEvent{node: m.Nodes[nf.Node], crash: true})
+		case fault.NodeFreeze:
+			m.Eng.Schedule(nf.At, &nodeFaultEvent{node: m.Nodes[nf.Node]})
+			if nf.Until > 0 {
+				m.Eng.Schedule(nf.Until, &nodeFaultEvent{node: m.Nodes[nf.Node], thaw: true})
+			}
+		}
+	}
+}
+
+// nodeFaultEvent fires one scheduled node fault: crash (NIC dead + CPU
+// frozen), freeze (CPU frozen), or thaw (freeze window end).
+type nodeFaultEvent struct {
+	node  *Node
+	crash bool
+	thaw  bool
+}
+
+func (ev *nodeFaultEvent) Fire() {
+	switch {
+	case ev.crash:
+		ev.node.NIC.SetDead()
+		ev.node.CPU.Freeze()
+	case ev.thaw:
+		ev.node.CPU.Thaw()
+	default:
+		ev.node.CPU.Freeze()
+	}
+}
+
+// FaultPoint is one point of a fault sweep: a deliberate-update stream
+// pushed through a lossy fabric with reliable delivery on, reporting
+// the goodput that survived and what the recovery machinery spent.
+type FaultPoint struct {
+	DropPPM       uint32
+	TransferBytes int
+	GoodBytes     uint64 // payload bytes deposited at the receiver
+	Elapsed       sim.Time
+	GoodputMBps   float64
+	FaultDrops    uint64 // worms the injector lost in flight
+	Corrupts      uint64 // packets damaged (dropped by the receiver CRC)
+	Dups          uint64 // worms delivered twice
+	Retransmits   uint64 // sender retransmissions
+	AcksSent      uint64 // receiver cumulative ACKs
+	NacksSent     uint64 // receiver gap reports
+	DupDrops      uint64 // duplicate data packets the receiver discarded
+	Events        uint64
+	Err           string // non-empty when the run ended in a machine check
+}
+
+func (p FaultPoint) String() string {
+	if p.Err != "" {
+		return fmt.Sprintf("drop %5.2f%%: FAILED: %s", float64(p.DropPPM)/1e4, p.Err)
+	}
+	return fmt.Sprintf("drop %5.2f%%: %7.2f MB/s goodput, %d lost, %d corrupt, %d dup, %d rexmit, %d ack, %d nack",
+		float64(p.DropPPM)/1e4, p.GoodputMBps, p.FaultDrops, p.Corrupts, p.Dups,
+		p.Retransmits, p.AcksSent, p.NacksSent)
+}
+
+// MeasureFaultyTransfer streams totalBytes of deliberate-update
+// transfers from node src to node dst under the config's fault plan and
+// reports the surviving goodput. Unlike the clean-fabric harnesses it
+// never panics on a machine check: a failed run comes back with Err set
+// (graceful degradation is exactly what fault sweeps measure).
+func MeasureFaultyTransfer(cfg Config, src, dst, transferBytes, totalBytes int) FaultPoint {
+	return measureFaultyTransferOn(New(cfg), src, dst, transferBytes, totalBytes)
+}
+
+func measureFaultyTransferOn(m *Machine, src, dst, transferBytes, totalBytes int) FaultPoint {
+	if transferBytes <= 0 || transferBytes > phys.PageSize {
+		panic("core: transfer size must be within one page")
+	}
+	res := FaultPoint{DropPPM: m.Cfg.Faults.DropPPM, TransferBytes: transferBytes}
+	s := setupPair(m, src, dst, nipt.DeliberateUpdate)
+	if err := s.src.K.GrantCommandPages(s.ps, s.sendVA, s.sendVA+0x4000_0000, 1); err != nil {
+		panic(err)
+	}
+	for off := 0; off < phys.PageSize; off += 4 {
+		if err := s.src.UserWrite32(s.ps, s.sendVA+vm.VAddr(off), uint32(off)); err != nil {
+			panic(err)
+		}
+	}
+	mustSettle(m, "faulty transfer page fill")
+
+	cmdVA := s.sendVA + 0x4000_0000
+	tr, f := s.ps.AS.Translate(cmdVA, true)
+	if f != nil {
+		panic(f)
+	}
+	words := uint32(transferBytes / 4)
+	transfers := totalBytes / transferBytes
+	before := s.dst.NIC.Stats()
+	netBefore := m.Net.Stats()
+	start := m.Eng.Now()
+	for i := 0; i < transfers && res.Err == ""; i++ {
+		for {
+			if err := m.Eng.Failed(); err != nil {
+				res.Err = err.Error()
+				break
+			}
+			_, swapped, _ := s.src.Cache.LockedCmpxchg(tr.PA, 0, words)
+			if swapped {
+				break
+			}
+			if !m.Eng.Step() {
+				res.Err = "core: DMA engine never freed"
+				break
+			}
+		}
+	}
+	if res.Err == "" {
+		if err := m.Settle("faulty stream drain"); err != nil {
+			res.Err = err.Error()
+		}
+	}
+	elapsed := m.Eng.Now() - start
+	after := s.dst.NIC.Stats()
+	net := m.Net.Stats()
+	srcStats := s.src.NIC.Stats()
+	res.GoodBytes = after.BytesIn - before.BytesIn
+	res.Elapsed = elapsed
+	if elapsed > 0 {
+		res.GoodputMBps = float64(res.GoodBytes) / 1e6 / elapsed.Seconds()
+	}
+	res.FaultDrops = net.FaultDropped + net.FaultLinkDrops -
+		netBefore.FaultDropped - netBefore.FaultLinkDrops
+	res.Corrupts = net.FaultCorrupted - netBefore.FaultCorrupted
+	res.Dups = net.FaultDuplicated - netBefore.FaultDuplicated
+	res.Retransmits = srcStats.RelRetransmits
+	res.AcksSent = after.RelAcksSent - before.RelAcksSent
+	res.NacksSent = after.RelNacksSent - before.RelNacksSent
+	res.DupDrops = after.RelDupDrops - before.RelDupDrops
+	res.Events = m.Eng.Fired()
+	return res
+}
+
+// FaultSweep measures goodput across packet drop rates (parts per
+// million) with reliable delivery enabled, fanned across workers
+// goroutines (workers <= 0 selects exp.DefaultWorkers, workers == 1
+// runs inline); results are ordered as dropsPPM. The base config's
+// seed, rates and plan are kept; only DropPPM varies per point.
+func FaultSweep(cfg Config, dropsPPM []uint32, transferBytes, totalBytes, workers int) []FaultPoint {
+	return exp.Map(workers, len(dropsPPM), newMachinePool,
+		func(p *machinePool, i int) FaultPoint {
+			c := cfg
+			c.Faults.DropPPM = dropsPPM[i]
+			c.Faults.Reliable = true
+			return measureFaultyTransferOn(p.get(c), 0, c.NodeCount()-1, transferBytes, totalBytes)
+		})
+}

@@ -31,5 +31,11 @@ func (m *Machine) Reset() {
 	}
 	m.Tracer.Reset()
 	m.Obs.Reset()
+	m.Faults.Reset()
 	m.installKernelRings()
+	// Re-schedule fault-plan events (node crashes, link outages): the
+	// engine reset discarded them along with everything else pending, and
+	// the injector's decision counters just restarted, so the reset
+	// machine replays the identical fault pattern a fresh one would.
+	m.applyFaults()
 }

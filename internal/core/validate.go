@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/packet"
 	"repro/internal/phys"
 )
@@ -58,6 +59,52 @@ func (c Config) Validate() error {
 	}
 	if c.Mesh.FlitBytes <= 0 || c.Mesh.FlitCycle <= 0 {
 		return fmt.Errorf("core: mesh flit parameters must be positive")
+	}
+	return c.validateFaults()
+}
+
+// validateFaults checks the fault plan against the machine shape.
+func (c Config) validateFaults() error {
+	f := c.Faults
+	if !f.Enabled() {
+		return nil
+	}
+	for _, ppm := range [...]uint32{f.DropPPM, f.CorruptPPM, f.DupPPM, f.StallPPM} {
+		if ppm > 1_000_000 {
+			return fmt.Errorf("core: fault rate %d ppm exceeds 1e6", ppm)
+		}
+	}
+	if f.RetryBudget < 0 || f.AckTimeout < 0 || f.StallTime < 0 {
+		return fmt.Errorf("core: fault tunables must be non-negative")
+	}
+	n := c.NodeCount()
+	if f.LinkDownAt > 0 {
+		if f.LinkFrom < 0 || f.LinkFrom >= n || f.LinkTo < 0 || f.LinkTo >= n {
+			return fmt.Errorf("core: link fault nodes %d->%d outside machine of %d nodes",
+				f.LinkFrom, f.LinkTo, n)
+		}
+		from, to := c.CoordOf(packet.NodeID(f.LinkFrom)), c.CoordOf(packet.NodeID(f.LinkTo))
+		if from.Hops(to) != 1 {
+			return fmt.Errorf("core: link fault %v->%v is not a mesh link", from, to)
+		}
+		if f.LinkRepairAt != 0 && f.LinkRepairAt <= f.LinkDownAt {
+			return fmt.Errorf("core: link repair at %v not after outage at %v",
+				f.LinkRepairAt, f.LinkDownAt)
+		}
+	}
+	for _, nf := range f.Nodes {
+		if nf.Kind == fault.NodeOK {
+			continue
+		}
+		if nf.Node < 0 || nf.Node >= n {
+			return fmt.Errorf("core: node fault targets node %d of %d", nf.Node, n)
+		}
+		if nf.At <= 0 {
+			return fmt.Errorf("core: node fault on node %d needs a positive schedule time", nf.Node)
+		}
+		if nf.Until != 0 && nf.Until <= nf.At {
+			return fmt.Errorf("core: node fault thaw at %v not after freeze at %v", nf.Until, nf.At)
+		}
 	}
 	return nil
 }

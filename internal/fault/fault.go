@@ -1,0 +1,280 @@
+// Package fault is the machine-wide deterministic fault-injection
+// subsystem. A Config (carried on core.Config.Faults) describes which
+// faults a run should experience — packet drop/corrupt/duplicate rates
+// on the mesh, NIC outgoing-FIFO stalls, a link outage window, node
+// crash/freeze schedules — and an Injector turns it into per-event
+// decisions that are a pure function of (seed, node, stream, per-stream
+// count, simulated clock). No wall-clock time and no global math/rand
+// state is ever consulted, so a given seed reproduces the exact same
+// fault pattern on every run, after Machine.Reset, and across parallel
+// sweep workers.
+//
+// The companion reliable-delivery layer (internal/nic/reliable.go) and
+// the structured MachineCheck error (machinecheck.go) are what let a
+// simulation survive — or deterministically refuse to survive — the
+// injected faults.
+package fault
+
+import (
+	"repro/internal/sim"
+)
+
+// NodeFaultKind selects what happens to a scheduled node.
+type NodeFaultKind uint8
+
+const (
+	// NodeOK is the zero value: no fault scheduled.
+	NodeOK NodeFaultKind = iota
+	// NodeCrash permanently kills the node at At: its CPU freezes and
+	// its NIC becomes a bit bucket (arriving packets are discarded, no
+	// ACKs are generated). Peers talking to it exhaust their retry
+	// budgets and raise a MachineCheck naming the dead destination.
+	NodeCrash
+	// NodeFreeze freezes the node's CPU at At and thaws it at Until
+	// (Until == 0 freezes permanently). The NIC keeps running: arriving
+	// data still deposits, so a freeze models a stalled processor, not
+	// a dead node.
+	NodeFreeze
+)
+
+func (k NodeFaultKind) String() string {
+	switch k {
+	case NodeCrash:
+		return "crash"
+	case NodeFreeze:
+		return "freeze"
+	}
+	return "ok"
+}
+
+// NodeFault schedules one node-level fault.
+type NodeFault struct {
+	Node  int
+	Kind  NodeFaultKind
+	At    sim.Time
+	Until sim.Time // NodeFreeze thaw instant; 0 = permanent
+}
+
+// Config describes the faults of one run. The zero value means "no
+// fault subsystem at all" — the machine is bit-identical to one built
+// before this package existed. It is a plain comparable struct (no
+// slices or maps) so core.Config stays ==-comparable for the sweep
+// harnesses' machine-reuse pools.
+type Config struct {
+	// Seed keys the split-mix decision hash. Two runs with equal
+	// Config are bit-identical; changing only Seed reshuffles which
+	// packets are hit while keeping the rates.
+	Seed uint64
+
+	// Per-million packet fault rates, rolled at mesh injection time.
+	DropPPM    uint32 // packet vanishes in flight (wire traffic still paid)
+	CorruptPPM uint32 // packet arrives damaged; the receiver's CRC check drops it
+	DupPPM     uint32 // packet is delivered twice back to back
+
+	// StallPPM is the per-million rate at which an outgoing-FIFO drain
+	// pauses for StallTime before injecting (a flaky NIC).
+	StallPPM  uint32
+	StallTime sim.Time // 0 selects DefaultStallTime
+
+	// Reliable enables the NIC-level reliable-delivery layer:
+	// deliberate-update and kernel-ring packets gain sequence numbers,
+	// receiver ACK/NACK, sender retransmit with capped exponential
+	// backoff, and kernel ring records gain a CRC word; automatic-update
+	// packets gain per-page sequence tags for drop detection. Turning it
+	// on changes the wire format (+RelHeaderBytes per packet), so it is
+	// not bit-identical to the zero config even with all rates zero.
+	Reliable bool
+	// RetryBudget is the number of consecutive no-progress retransmits
+	// before the sender raises a MachineCheck (0 selects
+	// DefaultRetryBudget).
+	RetryBudget int
+	// AckTimeout is the base retransmit timeout; backoff doubles it per
+	// consecutive retry, capped at MaxBackoff× the base (0 selects
+	// DefaultAckTimeout).
+	AckTimeout sim.Time
+
+	// Link outage: the mesh channel from node LinkFrom toward the
+	// XY-adjacent node LinkTo goes down at LinkDownAt. LinkRepairAt == 0
+	// leaves it down forever. Worms routed across the dead window are
+	// lost in flight. Active only when LinkDownAt > 0.
+	LinkFrom, LinkTo         int
+	LinkDownAt, LinkRepairAt sim.Time
+
+	// Nodes schedules up to two node-level faults (a fixed-size array
+	// keeps Config comparable).
+	Nodes [2]NodeFault
+}
+
+// Defaults for the tunables left zero in Config.
+const (
+	DefaultRetryBudget = 16
+	DefaultStallTime   = 2 * sim.Microsecond
+	DefaultAckTimeout  = 50 * sim.Microsecond
+	// MaxBackoff caps the exponential backoff multiplier.
+	MaxBackoff = 16
+	// AckEvery is the receiver's cumulative-ACK batching: one ACK per
+	// this many in-order data packets (a delayed ACK covers stragglers).
+	AckEvery = 4
+	// AckDelay is the receiver's delayed-ACK timer.
+	AckDelay = 2 * sim.Microsecond
+)
+
+// Enabled reports whether any part of the fault subsystem is active.
+// With a zero Config no injector is built and every hook stays nil, so
+// the simulation is bit-identical to one without this package.
+func (c Config) Enabled() bool { return c != Config{} }
+
+// RetryBudgetOrDefault resolves the retry budget.
+func (c Config) RetryBudgetOrDefault() int {
+	if c.RetryBudget > 0 {
+		return c.RetryBudget
+	}
+	return DefaultRetryBudget
+}
+
+// AckTimeoutOrDefault resolves the base retransmit timeout.
+func (c Config) AckTimeoutOrDefault() sim.Time {
+	if c.AckTimeout > 0 {
+		return c.AckTimeout
+	}
+	return DefaultAckTimeout
+}
+
+// StallTimeOrDefault resolves the NIC stall duration.
+func (c Config) StallTimeOrDefault() sim.Time {
+	if c.StallTime > 0 {
+		return c.StallTime
+	}
+	return DefaultStallTime
+}
+
+// Decision streams. Each (node, stream) pair owns an independent
+// counter, so adding a new fault type never perturbs the decision
+// sequence of existing ones.
+const (
+	streamDrop = iota
+	streamCorrupt
+	streamDup
+	streamStall
+	numStreams
+)
+
+// Injector turns a Config into per-event decisions. The zero-rate
+// streams never fire, and a nil *Injector is valid everywhere (all
+// methods are nil-safe and report "no fault"), so components hold an
+// *Injector unconditionally and pay one nil/zero check on hot paths.
+type Injector struct {
+	cfg    Config
+	eng    *sim.Engine
+	counts [][numStreams]uint64 // per-node decision counters
+}
+
+// NewInjector builds an injector for a machine of nodes nodes.
+func NewInjector(eng *sim.Engine, cfg Config, nodes int) *Injector {
+	return &Injector{cfg: cfg, eng: eng, counts: make([][numStreams]uint64, nodes)}
+}
+
+// Config returns the injector's configuration; nil-safe (zero Config).
+func (i *Injector) Config() Config {
+	if i == nil {
+		return Config{}
+	}
+	return i.cfg
+}
+
+// Reliable reports whether the reliable-delivery layer is on; nil-safe.
+func (i *Injector) Reliable() bool { return i != nil && i.cfg.Reliable }
+
+// Reset clears every decision counter, returning the injector to its
+// just-built state so a Reset machine replays the identical fault
+// pattern; nil-safe.
+func (i *Injector) Reset() {
+	if i == nil {
+		return
+	}
+	clear(i.counts)
+}
+
+// splitmix is the split-mix-64 finalizer: a bijective avalanche over
+// the packed decision key.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// roll draws one decision for (node, stream): true with probability
+// ppm/1e6. The hash key mixes the seed, node, stream, that stream's
+// per-node counter, and the simulated clock — deterministic state only.
+func (i *Injector) roll(node, stream int, ppm uint32) bool {
+	if i == nil || ppm == 0 {
+		return false
+	}
+	c := &i.counts[node][stream]
+	*c++
+	h := splitmix(i.cfg.Seed ^ uint64(node)<<48 ^ uint64(stream)<<40 ^ *c)
+	h = splitmix(h ^ uint64(i.eng.Now()))
+	return h%1_000_000 < uint64(ppm)
+}
+
+// DropPacket decides whether a packet injected by node is lost in
+// flight; nil-safe.
+func (i *Injector) DropPacket(node int) bool {
+	return i.roll(node, streamDrop, i.configDrop())
+}
+
+// CorruptPacket decides whether a packet injected by node arrives
+// damaged; nil-safe.
+func (i *Injector) CorruptPacket(node int) bool {
+	return i.roll(node, streamCorrupt, i.configCorrupt())
+}
+
+// DupPacket decides whether a packet injected by node is delivered
+// twice; nil-safe.
+func (i *Injector) DupPacket(node int) bool {
+	return i.roll(node, streamDup, i.configDup())
+}
+
+// StallOut decides whether node's outgoing-FIFO drain stalls; nil-safe.
+func (i *Injector) StallOut(node int) bool {
+	return i.roll(node, streamStall, i.configStall())
+}
+
+// The config accessors below keep roll's nil check the only one on the
+// hot path.
+func (i *Injector) configDrop() uint32 {
+	if i == nil {
+		return 0
+	}
+	return i.cfg.DropPPM
+}
+
+func (i *Injector) configCorrupt() uint32 {
+	if i == nil {
+		return 0
+	}
+	return i.cfg.CorruptPPM
+}
+
+func (i *Injector) configDup() uint32 {
+	if i == nil {
+		return 0
+	}
+	return i.cfg.DupPPM
+}
+
+func (i *Injector) configStall() uint32 {
+	if i == nil {
+		return 0
+	}
+	return i.cfg.StallPPM
+}
+
+// StallTime returns the resolved stall duration; nil-safe.
+func (i *Injector) StallTime() sim.Time {
+	if i == nil {
+		return 0
+	}
+	return i.cfg.StallTimeOrDefault()
+}

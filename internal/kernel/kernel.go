@@ -105,6 +105,9 @@ type Kernel struct {
 	ringOwner map[phys.PageNum]packet.NodeID // inbox frame -> peer
 	pending   map[uint32]*Future
 	nextReq   uint32
+	// ringCRC selects the fault-mode record layout (see ring.go); set
+	// once at boot, it survives Reset like the rest of the config.
+	ringCRC bool
 
 	// imports: which remote nodes map INTO each local frame (so the
 	// §4.4 invalidation protocol knows whom to shoot down).

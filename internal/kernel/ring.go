@@ -2,7 +2,9 @@ package kernel
 
 import (
 	"fmt"
+	"hash/crc32"
 
+	"repro/internal/fault"
 	"repro/internal/nic"
 	"repro/internal/packet"
 	"repro/internal/phys"
@@ -22,12 +24,18 @@ import (
 //	+0  seq     written LAST: per-pair in-order delivery means the
 //	            whole record is resident once seq matches
 //	+4  len     payload byte count, or wrapMark to restart at offset 0
-//	+8  payload padded to a word boundary
+//	+8  crc     (fault mode only) CRC-32C of the payload
+//	+8/+12 payload padded to an 8-byte boundary
 //
 // Producers stop writing when the unacknowledged window would overflow
 // the ring; consumers return cumulative-consumed credits on their own
 // reverse ring. Credit records bypass the window check (they are tiny
 // and self-limiting), so the protocol cannot deadlock.
+//
+// In fault mode (SetRingCRC) every record additionally carries a
+// payload checksum as an end-to-end integrity check on top of the
+// NIC-level reliable delivery; a mismatch is unrecoverable corruption
+// of the control plane and raises a machine check.
 
 const (
 	ringHeaderBytes = 8
@@ -38,6 +46,21 @@ const (
 	// since the last one.
 	creditEvery = 1024
 )
+
+var ringCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// SetRingCRC toggles the fault-mode record checksum. The machine
+// constructor sets it at boot on every node or none: both ends of a
+// ring must agree on the record layout.
+func (k *Kernel) SetRingCRC(on bool) { k.ringCRC = on }
+
+// ringHeader is the per-record header size under the current layout.
+func (k *Kernel) ringHeader() uint32 {
+	if k.ringCRC {
+		return ringHeaderBytes + 4
+	}
+	return ringHeaderBytes
+}
 
 type peer struct {
 	node  packet.NodeID
@@ -82,7 +105,7 @@ func (k *Kernel) Peers() []packet.NodeID {
 // ringSend queues one record for the peer, respecting the credit window
 // unless bypass is set (credit records only).
 func (k *Kernel) ringSend(p *peer, payload []byte, bypass bool) {
-	if len(payload)+ringHeaderBytes > maxRecordBytes {
+	if len(payload)+int(k.ringHeader()) > maxRecordBytes {
 		panic(fmt.Sprintf("kernel%d: ring record too large (%d bytes)", k.id, len(payload)))
 	}
 	if !bypass && len(p.backlog) > 0 {
@@ -98,16 +121,17 @@ func (k *Kernel) ringSend(p *peer, payload []byte, bypass bool) {
 
 // recordBytes pads records to 8-byte multiples so the write cursor is
 // always 8-aligned — an 8-byte wrap record therefore always fits before
-// the end of the ring page.
-func recordBytes(payload []byte) uint32 {
-	return ringHeaderBytes + (uint32(len(payload))+7)&^7
+// the end of the ring page. The CRC layout's 12-byte header keeps the
+// padded total a multiple of 8 too.
+func (k *Kernel) recordBytes(payload []byte) uint32 {
+	return (k.ringHeader() + uint32(len(payload)) + 7) &^ 7
 }
 
 // ringFits reports whether the unacked window leaves room for the record
 // (including a possible wrap marker's wasted tail).
 func (k *Kernel) ringFits(p *peer, payload []byte) bool {
-	need := uint64(recordBytes(payload))
-	if p.wcursor+recordBytes(payload) > phys.PageSize {
+	need := uint64(k.recordBytes(payload))
+	if p.wcursor+k.recordBytes(payload) > phys.PageSize {
 		need += uint64(phys.PageSize - p.wcursor) // wrap waste
 	}
 	return p.written-p.acked+need <= phys.PageSize-maxRecordBytes
@@ -116,7 +140,7 @@ func (k *Kernel) ringFits(p *peer, payload []byte) bool {
 // ringWrite emits the record through the memory bus, payload first and
 // sequence word last, so the consumer sees only complete records.
 func (k *Kernel) ringWrite(p *peer, payload []byte) {
-	rec := recordBytes(payload)
+	rec := k.recordBytes(payload)
 	if p.wcursor+rec > phys.PageSize {
 		// Wrap record: len=wrapMark, then seq.
 		base := p.outFrame.Addr(p.wcursor)
@@ -127,12 +151,16 @@ func (k *Kernel) ringWrite(p *peer, payload []byte) {
 		p.wcursor = 0
 	}
 	base := p.outFrame.Addr(p.wcursor)
+	hdr := k.ringHeader()
+	if k.ringCRC {
+		k.busWrite32(base+8, crc32.Checksum(payload, ringCRCTable))
+	}
 	for off := uint32(0); off < uint32(len(payload)); off += 4 {
 		var w uint32
 		for i := uint32(0); i < 4 && off+i < uint32(len(payload)); i++ {
 			w |= uint32(payload[off+i]) << (8 * i)
 		}
-		k.busWrite32(base+phys.PAddr(8+off), w)
+		k.busWrite32(base+phys.PAddr(hdr+off), w)
 	}
 	k.busWrite32(base+4, uint32(len(payload)))
 	k.busWrite32(base, p.wseq)
@@ -179,9 +207,15 @@ func (k *Kernel) drainRing(p *peer) {
 			break
 		}
 		length := k.mem.Read32(base + 4)
-		if length != wrapMark && (length == 0 || length+ringHeaderBytes > maxRecordBytes) {
-			panic(fmt.Sprintf("kernel%d: ring from node %d corrupted at %d (len=%d); "+
-				"the control plane requires reliable delivery", k.id, p.node, p.rcursor, length))
+		if length != wrapMark && (length == 0 || length+k.ringHeader() > maxRecordBytes) {
+			// The control plane cannot proceed past a mangled record:
+			// raise a machine check and stop draining.
+			k.eng.Fail(&fault.MachineCheck{
+				Node: int(k.id), Kind: fault.CheckRingCorrupt, At: k.eng.Now(),
+				Detail: fmt.Sprintf("ring from node %d: bad length %d at offset %d",
+					p.node, length, p.rcursor),
+			})
+			return
 		}
 		if length == wrapMark {
 			p.consumed += uint64(phys.PageSize - p.rcursor)
@@ -189,8 +223,18 @@ func (k *Kernel) drainRing(p *peer) {
 			p.rseq++
 			continue
 		}
-		payload := k.mem.Read(base+8, int(length))
-		rec := recordBytes(payload)
+		payload := k.mem.Read(base+phys.PAddr(k.ringHeader()), int(length))
+		if k.ringCRC {
+			if got := crc32.Checksum(payload, ringCRCTable); got != k.mem.Read32(base+8) {
+				k.eng.Fail(&fault.MachineCheck{
+					Node: int(k.id), Kind: fault.CheckRingCorrupt, At: k.eng.Now(),
+					Detail: fmt.Sprintf("ring from node %d: payload CRC mismatch at offset %d (seq %d)",
+						p.node, p.rcursor, seq),
+				})
+				return
+			}
+		}
+		rec := k.recordBytes(payload)
 		p.rcursor += rec
 		p.consumed += uint64(rec)
 		p.rseq++

@@ -31,14 +31,17 @@ func TestStatusErrors(t *testing.T) {
 }
 
 func TestRecordBytesAlignment(t *testing.T) {
-	f := func(n uint16) bool {
-		payload := make([]byte, int(n)%(maxRecordBytes-ringHeaderBytes))
-		rec := recordBytes(payload)
-		// 8-aligned and big enough.
-		return rec%8 == 0 && rec >= ringHeaderBytes+uint32(len(payload))
-	}
-	if err := quick.Check(f, nil); err != nil {
-		t.Fatal(err)
+	for _, crc := range []bool{false, true} {
+		k := &Kernel{ringCRC: crc}
+		f := func(n uint16) bool {
+			payload := make([]byte, int(n)%(maxRecordBytes-int(k.ringHeader())))
+			rec := k.recordBytes(payload)
+			// 8-aligned and big enough.
+			return rec%8 == 0 && rec >= k.ringHeader()+uint32(len(payload))
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Fatalf("crc=%v: %v", crc, err)
+		}
 	}
 }
 

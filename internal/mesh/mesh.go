@@ -28,6 +28,7 @@ package mesh
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/sim"
@@ -77,6 +78,16 @@ type channel struct {
 	injNode int
 	// stat is this channel's metrics block; nil when metrics are off.
 	stat *obs.LinkStat
+	// downFrom/downUntil is the link-outage window (fault injection):
+	// worms routed across the channel while it is down are lost in
+	// flight. downFrom == 0 means never down; downUntil == 0 with a
+	// nonzero downFrom means down forever.
+	downFrom, downUntil sim.Time
+}
+
+// down reports whether the channel is in its outage window at t.
+func (ch *channel) down(t sim.Time) bool {
+	return ch.downFrom > 0 && t >= ch.downFrom && (ch.downUntil == 0 || t < ch.downUntil)
 }
 
 // Worm lifecycle phases, dispatched by Fire.
@@ -98,8 +109,14 @@ type worm struct {
 	grantTime sim.Time
 	phase     uint8
 	parked    bool // head at ejection, endpoint refused
-	injected  sim.Time
-	free      *worm // pool link
+	// lost marks a worm the fault injector killed in flight (drop roll
+	// or a downed link on its path): it still occupies its channels end
+	// to end but is discarded at drain instead of delivered. dup marks
+	// a worm the injector delivers twice.
+	lost     bool
+	dup      bool
+	injected sim.Time
+	free     *worm // pool link
 }
 
 // Fire implements sim.Handler: the worm is its own pooled event.
@@ -121,6 +138,11 @@ type Stats struct {
 	TotalLatency  sim.Time
 	MaxLatency    sim.Time
 	TotalWireByte uint64
+	// Fault-injection outcomes (zero outside fault mode).
+	FaultDropped    uint64 // worms lost to a drop roll
+	FaultCorrupted  uint64 // packets damaged in flight
+	FaultDuplicated uint64 // worms delivered twice
+	FaultLinkDrops  uint64 // worms lost to a downed link
 }
 
 // Directions for the per-node link table.
@@ -154,6 +176,15 @@ type Network struct {
 	// receiving NIC's CRC check must catch and drop it).
 	corruptEvery int
 	injectCount  int
+
+	// faults is the machine-wide fault injector; nil outside fault mode
+	// (the zero-fault data path pays one nil check per injection). reg
+	// mirrors SetObs's registry so fault events can complete spans and
+	// charge per-node counters. linkFault gates the per-path outage
+	// scan so it costs nothing until SetLinkFault is called.
+	faults    *fault.Injector
+	reg       *obs.Registry
+	linkFault bool
 
 	freeWorms *worm // pool of retired worms
 
@@ -204,6 +235,7 @@ func New(eng *sim.Engine, cfg Config) *Network {
 // with the metrics registry. A nil registry (metrics disabled) leaves
 // the channels uninstrumented.
 func (n *Network) SetObs(reg *obs.Registry) {
+	n.reg = reg
 	register := func(ch *channel) {
 		if ch != nil {
 			ch.stat = reg.Link(ch.name)
@@ -256,6 +288,7 @@ func (n *Network) Reset() {
 		}
 		ch.owner = nil
 		ch.waiters = ch.waiters[:0]
+		ch.downFrom, ch.downUntil = 0, 0
 	}
 	for i := range n.links {
 		for dir := range n.links[i] {
@@ -267,6 +300,7 @@ func (n *Network) Reset() {
 	}
 	n.corruptEvery = 0
 	n.injectCount = 0
+	n.linkFault = false
 	n.stats = Stats{}
 }
 
@@ -328,6 +362,39 @@ func (n *Network) InjectorBusy(c packet.Coord) bool {
 // marked as damaged in flight (n <= 0 disables).
 func (n *Network) CorruptEvery(every int) { n.corruptEvery = every }
 
+// SetFaults attaches the machine-wide fault injector (nil detaches).
+// With an injector attached, every injection rolls the drop, corrupt
+// and duplicate streams for the source node.
+func (n *Network) SetFaults(inj *fault.Injector) { n.faults = inj }
+
+// SetLinkFault schedules an outage on the directed link from the node
+// at coordinate from toward the XY-adjacent node at to: the channel is
+// down in [at, until) (until == 0 means forever), and worms routed
+// across it during the window are lost in flight. It returns an error
+// if the coordinates are not mesh neighbors.
+func (n *Network) SetLinkFault(from, to packet.Coord, at, until sim.Time) error {
+	if !n.Contains(from) || !n.Contains(to) {
+		return fmt.Errorf("mesh: link fault %v->%v outside mesh", from, to)
+	}
+	var dir int
+	switch {
+	case to.X == from.X+1 && to.Y == from.Y:
+		dir = dirEast
+	case to.X == from.X-1 && to.Y == from.Y:
+		dir = dirWest
+	case to.Y == from.Y+1 && to.X == from.X:
+		dir = dirSouth
+	case to.Y == from.Y-1 && to.X == from.X:
+		dir = dirNorth
+	default:
+		return fmt.Errorf("mesh: link fault %v->%v not adjacent", from, to)
+	}
+	ch := n.links[n.index(from)][dir]
+	ch.downFrom, ch.downUntil = at, until
+	n.linkFault = true
+	return nil
+}
+
 // getWorm takes a worm from the pool (or allocates the pool's first).
 func (n *Network) getWorm() *worm {
 	w := n.freeWorms
@@ -345,6 +412,8 @@ func (n *Network) putWorm(w *worm) {
 	w.path = w.path[:0]
 	w.acquired = 0
 	w.parked = false
+	w.lost = false
+	w.dup = false
 	w.free = n.freeWorms
 	n.freeWorms = w
 }
@@ -366,9 +435,49 @@ func (n *Network) Inject(src packet.Coord, p *packet.Packet, wire int) {
 	w.path = n.routeInto(w.path, src, p.Dst)
 	w.injected = n.eng.Now()
 	w.grantTime = n.eng.Now()
+	if n.faults != nil {
+		n.rollFaults(w, src)
+	}
 	n.stats.Injected++
 	n.stats.TotalWireByte += uint64(wire)
 	n.advance(w)
+}
+
+// rollFaults draws the injector's per-packet decisions for a worm being
+// injected by src: drop, corrupt, duplicate, and the link-outage scan.
+// A lost worm still pays its full wire journey (the channels it holds
+// and the flit·hops it burns model the wasted traffic); only delivery
+// is withheld.
+func (n *Network) rollFaults(w *worm, src packet.Coord) {
+	node := n.index(src)
+	scope := n.reg.Node(node)
+	if n.faults.DropPacket(node) {
+		w.lost = true
+		n.stats.FaultDropped++
+		scope.Inc(obs.CtrFaultDrops)
+		n.Tracer.Record(node, trace.Drop, trace.DropFault, 0)
+	}
+	if n.faults.CorruptPacket(node) {
+		w.pkt.Corrupt = true
+		n.stats.FaultCorrupted++
+		scope.Inc(obs.CtrFaultCorrupts)
+	}
+	if n.faults.DupPacket(node) {
+		w.dup = true
+		n.stats.FaultDuplicated++
+		scope.Inc(obs.CtrFaultDups)
+	}
+	if n.linkFault && !w.lost {
+		now := n.eng.Now()
+		for _, ch := range w.path {
+			if ch.down(now) {
+				w.lost = true
+				n.stats.FaultLinkDrops++
+				scope.Inc(obs.CtrFaultLinkDrops)
+				break
+			}
+		}
+	}
 }
 
 // advance claims channels for w's head starting at path[acquired], with
@@ -405,12 +514,25 @@ func (n *Network) take(ch *channel, w *worm) {
 	ch.stat.Take(n.flits(w.wire))
 }
 
-// arrive offers the worm's head to the destination endpoint.
+// arrive offers the worm's head to the destination endpoint. Lost
+// worms (fault injection) skip the offer: the endpoint never sees them,
+// but their tails still drain so the channels they hold release at the
+// same instants a delivered worm's would.
 func (n *Network) arrive(w *worm) {
 	i := n.index(w.pkt.Dst)
 	ep := n.eps[i]
 	if ep == nil {
-		panic(fmt.Sprintf("mesh: no endpoint at %v", w.pkt.Dst))
+		n.eng.Fail(&fault.MachineCheck{
+			Node: i, Kind: fault.CheckNoEndpoint, At: n.eng.Now(),
+			Detail: fmt.Sprintf("worm from %v arrived at %v with no attached endpoint",
+				w.pkt.Src, w.pkt.Dst),
+		})
+		w.lost = true
+	}
+	if w.lost {
+		w.phase = phaseDrained
+		n.eng.ScheduleAfter(n.WireTime(w.wire), w)
+		return
 	}
 	if !ep.Accept(w.pkt, w.wire) {
 		w.parked = true
@@ -440,9 +562,20 @@ func (n *Network) Unpark(c packet.Coord) {
 
 // drained fires when the accepted worm's tail has passed: release its
 // channels, account the delivery, and hand the packet to the endpoint.
+// Lost worms are discarded here instead (their span completes as a
+// drop); duplicated worms deliver a second, independently accounted
+// copy back to back, which per-pair ordering places immediately after
+// the original.
 func (n *Network) drained(w *worm) {
 	for _, ch := range w.path {
 		n.release(ch, w)
+	}
+	pkt, wire := w.pkt, w.wire
+	if w.lost {
+		n.putWorm(w)
+		n.reg.SpanDropped(pkt.Span)
+		packet.Put(pkt)
+		return
 	}
 	n.stats.Delivered++
 	lat := n.eng.Now() - w.injected
@@ -450,10 +583,27 @@ func (n *Network) drained(w *worm) {
 	if lat > n.stats.MaxLatency {
 		n.stats.MaxLatency = lat
 	}
-	pkt, wire := w.pkt, w.wire
+	var clone *packet.Packet
+	if w.dup {
+		clone = packet.Get()
+		clone.Src, clone.Dst, clone.DstAddr = pkt.Src, pkt.Dst, pkt.DstAddr
+		clone.Kind, clone.Interrupt = pkt.Kind, pkt.Interrupt
+		clone.Rel, clone.Seq = pkt.Rel, pkt.Seq
+		clone.Corrupt = pkt.Corrupt
+		clone.Payload = append(clone.Payload, pkt.Payload...)
+	}
 	ep := n.eps[n.index(pkt.Dst)]
 	n.putWorm(w)
 	ep.Deliver(pkt, wire)
+	if clone != nil {
+		// The duplicate pays its own Incoming-FIFO accounting; if the
+		// FIFO refuses it, the copy dies to backpressure.
+		if ep.Accept(clone, wire) {
+			ep.Deliver(clone, wire)
+		} else {
+			packet.Put(clone)
+		}
+	}
 }
 
 // release frees ch from w and grants the next FIFO waiter, continuing

@@ -1,0 +1,43 @@
+package nic
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/nipt"
+	"repro/internal/phys"
+)
+
+// storeBench measures one snooped store delivered end to end (snoop →
+// packetize → mesh → deposit) per op on the two-node rig, with the
+// fault hooks absent or armed at zero rates.
+func storeBench(b *testing.B, armed bool) {
+	r := newRig(b, DefaultConfig())
+	if armed {
+		inj := fault.NewInjector(r.eng, fault.Config{Seed: 42}, 2)
+		r.nics[0].SetFaults(inj)
+		r.nics[1].SetFaults(inj)
+		r.net.SetFaults(inj)
+	}
+	r.mapOut(4, 8, nipt.SingleWriteAU)
+	// Warm the packet pool, the span table and (in fault mode) the
+	// per-page sequence map before measuring.
+	r.cpuWrite32(0, phys.PageNum(4).Addr(0), 1)
+	r.drain()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.cpuWrite32(0, phys.PageNum(4).Addr(0), uint32(i))
+		r.drain()
+	}
+}
+
+// BenchmarkStoreNoFaults is the ci.sh zero-allocation guard for the
+// fault hooks: with no injector installed the steady-state datapath
+// must not touch the heap — the hooks are nil checks, nothing more.
+func BenchmarkStoreNoFaults(b *testing.B) { storeBench(b, false) }
+
+// BenchmarkStoreFaultsArmed is the same path with a zero-rate injector
+// armed: the decision rolls are stateless integer hashing, so the armed
+// steady state must stay allocation-free too.
+func BenchmarkStoreFaultsArmed(b *testing.B) { storeBench(b, true) }

@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"repro/internal/bus"
+	"repro/internal/fault"
 	"repro/internal/mesh"
 	"repro/internal/nipt"
 	"repro/internal/obs"
@@ -114,11 +115,20 @@ type Stats struct {
 	DropNotMappedIn  uint64
 	DropWrongDest    uint64
 	DropCRC          uint64
+	DropDead         uint64 // packets discarded because this node crashed
 	OutFullEvents    uint64
 	OutStallTime     sim.Time
 	RecvIRQs         uint64
 	MaxOutFIFOBytes  int
 	MaxInFIFOBytes   int
+
+	// Fault-mode accounting (all zero outside fault mode).
+	FaultStalls    uint64 // injected Outgoing-FIFO drain stalls
+	RelRetransmits uint64 // reliable-delivery data retransmissions
+	RelAcksSent    uint64 // cumulative ACK control packets sent
+	RelNacksSent   uint64 // gap-report NACK control packets sent
+	RelDupDrops    uint64 // duplicate reliable data packets discarded
+	AUSeqGaps      uint64 // automatic-update sequence gaps observed
 }
 
 // IRQCause identifies why the NIC interrupted the CPU.
@@ -158,6 +168,14 @@ type NIC struct {
 	// node's counters land in; both nil when metrics are disabled.
 	obs   *obs.Registry
 	scope *obs.NodeScope
+
+	// inj is the machine-wide fault injector (nil outside fault mode);
+	// rel is the reliable-delivery layer state (nil unless the fault
+	// config enables it). dead marks a crashed node: the NIC bit-buckets
+	// arriving worms so the wormhole mesh cannot deadlock on it.
+	inj  *fault.Injector
+	rel  *relState
+	dead bool
 
 	out   outState
 	in    inState
@@ -289,6 +307,26 @@ func (n *NIC) SetObs(reg *obs.Registry) {
 	n.scope = reg.Node(int(n.node))
 }
 
+// SetFaults attaches the machine-wide fault injector. When the fault
+// configuration enables reliable delivery, the NIC also builds its
+// retransmission state. A nil injector (fault mode off) detaches both.
+func (n *NIC) SetFaults(inj *fault.Injector) {
+	n.inj = inj
+	n.rel = nil
+	if inj.Reliable() {
+		n.rel = newRelState(n)
+	}
+}
+
+// SetDead marks the node as crashed: the NIC stops delivering arriving
+// packets (bit-bucketing worms so the mesh cannot deadlock) and sends
+// nothing further. Senders with reliable delivery exhaust their retry
+// budget against a dead peer and raise a machine check.
+func (n *NIC) SetDead() { n.dead = true }
+
+// Dead reports whether the node has been crashed by fault injection.
+func (n *NIC) Dead() bool { return n.dead }
+
 // Table returns the NIPT (the kernel configures mappings through it).
 func (n *NIC) Table() *nipt.Table { return n.table }
 
@@ -314,9 +352,16 @@ func (n *NIC) OutStalled() bool { return n.out.stalled }
 func (n *NIC) DMABusy() bool { return n.dma.busy }
 
 // Quiesced reports whether the NIC has no buffered or in-flight work.
+// A dead node is quiesced regardless of retained reliable-delivery
+// state: it will never make progress, and the machine check raised by
+// its peers is the signal harnesses act on.
 func (n *NIC) Quiesced() bool {
+	if n.dead {
+		return true
+	}
 	return n.out.q.len() == 0 && n.in.q.len() == 0 && !n.out.injecting &&
-		!n.in.depositing && !n.dma.busy && n.merge.open == nil
+		!n.in.depositing && !n.dma.busy && n.merge.open == nil &&
+		n.rel.idle()
 }
 
 // Reset returns the NIC to its just-built state: empty FIFOs, idle DMA
@@ -351,6 +396,8 @@ func (n *NIC) Reset() {
 	}
 	n.merge.open = nil
 	n.merge.timerArmed = false
+	n.rel.reset()
+	n.dead = false
 	n.stats = Stats{}
 }
 
@@ -399,6 +446,9 @@ func (n *NIC) SnoopWrite(init bus.Initiator, a phys.PAddr, data []byte) {
 // precede now.
 func (n *NIC) emit(m *nipt.OutMapping, remote phys.PAddr, payload []byte, srcPage phys.PageNum,
 	start sim.Time, kind obs.SpanKind) {
+	if n.dead {
+		return // a crashed node sends nothing further
+	}
 	e := n.table.Entry(srcPage)
 	p := packet.Get()
 	p.Src = n.coord
@@ -409,6 +459,7 @@ func (n *NIC) emit(m *nipt.OutMapping, remote phys.PAddr, payload []byte, srcPag
 		p.Kind = packet.KernelRing
 		kind = obs.SpanKernelRing
 	}
+	n.rel.tagOut(p, kind, int(m.DstNode))
 	p.Span = n.obs.BeginSpan(int(n.node), int(m.DstNode), len(payload), kind, start)
 	ev := n.freeEnq
 	if ev == nil {
@@ -423,11 +474,18 @@ func (n *NIC) emit(m *nipt.OutMapping, remote phys.PAddr, payload []byte, srcPag
 
 func (n *NIC) enqueueOut(p *packet.Packet, wire int) {
 	if n.out.bytes+wire > n.cfg.OutFIFOBytes {
-		// The threshold interrupt guarantees this cannot happen: the CPU
+		// The threshold interrupt should make this unreachable: the CPU
 		// froze before the FIFO could overflow. Reaching here means the
-		// model's headroom (capacity - threshold) is too small.
-		panic(fmt.Sprintf("nic%v: outgoing FIFO overflow (%d+%d > %d)",
-			n.coord, n.out.bytes, wire, n.cfg.OutFIFOBytes))
+		// model's headroom (capacity - threshold) is too small. Raise a
+		// structured machine check instead of tearing down the process so
+		// harnesses and sweeps observe it as a run failure.
+		n.eng.Fail(&fault.MachineCheck{
+			Node: int(n.node), Kind: fault.CheckOutFIFOOverflow, At: n.eng.Now(),
+			Detail: fmt.Sprintf("%d+%d > %d bytes", n.out.bytes, wire, n.cfg.OutFIFOBytes),
+		})
+		n.obs.SpanDropped(p.Span)
+		packet.Put(p)
+		return
 	}
 	n.out.q.push(queuedPacket{p, wire})
 	n.out.bytes += wire
@@ -452,12 +510,19 @@ func (n *NIC) enqueueOut(p *packet.Packet, wire int) {
 
 // drainOut pushes the FIFO head into the backplane, one packet at a time
 // (the injection port is released when the worm's tail leaves the node).
+// Fault mode may stall the drain, modeling a transiently wedged injector.
 func (n *NIC) drainOut() {
 	if n.out.injecting || n.out.q.len() == 0 {
 		return
 	}
 	n.out.injecting = true
-	n.eng.ScheduleAfter(n.cfg.OutFIFOLatency+n.cfg.InjectSetup, &n.injectEv)
+	delay := n.cfg.OutFIFOLatency + n.cfg.InjectSetup
+	if n.inj != nil && n.inj.StallOut(int(n.node)) {
+		delay += n.inj.StallTime()
+		n.stats.FaultStalls++
+		n.scope.Inc(obs.CtrFaultStalls)
+	}
+	n.eng.ScheduleAfter(delay, &n.injectEv)
 }
 
 // injectorFree fires when the injected worm's tail has left this node:

@@ -22,7 +22,7 @@ type rig struct {
 	nics [2]*NIC
 }
 
-func newRig(t *testing.T, cfg Config) *rig {
+func newRig(t testing.TB, cfg Config) *rig {
 	t.Helper()
 	r := &rig{eng: sim.NewEngine()}
 	r.net = mesh.New(r.eng, mesh.DefaultConfig(2, 1))

@@ -1,7 +1,10 @@
 package nic
 
 import (
+	"fmt"
+
 	"repro/internal/bus"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/sim"
@@ -19,12 +22,24 @@ type endpoint NIC
 // channels and backpressures the mesh (§4).
 func (e *endpoint) Accept(p *packet.Packet, wire int) bool {
 	n := (*NIC)(e)
+	if n.dead {
+		// A crashed node's NIC bit-buckets arriving worms (no FIFO
+		// accounting; Deliver discards) so the mesh cannot deadlock on
+		// channels held through a dead endpoint.
+		return true
+	}
 	if n.in.bytes >= n.cfg.InThreshold {
 		return false
 	}
 	if n.in.bytes+wire > n.cfg.InFIFOBytes {
-		// Threshold headroom must cover a maximum-size packet.
-		panic("nic: incoming FIFO headroom too small for packet")
+		// Threshold headroom must cover a maximum-size packet; raise a
+		// machine check (a mis-sized model, not a recoverable fault) and
+		// refuse the worm, which parks until the failure surfaces.
+		n.eng.Fail(&fault.MachineCheck{
+			Node: int(n.node), Kind: fault.CheckInFIFOHeadroom, At: n.eng.Now(),
+			Detail: fmt.Sprintf("%d+%d > %d bytes", n.in.bytes, wire, n.cfg.InFIFOBytes),
+		})
+		return false
 	}
 	n.in.bytes += wire
 	n.scope.Set(obs.GaugeInFIFOBytes, int64(n.in.bytes))
@@ -39,6 +54,14 @@ func (e *endpoint) Accept(p *packet.Packet, wire int) bool {
 // Incoming FIFO.
 func (e *endpoint) Deliver(p *packet.Packet, wire int) {
 	n := (*NIC)(e)
+	if n.dead {
+		n.stats.DropDead++
+		n.Tracer.Record(int(n.node), trace.Drop, trace.DropNodeDead, uint64(p.DstAddr.Page()))
+		n.obs.SpanDropped(p.Span)
+		n.scope.Inc(obs.CtrDrops)
+		packet.Put(p)
+		return
+	}
 	n.obs.SpanDelivered(p.Span)
 	n.in.q.push(queuedPacket{p, wire})
 	n.deposit()
@@ -98,6 +121,13 @@ func (n *NIC) depositPacket(q queuedPacket) {
 		n.Tracer.Record(int(n.node), trace.Drop, trace.DropCRC, uint64(p.DstAddr.Page()))
 		n.finishDeposit(q, false)
 		return
+	}
+	// Fault mode: ACK/NACK control packets are consumed here, and data
+	// packets must pass the sequence discipline before depositing.
+	if n.rel != nil && p.Rel != packet.RelNone {
+		if !n.rel.onRecv(q) {
+			return
+		}
 	}
 	// The page number indexes the NIPT to determine whether the page has
 	// been mapped in; unsolicited data is dropped, which is what keeps
@@ -164,6 +194,20 @@ func (n *NIC) finishDeposit(q queuedPacket, delivered bool) {
 	// snooped store anywhere in the machine.
 	packet.Put(q.pkt)
 	// FIFO space freed: a parked worm may now be accepted.
+	n.net.Unpark(n.coord)
+	n.deposit()
+}
+
+// finishControl consumes a reliable-delivery ACK/NACK: it releases the
+// control packet's FIFO space and resumes the pipeline without any of
+// the data-path accounting (control traffic is neither delivered data
+// nor a drop).
+func (n *NIC) finishControl(q queuedPacket) {
+	n.in.bytes -= q.wire
+	n.in.depositing = false
+	n.scope.Set(obs.GaugeInFIFOBytes, int64(n.in.bytes))
+	n.obs.SpanDeposited(q.pkt.Span)
+	packet.Put(q.pkt)
 	n.net.Unpark(n.coord)
 	n.deposit()
 }

@@ -69,6 +69,21 @@ const (
 	CtrBatchBreakFault   // a translation fault (retry reschedules)
 	CtrBatchBreakHalt    // HLT, sentinel RET, or abort
 	CtrBatchBreakFreeze  // the kernel froze the CPU mid-batch
+	// Fault injection (internal/fault): events the injector fired,
+	// charged to the node that injected the packet (or whose FIFO
+	// stalled).
+	CtrFaultDrops     // packets lost in flight
+	CtrFaultCorrupts  // packets damaged in flight
+	CtrFaultDups      // packets delivered twice
+	CtrFaultLinkDrops // packets lost to a downed link
+	CtrFaultStalls    // outgoing-FIFO drain stalls
+	// Reliable-delivery layer (internal/nic/reliable.go).
+	CtrRelRetransmits // data packets re-sent (timeout or NACK)
+	CtrRelAcks        // cumulative ACKs sent by the receiver
+	CtrRelNacks       // gap NACKs sent by the receiver
+	CtrRelDups        // duplicate data packets discarded by the receiver
+	CtrRelBackoffs    // retransmit-timeout escalations at the sender
+	CtrAUSeqGaps      // automatic-update per-page sequence gaps (lost stores)
 	numCounters
 )
 
@@ -83,6 +98,10 @@ var counterNames = [...]string{
 	"snoops-filtered",
 	"batch-break-event", "batch-break-quantum", "batch-break-fault",
 	"batch-break-halt", "batch-break-freeze",
+	"fault-drops", "fault-corrupts", "fault-dups", "fault-link-drops",
+	"fault-stalls",
+	"rel-retransmits", "rel-acks", "rel-nacks", "rel-dups", "rel-backoffs",
+	"au-seq-gaps",
 }
 
 // Compile-time guards: counterNames must list exactly numCounters names.

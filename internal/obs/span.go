@@ -35,10 +35,19 @@ const (
 	SpanDeliberate
 	// SpanKernelRing: traffic on the boot-time kernel message rings.
 	SpanKernelRing
+	// SpanRetransmit: a reliable-delivery retransmission of an earlier
+	// data packet (fault mode); Start is the retransmit instant, so the
+	// span shows only the re-sent copy's journey.
+	SpanRetransmit
+	// SpanControl: a reliable-delivery ACK/NACK control packet.
+	SpanControl
 	numSpanKinds
 )
 
-var spanKindNames = [...]string{"single-write", "blocked-write", "deliberate", "kernel-ring"}
+var spanKindNames = [...]string{
+	"single-write", "blocked-write", "deliberate", "kernel-ring",
+	"retransmit", "control",
+}
 
 const _ = uint(int(numSpanKinds) - len(spanKindNames))
 

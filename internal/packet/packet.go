@@ -51,6 +51,30 @@ const (
 	KernelRing
 )
 
+// Rel classifies a packet within the reliable-delivery layer that
+// fault mode adds on top of the base protocol (internal/fault). The
+// zero value RelNone is the seed wire format: no reliability header.
+type Rel uint8
+
+const (
+	// RelNone: plain fire-and-forget packet (the no-fault format).
+	RelNone Rel = iota
+	// RelData: reliable data; Seq orders it within its (src,dst) flow,
+	// the receiver ACKs cumulatively and the sender retains a copy for
+	// retransmit. Deliberate-update and kernel-ring traffic use it.
+	RelData
+	// RelAck: cumulative acknowledgement; Seq is the receiver's next
+	// expected sequence number (everything below it has arrived).
+	RelAck
+	// RelNack: gap report; Seq is the next expected sequence number and
+	// the sender should retransmit from it.
+	RelNack
+	// RelTagged: detection-only tag for automatic-update traffic; Seq
+	// counts packets per (flow, destination page) so the receiver can
+	// report drops as sequence gaps without retransmission.
+	RelTagged
+)
+
 // Packet is one network packet. Payload length is bounded by the page
 // size: mappings are per page, so no transfer crosses a page boundary.
 type Packet struct {
@@ -60,6 +84,13 @@ type Packet struct {
 	Kind      Kind
 	Interrupt bool // receiver should interrupt the CPU after depositing
 	Payload   []byte
+
+	// Rel and Seq are the reliable-delivery header, present on the wire
+	// only in fault mode (Rel != RelNone adds RelHeaderBytes to
+	// WireSize). Zero-fault runs never set them, keeping the wire
+	// format bit-identical to the base protocol.
+	Rel Rel
+	Seq uint32
 
 	// Corrupt marks the packet as having suffered a transmission error;
 	// fault-injection tests set it, and the receiving NIC treats it as
@@ -101,8 +132,18 @@ const HeaderBytes = 11
 // CRCBytes is the wire size of the trailing checksum.
 const CRCBytes = 4
 
+// RelHeaderBytes is the wire overhead of the reliable-delivery header
+// (kind byte + 32-bit sequence number), paid only when Rel != RelNone.
+const RelHeaderBytes = 5
+
 // WireSize returns the total wire size of the packet in bytes.
-func (p *Packet) WireSize() int { return HeaderBytes + len(p.Payload) + CRCBytes }
+func (p *Packet) WireSize() int {
+	n := HeaderBytes + len(p.Payload) + CRCBytes
+	if p.Rel != RelNone {
+		n += RelHeaderBytes
+	}
+	return n
+}
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 

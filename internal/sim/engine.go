@@ -122,6 +122,10 @@ type Engine struct {
 	// the clock past the window a caller asked for.
 	bound   Time
 	bounded bool
+	// failure is the first fatal error a component raised through Fail
+	// (a structured machine check). Drains stop at the event that
+	// raised it and surface it instead of truncating silently.
+	failure error
 }
 
 // NewEngine returns an Engine starting at time zero.
@@ -139,6 +143,20 @@ func (e *Engine) Pending() int { return len(e.events) }
 // MaxPending returns the deepest the event queue has been since the
 // engine was built or Reset: the simulation's peak concurrency.
 func (e *Engine) MaxPending() int { return e.maxPending }
+
+// Fail records a fatal component error (typically a
+// *fault.MachineCheck). The first failure wins; later ones are
+// discarded so the surfaced error names the root cause. Event handlers
+// that raise a failure should also stop scheduling follow-up work —
+// Fail does not unwind the current event.
+func (e *Engine) Fail(err error) {
+	if err != nil && e.failure == nil {
+		e.failure = err
+	}
+}
+
+// Failed returns the failure recorded by Fail, or nil.
+func (e *Engine) Failed() error { return e.failure }
 
 // NextEventAt returns the timestamp of the earliest pending event, or
 // Forever when the queue is empty. Synchronous run-ahead components use
@@ -292,10 +310,15 @@ func (e *Engine) RunUntil(t Time) {
 // RunFor advances the clock by d, firing all events within the window.
 func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
 
-// RunWhile fires events until cond() is false or no events remain.
-// It reports whether cond became false (as opposed to running dry).
+// RunWhile fires events until cond() is false, no events remain, or a
+// component recorded a failure through Fail. It reports whether cond
+// became false (as opposed to running dry or failing; callers that can
+// surface errors should check Failed on a false return).
 func (e *Engine) RunWhile(cond func() bool) bool {
 	for cond() {
+		if e.failure != nil {
+			return false
+		}
 		if !e.Step() {
 			return false
 		}
@@ -330,20 +353,33 @@ func (e *Engine) AdvanceTo(t Time) {
 var ErrBudget = errors.New("sim: event budget exhausted before quiescence")
 
 // Drain runs events until quiescent and panics if more than limit events
-// fire, guarding tests against livelocked component models.
+// fire, guarding tests against livelocked component models. A failure
+// recorded through Fail also panics here; harnesses that can surface
+// machine checks gracefully use DrainBudget instead.
 func (e *Engine) Drain(limit uint64) {
 	if err := e.DrainBudget(limit); err != nil {
-		panic(fmt.Sprintf("sim: Drain exceeded %d events; component livelock?", limit))
+		if errors.Is(err, ErrBudget) {
+			panic(fmt.Sprintf("sim: Drain exceeded %d events; component livelock?", limit))
+		}
+		panic(err)
 	}
 }
 
 // DrainBudget runs events until quiescent, or until limit events have
 // fired, in which case it stops and returns an error wrapping ErrBudget
-// instead of truncating silently. Harnesses that can surface errors use
-// it in place of Drain.
+// instead of truncating silently. A failure recorded through Fail stops
+// the drain at the event that raised it and is returned as-is (a
+// *fault.MachineCheck, typically). Harnesses that can surface errors
+// use it in place of Drain.
 func (e *Engine) DrainBudget(limit uint64) error {
+	if e.failure != nil {
+		return e.failure
+	}
 	start := e.fired
 	for e.Step() {
+		if e.failure != nil {
+			return e.failure
+		}
 		if e.fired-start > limit {
 			return fmt.Errorf("%w (limit %d, %d still pending)", ErrBudget, limit, len(e.events))
 		}
@@ -365,4 +401,5 @@ func (e *Engine) Reset() {
 	e.maxPending = 0
 	e.bound = 0
 	e.bounded = false
+	e.failure = nil
 }

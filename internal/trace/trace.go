@@ -74,9 +74,16 @@ const (
 	DropNotMappedIn uint64 = iota
 	DropWrongDest
 	DropCRC
+	DropFault    // lost to the fault injector (drop roll or downed link)
+	DropRelDup   // reliable-delivery duplicate discarded
+	DropRelGap   // reliable-delivery out-of-order packet discarded (NACKed)
+	DropNodeDead // arrived at a crashed node's NIC
 )
 
-var dropReasonNames = [...]string{"not-mapped-in", "wrong-dest", "crc"}
+var dropReasonNames = [...]string{
+	"not-mapped-in", "wrong-dest", "crc", "fault", "rel-dup", "rel-gap",
+	"node-dead",
+}
 
 // dropReason renders a Drop event's A argument without trusting it:
 // events are data, and an out-of-range reason must not panic String.

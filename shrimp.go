@@ -35,6 +35,7 @@ package shrimp
 import (
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/fault"
 	"repro/internal/isa"
 	"repro/internal/kernel"
 	"repro/internal/msg"
@@ -323,6 +324,52 @@ func MeasureOverlap(cfg Config, mode Mode, iters int) OverlapResult {
 // limit against a fixed inter-store gap.
 func MeasureMergeWindow(cfg Config, window, storeGap Time, stores int) MergeWindowResult {
 	return core.MeasureMergeWindow(cfg, window, storeGap, stores)
+}
+
+// Fault injection and reliable delivery (Config.Faults; DESIGN.md §9).
+type (
+	// FaultConfig is the machine-wide deterministic fault plan: seeded
+	// per-packet drop/corrupt/duplicate/stall rates, one link-outage
+	// window, scheduled node crash/freeze events, and the reliable
+	// delivery toggle.
+	FaultConfig = fault.Config
+	// NodeFault schedules one node crash or freeze window.
+	NodeFault = fault.NodeFault
+	// NodeFaultKind selects crash versus freeze.
+	NodeFaultKind = fault.NodeFaultKind
+	// MachineCheck is the structured unrecoverable-condition error that
+	// Machine.RunUntilIdle and the experiment harnesses surface instead
+	// of panicking (retry budget exhausted, FIFO overflow, ring
+	// corruption).
+	MachineCheck = fault.MachineCheck
+	// FaultPoint is one fault-sweep measurement: goodput under loss
+	// plus the recovery machinery's accounting.
+	FaultPoint = core.FaultPoint
+)
+
+// Node fault kinds.
+const (
+	// NodeOK schedules nothing.
+	NodeOK = fault.NodeOK
+	// NodeCrash kills the node at its scheduled time: the CPU halts and
+	// the NIC bit-buckets all arriving traffic from then on.
+	NodeCrash = fault.NodeCrash
+	// NodeFreeze pauses the CPU for a window; the NIC keeps running.
+	NodeFreeze = fault.NodeFreeze
+)
+
+// MeasureFaultyTransfer streams a deliberate-update transfer through
+// the config's fault plan and reports surviving goodput; a run that
+// ends in a machine check comes back with FaultPoint.Err set rather
+// than panicking.
+func MeasureFaultyTransfer(cfg Config, src, dst, transferBytes, totalBytes int) FaultPoint {
+	return core.MeasureFaultyTransfer(cfg, src, dst, transferBytes, totalBytes)
+}
+
+// FaultSweep measures goodput across drop rates (ppm) with reliable
+// delivery on, fanned across the deterministic worker pool.
+func FaultSweep(cfg Config, dropsPPM []uint32, transferBytes, totalBytes, workers int) []FaultPoint {
+	return core.FaultSweep(cfg, dropsPPM, transferBytes, totalBytes, workers)
 }
 
 // CPUBoundResult is one run of the pure instruction-interpretation
