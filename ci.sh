@@ -23,6 +23,14 @@ go test -run '^$' -bench BenchmarkEngineMetrics -benchtime 100x ./internal/obs
 # here the zero-alloc contract — the batched step path and the bus
 # Write32/Read32/command-read paths must not touch the heap.
 go test -run '^$' -bench 'BenchmarkStepBatched' -benchtime 1000x -benchmem ./internal/isa | grep 'BenchmarkStepBatched' | grep -q ' 0 allocs/op'
+# Trace-cache guards: superblock dispatch and the fused store path must
+# stay allocation-free, and the trace cache must actually serve the §5
+# loop workload (hit-rate floor asserted by the test). The differential
+# suites (trace on == off, spin fast-forward == literal spinning) run
+# under -race above.
+go test -run '^$' -bench 'BenchmarkTraceDispatch' -benchtime 1000x -benchmem ./internal/isa | grep 'BenchmarkTraceDispatch' | grep -q ' 0 allocs/op'
+go test -run '^$' -bench 'BenchmarkFusedStore' -benchtime 200x -benchmem ./internal/msg | grep 'BenchmarkFusedStore' | grep -q ' 0 allocs/op'
+go test -run TestTraceCacheHitRateFloor -count 1 ./internal/msg
 go test -run '^$' -bench 'BenchmarkBus' -benchtime 1000x -benchmem ./internal/bus | grep 'BenchmarkBus' | awk '!/ 0 allocs\/op/ {bad=1} END {exit bad}'
 # Fault-injection guards. The deterministic fault sweep must be
 # race-free with parallel workers and byte-stable run to run; the
@@ -44,5 +52,8 @@ go run ./cmd/shrimp-bench -iters 3 -only faults -compare BENCH_5.json -tol 0.5 -
 # strict perf contracts are the deterministic guards above (0 allocs/op
 # greps, bit-identity differential tests).
 go run ./cmd/shrimp-bench -iters 3 -compare BENCH_3.json -tol 0.5 -o /dev/null
+# Trace-cache regression gate: the cpu/batch and cpu/trace pairs against
+# the committed BENCH_6.json snapshot (same wide tripwire tolerance).
+go run ./cmd/shrimp-bench -iters 3 -only cpu/ -compare BENCH_6.json -tol 0.5 -o /dev/null
 # Timeline smoke: a 16-node run must export valid Chrome trace JSON.
 go run ./cmd/shrimp-trace -rounds 1 -o /dev/null

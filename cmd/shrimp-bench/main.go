@@ -94,6 +94,13 @@ func main() {
 	run("cpu/batch/off", func() perf.Sample { return cpuBoundSample(1) })
 	run("cpu/batch/on", func() perf.Sample { return cpuBoundSample(shrimp.DefaultConfig().CPU.MaxBatch) })
 
+	// Superblock trace cache and spin fast-forward: the same compute loop
+	// with batching on in both modes, so the off/on ratio isolates the
+	// trace-dispatch speedup on top of BENCH_4's batching. BENCH_6.json is
+	// the committed snapshot of this pair.
+	run("cpu/trace/off", func() perf.Sample { return cpuTraceSample(false) })
+	run("cpu/trace/on", func() perf.Sample { return cpuTraceSample(true) })
+
 	// Fault-subsystem tax: the same deliberate-update stream with the
 	// fault hooks absent versus armed at zero loss (seeded injector,
 	// reliable delivery, ring CRC). The off path must stay within 10% of
@@ -273,6 +280,10 @@ func faultsSample(armed bool) perf.Sample {
 func cpuBoundSample(maxBatch int) perf.Sample {
 	cfg := shrimp.ConfigFor(2, 1, shrimp.GenEISAPrototype)
 	cfg.CPU.MaxBatch = maxBatch
+	// Pin the trace cache off so this pair keeps measuring batching
+	// alone; the cpu/trace pair layers superblock dispatch on top.
+	cfg.CPU.TraceCache = false
+	cfg.CPU.SpinFastForward = false
 	r := shrimp.MeasureCPUBound(cfg, 20_000)
 	return perf.Sample{
 		Events:  r.Instructions,
@@ -281,6 +292,29 @@ func cpuBoundSample(maxBatch int) perf.Sample {
 			"engine_events_per_op": float64(r.EngineEvents),
 			"cpu_sim_us":           r.CPUTime.Microseconds(),
 			"max_batch":            float64(maxBatch),
+		},
+	}
+}
+
+// cpuTraceSample runs the compute loop at the default batch quantum with
+// the superblock trace cache (and spin fast-forward) off or on. Events
+// are retired instructions in both modes, so events/s is instr/s.
+func cpuTraceSample(trace bool) perf.Sample {
+	cfg := shrimp.ConfigFor(2, 1, shrimp.GenEISAPrototype)
+	cfg.CPU.TraceCache = trace
+	cfg.CPU.SpinFastForward = trace
+	r := shrimp.MeasureCPUBound(cfg, 20_000)
+	on := 0.0
+	if trace {
+		on = 1
+	}
+	return perf.Sample{
+		Events:  r.Instructions,
+		SimTime: r.SimEnd,
+		Metrics: map[string]float64{
+			"engine_events_per_op": float64(r.EngineEvents),
+			"cpu_sim_us":           r.CPUTime.Microseconds(),
+			"trace":                on,
 		},
 	}
 }

@@ -76,6 +76,12 @@ type Cache struct {
 	setMask  uint32
 	setShift uint32
 	scratch  [4]byte
+
+	// Spin-probe access counters (see SpinProbe). pureAcc counts only
+	// load hits — accesses with a fixed, state-independent latency that
+	// touch nothing outside this cache. allAcc counts every access.
+	pureAcc uint64
+	allAcc  uint64
 }
 
 // New builds a cache over the given bus and registers its snoop port.
@@ -131,6 +137,28 @@ func (c *Cache) Reset() {
 	}
 	c.clock = 0
 	c.stats = Stats{}
+	c.pureAcc = 0
+	c.allAcc = 0
+}
+
+// SpinProbe returns the pure-access and total-access counters the CPU's
+// spin fast-forward uses to verify that a candidate wait loop touched
+// nothing but cache load hits: a loop iteration is memory-pure iff the
+// two counters advanced by the same (nonzero) amount across it. Load
+// hits have a fixed HitTime latency and perturb no state outside the
+// cache, so a pure iteration is exactly repeatable until some engine
+// event intervenes.
+func (c *Cache) SpinProbe() (pure, all uint64) { return c.pureAcc, c.allAcc }
+
+// SpinAccount charges iters skipped spin iterations, each performing
+// loads pure load hits, to the statistics — keeping cache.Stats
+// bit-identical with literally retiring the same iterations. (The LRU
+// clock is deliberately not advanced: only the relative order of clock
+// values matters, and repeated hits to the same lines preserve it.)
+func (c *Cache) SpinAccount(iters, loads uint64) {
+	c.stats.LoadHits += iters * loads
+	c.pureAcc += iters * loads
+	c.allAcc += iters * loads
 }
 
 func (c *Cache) decompose(a phys.PAddr) (set, tag, off uint32) {
@@ -200,15 +228,19 @@ func (c *Cache) Load(a phys.PAddr, size int) (uint32, sim.Time) {
 
 func (c *Cache) load(a phys.PAddr, size int) (uint32, sim.Time) {
 	if c.xbus.Memory().IsCmd(a) {
+		c.allAcc++ // command reads hit the bus: never pure
 		v, done := c.xbus.Read32(bus.InitCPU, a)
 		return truncate(v, size), done - c.eng.Now()
 	}
 	if l := c.lookup(a); l != nil {
 		c.stats.LoadHits++
+		c.pureAcc++
+		c.allAcc++
 		_, _, off := c.decompose(a)
 		return truncate(read32(l.data, off), size), c.cfg.HitTime
 	}
 	c.stats.LoadMisses++
+	c.allAcc++
 	l := c.victim(a)
 	set, tag, off := c.decompose(a)
 	base := c.lineBase(set, tag)
@@ -223,6 +255,7 @@ func (c *Cache) load(a phys.PAddr, size int) (uint32, sim.Time) {
 // policy for this access, which the caller derives from the page table
 // entry. The returned latency is what the CPU observes.
 func (c *Cache) Store(a phys.PAddr, v uint32, size int, writeThrough bool) sim.Time {
+	c.allAcc++ // stores are never pure
 	if c.xbus.Memory().IsCmd(a) {
 		// Command space writes are uncacheable bus transactions.
 		done := c.xbus.Write(bus.InitCPU, a, c.leBytes(v, size))
@@ -271,6 +304,7 @@ func (c *Cache) Store(a phys.PAddr, v uint32, size int, writeThrough bool) sim.T
 // bypassing the cache (LOCK-prefixed operations and command space are
 // uncacheable).
 func (c *Cache) LockedCmpxchg(a phys.PAddr, expect, repl uint32) (read uint32, swapped bool, lat sim.Time) {
+	c.allAcc++ // locked RMWs go to the bus: never pure
 	if !c.xbus.Memory().IsCmd(a) {
 		// Keep the cache coherent with a locked RMW on DRAM.
 		if l := c.lookup(a); l != nil {

@@ -12,15 +12,18 @@ import (
 func (m *Machine) Metrics() obs.Snapshot { return m.Obs.Snapshot() }
 
 // TraceJSON renders the machine's observability state — completed
-// causal spans as per-node async tracks, plus any trace.Tracer events
-// as instants — in Chrome trace-event JSON, loadable in Perfetto
-// (ui.perfetto.dev) or chrome://tracing. Spans require Config.Metrics;
-// instants require Config.TraceCapacity; with neither, the output is a
-// valid but empty timeline.
+// causal spans as per-node async tracks, any trace.Tracer events as
+// instants, and per-node counter totals (batching, trace cache, spin
+// fast-forward, NIC) as counter tracks — in Chrome trace-event JSON,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing. Spans and
+// counters require Config.Metrics; instants require
+// Config.TraceCapacity; with neither, the output is a valid but empty
+// timeline.
 func (m *Machine) TraceJSON(w io.Writer) error {
 	var events []trace.Event
 	if m.Tracer != nil {
 		events = m.Tracer.Events()
 	}
-	return obs.WriteChromeTrace(w, m.Cfg.NodeCount(), m.Obs.CompletedSpans(), events)
+	return obs.WriteChromeTrace(w, m.Cfg.NodeCount(), m.Obs.CompletedSpans(), events,
+		m.Obs.Snapshot().Nodes)
 }

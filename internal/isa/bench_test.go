@@ -27,13 +27,15 @@ bloop:
 `
 
 // benchStep measures whole runs of the loop at the given batch quantum.
-// ci.sh greps the batched variant for "0 allocs/op": the entire batched
-// step path — dispatch, execute, batch bookkeeping — must stay off the
-// heap.
-func benchStep(b *testing.B, maxBatch int) {
+// ci.sh greps the batched and trace variants for "0 allocs/op": the
+// entire step path — dispatch, superblock lookup, execute, batch
+// bookkeeping — must stay off the heap.
+func benchStep(b *testing.B, maxBatch int, trace bool) {
 	eng := sim.NewEngine()
 	cfg := DefaultConfig()
 	cfg.MaxBatch = maxBatch
+	cfg.TraceCache = trace
+	cfg.SpinFastForward = trace
 	c := NewCPU(eng, cfg, newFlatMem())
 	c.Load(MustAssemble("bench", benchLoop, map[string]int64{"ITERS": benchIters}))
 	run := func() {
@@ -47,13 +49,22 @@ func benchStep(b *testing.B, maxBatch int) {
 			b.Fatalf("halted=%v err=%v", c.Halted(), c.Err())
 		}
 	}
-	run() // warm the event heap and the assembler cache
+	run() // warm the event heap, assembler cache and trace cache
+	perRun := c.Counters().Total()
+	c.ResetCounters()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		run()
 	}
+	b.StopTimer()
+	b.ReportMetric(float64(perRun)*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
 }
 
-func BenchmarkStepPerInstruction(b *testing.B) { benchStep(b, 1) }
-func BenchmarkStepBatched(b *testing.B)       { benchStep(b, 64) }
+func BenchmarkStepPerInstruction(b *testing.B) { benchStep(b, 1, false) }
+func BenchmarkStepBatched(b *testing.B)       { benchStep(b, 64, false) }
+
+// BenchmarkTraceDispatch is the headline superblock number: same
+// workload, same quantum as BenchmarkStepBatched, dispatching through
+// the trace cache.
+func BenchmarkTraceDispatch(b *testing.B) { benchStep(b, 64, true) }

@@ -21,6 +21,22 @@ type MemPort interface {
 	CmpxchgLocked(a vm.VAddr, expect, repl uint32) (read uint32, swapped bool, lat sim.Time, fault *vm.Fault)
 }
 
+// SpinMemPort is an optional MemPort capability: ports that can report
+// access purity let the CPU fast-forward verified spin loops
+// (tracecache.go). kernel.MemBox implements it over the cache.
+type SpinMemPort interface {
+	// SpinProbe returns two monotonic access counters: pure counts only
+	// accesses with a fixed latency and no effect outside the port
+	// (cache load hits); all counts every access. An interval over
+	// which both advanced equally (and nonzero) touched memory in a
+	// repeatable, side-effect-free way.
+	SpinProbe() (pure, all uint64)
+	// SpinAccount charges iters skipped loop iterations, of loads pure
+	// loads each, to the port's statistics, keeping them bit-identical
+	// with having retired the iterations literally.
+	SpinAccount(iters, loads uint64)
+}
+
 // ReturnSentinel is the return address the harness pushes before starting
 // a routine; RET to it halts the CPU cleanly.
 const ReturnSentinel uint32 = 0xffff_fff0
@@ -58,6 +74,23 @@ type Config struct {
 	// results are bit-identical at any setting — the differential tests
 	// in internal/core and internal/msg pin this.
 	MaxBatch int
+	// TraceCache enables the superblock trace cache (tracecache.go):
+	// straight-line pure instruction runs are pre-decoded once and
+	// dispatched as a unit, and MOV-to-memory terminators dispatch
+	// through a specialized store path. Like MaxBatch this is a pure
+	// simulator optimization with bit-identical results; it is inert
+	// when MaxBatch <= 1 so per-instruction stepping stays the pristine
+	// reference implementation.
+	TraceCache bool
+	// SpinFastForward models verified poll/backoff spin loops as
+	// computed wait-states: instead of literally retiring iterations
+	// that cannot exit until the next engine event, the CPU advances its
+	// clock toward the event horizon in one step and charges the skipped
+	// iterations to its counters (see tracecache.go for the proof
+	// protocol). Requires TraceCache and a memory port implementing
+	// SpinMemPort; with either missing it is inert. Off = the
+	// differential mode that steps spins literally.
+	SpinFastForward bool
 }
 
 // DefaultConfig models a 66 MHz i486-class CPU: one cycle per simple
@@ -71,6 +104,8 @@ func DefaultConfig() Config {
 		CallRetCycles:     2,
 		StringIterCycles:  1,
 		MaxBatch:          64,
+		TraceCache:        true,
+		SpinFastForward:   true,
 	}
 }
 
@@ -124,11 +159,19 @@ type CPU struct {
 	counters   Counters
 	name       string
 	scope      *obs.NodeScope // nil when metrics are disabled
+
+	// Superblock trace cache (tracecache.go).
+	traces  map[*Program]*progTrace
+	cur     *progTrace  // trace for the loaded program, resolved lazily
+	spinMem SpinMemPort // Mem's spin capability, nil if absent
+	spin    spinState
 }
 
 // NewCPU builds a CPU over the given memory port.
 func NewCPU(eng *sim.Engine, cfg Config, mem MemPort) *CPU {
-	return &CPU{Eng: eng, Mem: mem, cfg: cfg, isrs: make(map[int]int), goIRQ: make(map[int]func(*CPU))}
+	c := &CPU{Eng: eng, Mem: mem, cfg: cfg, isrs: make(map[int]int), goIRQ: make(map[int]func(*CPU))}
+	c.spinMem, _ = mem.(SpinMemPort)
+	return c
 }
 
 // SetName labels the CPU in diagnostics.
@@ -192,12 +235,20 @@ func (c *CPU) Reset() {
 	clear(c.goIRQ)
 	c.pendingIRQ = c.pendingIRQ[:0]
 	c.counters = Counters{}
+	c.FlushTraces()
 }
 
-// Load installs a program without starting execution.
+// Load installs a program without starting execution. Built
+// superblocks for previously loaded programs are retained (keyed by
+// *Program identity), so reloading a cached program reuses its trace.
 func (c *CPU) Load(p *Program) {
 	c.prog = p
-	c.isrs = make(map[int]int)
+	if c.isrs == nil {
+		c.isrs = make(map[int]int)
+	} else {
+		clear(c.isrs)
+	}
+	c.cur = nil
 }
 
 // Start begins executing the loaded program at the given label. The
@@ -303,6 +354,19 @@ func (c *CPU) step() {
 	if quantum < 1 {
 		quantum = 1
 	}
+	// Resolve the loaded program's trace once per event; the batch loop
+	// then dispatches over superblocks. Trace dispatch needs run-ahead
+	// (quantum > 1): per-instruction stepping stays the untouched
+	// reference path.
+	var tr *progTrace
+	if c.cfg.TraceCache && quantum > 1 {
+		tr = c.cur
+		if tr == nil || tr.prog != c.prog {
+			tr = c.traceFor(c.prog)
+			c.cur = tr
+		}
+	}
+	spinFF := c.cfg.SpinFastForward && c.spinMem != nil
 	batched := 0
 	for {
 		// Hardware interrupts dispatch at instruction boundaries, outside
@@ -325,8 +389,52 @@ func (c *CPU) step() {
 			c.endBatch(batched, obs.CtrBatchBreakHalt)
 			return
 		}
+		var blk *sblock
+		if tr != nil {
+			blk = c.block(tr, c.eip)
+			if blk.spin && spinFF {
+				c.spinTick(blk)
+			}
+			// Pure-run dispatch: the whole run fits inside the quantum
+			// and completes strictly before the next event and the run
+			// bound — the same hazard conditions the literal loop tests
+			// per instruction, evaluated once (every intermediate
+			// completion time is below end, so one comparison subsumes
+			// them all). Pure micro-ops touch nothing but registers and
+			// flags, so no event, IRQ, fault, halt or freeze can appear
+			// mid-run.
+			if n := len(blk.pure); n > 0 && batched+n < quantum {
+				end := c.Eng.Now() + blk.pureCost
+				if end < c.Eng.NextEventAt() && end <= c.Eng.RunBound() {
+					c.runPure(blk.pure)
+					if c.kernelMode {
+						c.counters.Kernel += uint64(n)
+					} else {
+						c.counters.User += uint64(n)
+					}
+					batched += n
+					c.Eng.AdvanceTo(end)
+					c.eip = blk.end
+					if c.eip >= len(c.prog.Instrs) {
+						continue // bounds abort at the loop top
+					}
+				}
+			}
+		}
+		// Terminator dispatch: blk's fs/jcc describe the instruction at
+		// blk.end, which is the current eip both when the pure run just
+		// retired and when the block has no pure prefix.
 		in := &c.prog.Instrs[c.eip]
-		cost, fault := c.execute(in)
+		var cost sim.Time
+		var fault *vm.Fault
+		switch {
+		case blk != nil && blk.end == c.eip && blk.fs.ok:
+			cost, fault = c.execFastStore(&blk.fs)
+		case blk != nil && blk.end == c.eip && blk.jcc.ok:
+			cost = c.execFastJcc(&blk.jcc)
+		default:
+			cost, fault = c.execute(in)
+		}
 		if fault != nil {
 			c.counters.Faults++
 			action := FaultAbort
@@ -370,8 +478,11 @@ func (c *CPU) step() {
 }
 
 // endBatch records one batch's telemetry at its yield point; nil-scope
-// safe and allocation-free.
+// safe and allocation-free. Every yield also breaks the spin watcher's
+// arm→verify window: events only fire while the CPU is yielded, so an
+// unbroken window proves memory was untouched (tracecache.go).
 func (c *CPU) endBatch(n int, why obs.Counter) {
+	c.spin.broke = true
 	c.scope.Observe(obs.HistBatchLen, uint64(n))
 	c.scope.Inc(why)
 }

@@ -22,6 +22,7 @@ type flatMem struct {
 	cmpxWrites []uint32
 	loads      int
 	stores     int
+	cmpxOps    int
 }
 
 func newFlatMem() *flatMem {
@@ -65,12 +66,24 @@ func (m *flatMem) CmpxchgLocked(a vm.VAddr, expect, repl uint32) (uint32, bool, 
 	if f := m.fault(a, true); f != nil {
 		return 0, false, 0, f
 	}
+	m.cmpxOps++
 	m.cmpxAddr = a
 	if m.cmpxRead == expect && m.cmpxAccept {
 		m.cmpxWrites = append(m.cmpxWrites, repl)
 		return m.cmpxRead, true, sim.Nanosecond, nil
 	}
 	return m.cmpxRead, false, sim.Nanosecond, nil
+}
+
+// SpinProbe/SpinAccount implement SpinMemPort: flatMem loads have a
+// fixed latency and no side effects, so they all count as pure; stores
+// and locked ops do not.
+func (m *flatMem) SpinProbe() (pure, all uint64) {
+	return uint64(m.loads), uint64(m.loads + m.stores + m.cmpxOps)
+}
+
+func (m *flatMem) SpinAccount(iters, loads uint64) {
+	m.loads += int(iters * loads)
 }
 
 func (m *flatMem) w32(a vm.VAddr, v uint32) {

@@ -98,6 +98,72 @@ func (c *CPU) logic(r uint32) uint32 {
 	return r
 }
 
+// shift applies SHL/SHR/SAR result-and-flag semantics; the flags change
+// only for nonzero shift counts. Shared by the interpreter and the
+// superblock dispatcher (tracecache.go) so the semantics live once.
+func (c *CPU) shift(op Op, a, b uint32) uint32 {
+	n := b & 31
+	if n == 0 {
+		return a
+	}
+	var r uint32
+	switch op {
+	case SHL:
+		c.CF = a&(1<<(32-n)) != 0
+		r = a << n
+	case SHR:
+		c.CF = a&(1<<(n-1)) != 0
+		r = a >> n
+	case SAR:
+		c.CF = a&(1<<(n-1)) != 0
+		r = uint32(int32(a) >> n)
+	}
+	c.OF = false
+	c.setZS(r)
+	return r
+}
+
+// execFastStore retires a pre-decoded MOV-to-memory terminator — the
+// dominant store→bus-snoop dispatch of §5 workloads — with operand
+// decode, effective-address shape and size resolution done once at
+// superblock build (tracecache.go). Cost model, counter update, eip
+// advance and the fault-retry contract (architectural state unchanged
+// on fault) are identical to execute() on the same instruction.
+func (c *CPU) execFastStore(fs *fastStore) (sim.Time, *vm.Fault) {
+	cost := c.cfg.CycleTime
+	a := fs.disp
+	if fs.base != regNone {
+		a += c.R[fs.base]
+	}
+	v := fs.imm
+	if fs.src != regNone {
+		v = c.R[fs.src]
+	}
+	t, f := c.Mem.Store(vm.VAddr(a), v, int(fs.size))
+	if f != nil {
+		return cost + t, f
+	}
+	cost += t
+	c.count(false)
+	c.eip++
+	return cost, nil
+}
+
+// execFastJcc retires a pre-decoded direct jump terminator: same
+// condition evaluation, costs, counting and eip update as execute(),
+// minus the operand plumbing. Jumps cannot fault.
+func (c *CPU) execFastJcc(fj *fastJcc) sim.Time {
+	cost := c.cfg.CycleTime
+	next := c.eip + 1
+	if c.condition(fj.op) {
+		next = fj.target
+		cost += sim.Time(c.cfg.TakenBranchCycles) * c.cfg.CycleTime
+	}
+	c.count(false)
+	c.eip = next
+	return cost
+}
+
 func (c *CPU) condition(op Op) bool {
 	switch op {
 	case JMP:
@@ -260,23 +326,7 @@ func (c *CPU) execute(in *Instr) (sim.Time, *vm.Fault) {
 			return cost + t, f
 		}
 		cost += t
-		n := b & 31
-		r := a
-		if n > 0 {
-			switch in.Op {
-			case SHL:
-				c.CF = a&(1<<(32-n)) != 0
-				r = a << n
-			case SHR:
-				c.CF = a&(1<<(n-1)) != 0
-				r = a >> n
-			case SAR:
-				c.CF = a&(1<<(n-1)) != 0
-				r = uint32(int32(a) >> n)
-			}
-			c.OF = false
-			c.setZS(r)
-		}
+		r := c.shift(in.Op, a, b)
 		t, f = c.writeOp(in.Dst, r, size)
 		if f != nil {
 			return cost + t, f

@@ -1,0 +1,575 @@
+package isa
+
+import (
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Superblock trace cache.
+//
+// The batched interpreter (cpu.go) still pays a full decode-dispatch
+// per instruction: operand kind switches, effective-address composition
+// and size defaulting on every retirement. This file caches that work.
+// Each program position gets a lazily built superblock: the longest
+// run of "pure" instructions starting there (register/immediate-only
+// operations that touch no memory, raise no fault, and cannot halt,
+// trap or branch), pre-lowered to a flat micro-op array, plus metadata
+// about the terminator that follows the run — in particular the
+// dominant MOV-to-memory store (the §5 automatic-update fast path) is
+// pre-resolved into a fastStore so its dispatch is one specialized
+// call: store → translate (micro-TLB) → cache → bus write → NIC snoop.
+//
+// Keying. Programs come from AssembleCached, which returns one shared
+// immutable *Program per source text, so *Program identity is the
+// "program version" and a per-CPU map[*Program]*progTrace is a sound
+// cache. CPU.Reset flushes the map (Machine.Reset reaches it through
+// that); remapped data pages are invisible here because superblocks
+// cache decode only — data access still goes through translation every
+// time (see kernel.MemBox and its generation-tagged micro-TLB).
+//
+// Correctness. A pure run executes only when it fits inside the batch
+// quantum and strictly before the engine's next event and run bound —
+// exactly the per-instruction hazard conditions the literal loop would
+// have tested, evaluated once for the whole run (the run's intermediate
+// completion times are all below the run's end, so one comparison
+// subsumes them). Pure instructions cannot observe or perturb anything
+// outside the register file, so retiring them back-to-back with a
+// single clock advance is bit-identical to stepping them. Anything not
+// provably pure falls through to the literal interpreter.
+//
+// Spin fast-forward (computed wait-states) also lives here; see the
+// spinState section below.
+
+// maxRun bounds how many instructions a superblock scan considers.
+const maxRun = 48
+
+// regNone mirrors NoReg for the uint8-packed uop operand fields.
+const regNone = uint8(NoReg)
+
+// uopKind enumerates the specialized pure micro-ops. Operand forms are
+// fused into the kind so dispatch is a single flat switch.
+type uopKind uint8
+
+const (
+	uNop uopKind = iota
+	uCld
+	uStd
+	uMovRR
+	uMovRI
+	uLea
+	uAddRR
+	uAddRI
+	uAdcRR
+	uAdcRI
+	uSubRR
+	uSubRI
+	uSbbRR
+	uSbbRI
+	uAndRR
+	uAndRI
+	uOrRR
+	uOrRI
+	uXorRR
+	uXorRI
+	uCmpRR
+	uCmpRI
+	uTestRR
+	uTestRI
+	uIncR
+	uDecR
+	uNegR
+	uNotR
+	uShlR
+	uShlI
+	uShrR
+	uShrI
+	uSarR
+	uSarI
+	uXchgRR
+)
+
+// uop is one pre-decoded pure micro-op. d and s are register numbers;
+// for uLea, s/x/sc/imm hold base, index, scale and displacement.
+type uop struct {
+	k   uopKind
+	d   uint8
+	s   uint8
+	x   uint8
+	sc  uint8
+	imm uint32
+}
+
+// fastStore is a pre-decoded MOV-to-memory terminator: [base+disp] ←
+// reg or immediate, with no index register. src is regNone for the
+// immediate form.
+type fastStore struct {
+	ok   bool
+	base uint8
+	src  uint8
+	size uint8
+	disp uint32
+	imm  uint32
+}
+
+// fastJcc is a pre-decoded direct jump terminator (JMP or a condition
+// code; LOOP and CALL keep the generic path).
+type fastJcc struct {
+	ok     bool
+	op     Op
+	target int
+}
+
+// sblock is the superblock anchored at one program position.
+type sblock struct {
+	built    bool
+	spin     bool   // position heads a recognized spin idiom
+	spinLen  uint16 // instructions per spin iteration (incl. branch)
+	end      int    // position of the terminator: start + len(pure)
+	pure     []uop
+	pureCost sim.Time
+	fs       fastStore // terminator store, when it is one
+	jcc      fastJcc   // terminator jump, when it is one
+}
+
+// progTrace is the per-program block array; blocks build on demand.
+type progTrace struct {
+	prog   *Program
+	blocks []sblock
+}
+
+// traceFor returns (building if needed) the trace for p.
+func (c *CPU) traceFor(p *Program) *progTrace {
+	if t, ok := c.traces[p]; ok {
+		return t
+	}
+	if c.traces == nil {
+		c.traces = make(map[*Program]*progTrace)
+	}
+	t := &progTrace{prog: p, blocks: make([]sblock, len(p.Instrs))}
+	c.traces[p] = t
+	return t
+}
+
+// block returns the superblock at pc, building it on first touch.
+func (c *CPU) block(t *progTrace, pc int) *sblock {
+	b := &t.blocks[pc]
+	if !b.built {
+		t.build(c, pc)
+		c.scope.Inc(obs.CtrTraceMisses)
+	} else {
+		c.scope.Inc(obs.CtrTraceHits)
+	}
+	return b
+}
+
+// FlushTraces drops every built superblock and disarms the spin
+// watcher. Reset calls it; programs are immutable (AssembleCached), so
+// nothing else needs to.
+func (c *CPU) FlushTraces() {
+	if len(c.traces) > 0 {
+		clear(c.traces)
+		c.scope.Inc(obs.CtrTraceFlushes)
+	}
+	c.cur = nil
+	c.spin = spinState{}
+}
+
+// build populates the superblock at pc: the pure prefix, the terminator
+// store if the next instruction is one, and the spin shape.
+func (t *progTrace) build(c *CPU, pc int) {
+	b := &t.blocks[pc]
+	b.built = true
+	instrs := t.prog.Instrs
+	i := pc
+	for i < len(instrs) && i-pc < maxRun {
+		u, ok := pureUop(&instrs[i])
+		if !ok {
+			break
+		}
+		b.pure = append(b.pure, u)
+		i++
+	}
+	b.end = i
+	b.pureCost = sim.Time(len(b.pure)) * c.cfg.CycleTime
+	if i < len(instrs) {
+		b.fs = fastStoreOf(&instrs[i])
+		if in := &instrs[i]; !b.fs.ok && in.Op >= JMP && in.Op <= JNS {
+			b.jcc = fastJcc{ok: true, op: in.Op, target: in.Target}
+		}
+	}
+	b.spin, b.spinLen = spinShape(instrs, pc)
+}
+
+// pureUop lowers in to a micro-op if it is pure: registers and
+// immediates only, no memory, no fault, no flow control, no halt. Size
+// suffixes are irrelevant for register operands (readOp/writeOp ignore
+// them), so they do not block lowering.
+func pureUop(in *Instr) (uop, bool) {
+	if in.Rep || in.Lock {
+		return uop{}, false
+	}
+	rr := in.Dst.Kind == KindReg && in.Src.Kind == KindReg
+	ri := in.Dst.Kind == KindReg && in.Src.Kind == KindImm
+	d, s, imm := uint8(in.Dst.Reg), uint8(in.Src.Reg), uint32(in.Src.Imm)
+	two := func(krr, kri uopKind) (uop, bool) {
+		if rr {
+			return uop{k: krr, d: d, s: s}, true
+		}
+		if ri {
+			return uop{k: kri, d: d, imm: imm}, true
+		}
+		return uop{}, false
+	}
+	switch in.Op {
+	case NOP:
+		return uop{k: uNop}, true
+	case CLD:
+		return uop{k: uCld}, true
+	case STD:
+		return uop{k: uStd}, true
+	case MOV, MOVZX:
+		// MOVZX on a register source reads the full register, exactly
+		// like MOV (sub-word semantics apply to memory only).
+		return two(uMovRR, uMovRI)
+	case LEA:
+		if in.Dst.Kind == KindReg && in.Src.Kind == KindMem {
+			return uop{k: uLea, d: d, s: uint8(in.Src.Base), x: uint8(in.Src.Index),
+				sc: in.Src.Scale, imm: uint32(in.Src.Disp)}, true
+		}
+	case ADD:
+		return two(uAddRR, uAddRI)
+	case ADC:
+		return two(uAdcRR, uAdcRI)
+	case SUB:
+		return two(uSubRR, uSubRI)
+	case SBB:
+		return two(uSbbRR, uSbbRI)
+	case AND:
+		return two(uAndRR, uAndRI)
+	case OR:
+		return two(uOrRR, uOrRI)
+	case XOR:
+		return two(uXorRR, uXorRI)
+	case CMP:
+		return two(uCmpRR, uCmpRI)
+	case TEST:
+		return two(uTestRR, uTestRI)
+	case SHL:
+		return two(uShlR, uShlI)
+	case SHR:
+		return two(uShrR, uShrI)
+	case SAR:
+		return two(uSarR, uSarI)
+	case INC, DEC, NEG, NOT:
+		if in.Dst.Kind == KindReg {
+			switch in.Op {
+			case INC:
+				return uop{k: uIncR, d: d}, true
+			case DEC:
+				return uop{k: uDecR, d: d}, true
+			case NEG:
+				return uop{k: uNegR, d: d}, true
+			case NOT:
+				return uop{k: uNotR, d: d}, true
+			}
+		}
+	case XCHG:
+		if rr {
+			return uop{k: uXchgRR, d: d, s: s}, true
+		}
+	}
+	return uop{}, false
+}
+
+// fastStoreOf pre-decodes a MOV-to-memory instruction with no index
+// register into a fastStore; anything else yields ok=false.
+func fastStoreOf(in *Instr) fastStore {
+	if in.Op != MOV || in.Rep || in.Lock ||
+		in.Dst.Kind != KindMem || in.Dst.Index != NoReg {
+		return fastStore{}
+	}
+	fs := fastStore{ok: true, base: uint8(in.Dst.Base), disp: uint32(in.Dst.Disp), size: 4}
+	if in.Size != 0 {
+		fs.size = uint8(in.Size)
+	}
+	switch in.Src.Kind {
+	case KindReg:
+		fs.src = uint8(in.Src.Reg)
+	case KindImm:
+		fs.src = regNone
+		fs.imm = uint32(in.Src.Imm)
+	default:
+		return fastStore{}
+	}
+	return fs
+}
+
+// spinShape recognizes the canonical poll idiom at pc: a body of pure
+// micro-ops and side-effect-free memory reads (MOV/MOVZX into a
+// register, CMP/TEST against memory), closed by a jump back to pc. At
+// least one memory read is required — a loop that consults only
+// registers is a counting loop, not a wait, and arming the watcher on
+// it would be pure overhead.
+func spinShape(instrs []Instr, pc int) (bool, uint16) {
+	j := pc
+	loads := false
+	for j < len(instrs) && j-pc < maxRun {
+		in := &instrs[j]
+		if _, ok := pureUop(in); ok {
+			j++
+			continue
+		}
+		if spinSafeLoad(in) {
+			loads = true
+			j++
+			continue
+		}
+		break
+	}
+	if !loads || j == pc || j >= len(instrs) {
+		return false, 0
+	}
+	if in := &instrs[j]; in.Op >= JMP && in.Op <= JNS && in.Target == pc {
+		return true, uint16(j - pc + 1)
+	}
+	return false, 0
+}
+
+// spinSafeLoad reports whether in only reads memory: no store, no
+// flag-independent side effect, no flow control.
+func spinSafeLoad(in *Instr) bool {
+	if in.Rep || in.Lock {
+		return false
+	}
+	switch in.Op {
+	case MOV, MOVZX:
+		return in.Dst.Kind == KindReg && in.Src.Kind == KindMem
+	case CMP, TEST:
+		return in.Dst.Kind == KindMem || in.Src.Kind == KindMem
+	}
+	return false
+}
+
+// runPure retires a pure micro-op run. No memory, no faults, no
+// branches: only the register file and arithmetic flags change, through
+// the same helpers the literal interpreter uses.
+func (c *CPU) runPure(uops []uop) {
+	for i := range uops {
+		u := &uops[i]
+		switch u.k {
+		case uNop:
+		case uCld:
+			c.DF = false
+		case uStd:
+			c.DF = true
+		case uMovRR:
+			c.R[u.d] = c.R[u.s]
+		case uMovRI:
+			c.R[u.d] = u.imm
+		case uLea:
+			a := u.imm
+			if u.s != regNone {
+				a += c.R[u.s]
+			}
+			if u.x != regNone {
+				a += c.R[u.x] * uint32(u.sc)
+			}
+			c.R[u.d] = a
+		case uAddRR:
+			c.R[u.d] = c.add(c.R[u.d], c.R[u.s], false)
+		case uAddRI:
+			c.R[u.d] = c.add(c.R[u.d], u.imm, false)
+		case uAdcRR:
+			c.R[u.d] = c.add(c.R[u.d], c.R[u.s], c.CF)
+		case uAdcRI:
+			c.R[u.d] = c.add(c.R[u.d], u.imm, c.CF)
+		case uSubRR:
+			c.R[u.d] = c.sub(c.R[u.d], c.R[u.s], false)
+		case uSubRI:
+			c.R[u.d] = c.sub(c.R[u.d], u.imm, false)
+		case uSbbRR:
+			c.R[u.d] = c.sub(c.R[u.d], c.R[u.s], c.CF)
+		case uSbbRI:
+			c.R[u.d] = c.sub(c.R[u.d], u.imm, c.CF)
+		case uAndRR:
+			c.R[u.d] = c.logic(c.R[u.d] & c.R[u.s])
+		case uAndRI:
+			c.R[u.d] = c.logic(c.R[u.d] & u.imm)
+		case uOrRR:
+			c.R[u.d] = c.logic(c.R[u.d] | c.R[u.s])
+		case uOrRI:
+			c.R[u.d] = c.logic(c.R[u.d] | u.imm)
+		case uXorRR:
+			c.R[u.d] = c.logic(c.R[u.d] ^ c.R[u.s])
+		case uXorRI:
+			c.R[u.d] = c.logic(c.R[u.d] ^ u.imm)
+		case uCmpRR:
+			c.sub(c.R[u.d], c.R[u.s], false)
+		case uCmpRI:
+			c.sub(c.R[u.d], u.imm, false)
+		case uTestRR:
+			c.logic(c.R[u.d] & c.R[u.s])
+		case uTestRI:
+			c.logic(c.R[u.d] & u.imm)
+		case uIncR:
+			cf := c.CF // INC/DEC preserve CF
+			c.R[u.d] = c.add(c.R[u.d], 1, false)
+			c.CF = cf
+		case uDecR:
+			cf := c.CF
+			c.R[u.d] = c.sub(c.R[u.d], 1, false)
+			c.CF = cf
+		case uNegR:
+			a := c.R[u.d]
+			c.R[u.d] = c.sub(0, a, false)
+			c.CF = a != 0
+		case uNotR:
+			c.R[u.d] = ^c.R[u.d] // NOT sets no flags
+		case uShlR:
+			c.R[u.d] = c.shift(SHL, c.R[u.d], c.R[u.s])
+		case uShlI:
+			c.R[u.d] = c.shift(SHL, c.R[u.d], u.imm)
+		case uShrR:
+			c.R[u.d] = c.shift(SHR, c.R[u.d], c.R[u.s])
+		case uShrI:
+			c.R[u.d] = c.shift(SHR, c.R[u.d], u.imm)
+		case uSarR:
+			c.R[u.d] = c.shift(SAR, c.R[u.d], c.R[u.s])
+		case uSarI:
+			c.R[u.d] = c.shift(SAR, c.R[u.d], u.imm)
+		case uXchgRR:
+			c.R[u.d], c.R[u.s] = c.R[u.s], c.R[u.d]
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Spin fast-forward: computed wait-states.
+//
+// The §5 primitives end in poll loops — kcrecv_spin in msg/baseline.go,
+// the double-buffer flag polls, the NX/2 ring-space check — that burn
+// host time retiring iterations whose only exit is a memory change made
+// by some future engine event. The watcher below proves, at runtime,
+// that a loop iteration is a fixed point, then advances the clock to
+// just short of the next event horizon in one step, charging the
+// iterations it skipped to the instruction and cache counters as if
+// they had retired.
+//
+// The proof is a snapshot-verify protocol, not static analysis:
+//
+//  1. Arm: at a spin head, snapshot registers, flags, the memory port's
+//     purity counters (SpinProbe) and the clock.
+//  2. Verify: at the NEXT arrival at the same head, require that (a) no
+//     batch yield happened in between (endBatch sets spin.broke; events
+//     can only fire when the CPU yields, so an unbroken window means
+//     memory was untouched by anyone); (b) every access the iteration
+//     made was a pure cache load hit (pureΔ == allΔ > 0): fixed
+//     latency, no bus, no visible effect; (c) registers and flags are
+//     back to the snapshot — the iteration is a fixed point.
+//  3. Skip: with memory frozen until the next event and the iteration a
+//     deterministic fixed point of cost iterCost, the literal machine
+//     would replay it exactly every iterCost until the horizon. Advance
+//     k = floor(avail/iterCost)-1 iterations at once — always landing
+//     at a head-arrival instant strictly before the horizon, with at
+//     least one literal iteration left, so the resumed literal
+//     execution (yield points, event interleaving, final timestamps) is
+//     instruction-for-instruction identical to never having skipped.
+//
+// A loop that fails verification spinFailLimit times in a row (a
+// counting loop over memory, a command-space poll whose status read is
+// a bus transaction, a line bouncing between hit and snoop-invalidate)
+// has its spin flag cleared so the watcher stops paying for it.
+// ---------------------------------------------------------------------
+
+// spinFailLimit is how many consecutive failed verifications demote a
+// candidate loop to plain literal execution.
+const spinFailLimit = 4
+
+// spinState is the per-CPU spin watcher.
+type spinState struct {
+	prog     *Program
+	head     int
+	armed    bool
+	broke    bool // a batch yield happened since arming
+	fails    uint8
+	snapF    uint8 // packed flags
+	snapR    [8]uint32
+	snapPure uint64
+	snapAll  uint64
+	snapAt   sim.Time
+}
+
+// packFlags packs the five flags for snapshot comparison.
+func (c *CPU) packFlags() uint8 {
+	var f uint8
+	if c.ZF {
+		f |= 1
+	}
+	if c.SF {
+		f |= 2
+	}
+	if c.CF {
+		f |= 4
+	}
+	if c.OF {
+		f |= 8
+	}
+	if c.DF {
+		f |= 16
+	}
+	return f
+}
+
+// spinArm snapshots the fixed-point candidate state at a loop head.
+func (c *CPU) spinArm() {
+	s := &c.spin
+	s.prog, s.head = c.prog, c.eip
+	s.armed, s.broke = true, false
+	s.snapR = c.R
+	s.snapF = c.packFlags()
+	s.snapPure, s.snapAll = c.spinMem.SpinProbe()
+	s.snapAt = c.Eng.Now()
+}
+
+// spinTick runs at every arrival at a spin head: verify the previous
+// arm and skip ahead if the loop proved to be a pure wait, then re-arm.
+func (c *CPU) spinTick(blk *sblock) {
+	s := &c.spin
+	if !s.armed || s.broke || s.prog != c.prog || s.head != c.eip {
+		c.spinArm()
+		return
+	}
+	pure, all := c.spinMem.SpinProbe()
+	loads := all - s.snapAll
+	iterCost := c.Eng.Now() - s.snapAt
+	if loads == 0 || pure-s.snapPure != loads || iterCost <= 0 ||
+		c.R != s.snapR || c.packFlags() != s.snapF {
+		s.fails++
+		if s.fails >= spinFailLimit {
+			blk.spin = false
+			s.armed = false
+			s.fails = 0
+			return
+		}
+		c.spinArm()
+		return
+	}
+	s.fails = 0
+	if horizon := c.Eng.Horizon(); horizon < sim.Forever {
+		if k := int64((horizon-c.Eng.Now())/iterCost) - 1; k > 0 {
+			skipped := sim.Time(k) * iterCost
+			c.Eng.AdvanceTo(c.Eng.Now() + skipped)
+			n := uint64(k) * uint64(blk.spinLen)
+			if c.kernelMode {
+				c.counters.Kernel += n
+			} else {
+				c.counters.User += n
+			}
+			c.spinMem.SpinAccount(uint64(k), loads)
+			c.scope.Inc(obs.CtrSpinFastForwards)
+			c.scope.Add(obs.CtrSpinSkippedPs, uint64(skipped))
+			c.scope.Observe(obs.HistSpinSkipped, n)
+		}
+	}
+	c.spinArm()
+}

@@ -187,6 +187,7 @@ func (k *Kernel) Reset() {
 	k.stats = Stats{}
 	if k.box != nil {
 		k.box.CurrentAS = nil
+		k.box.InvalidateTLB()
 	}
 }
 
@@ -302,29 +303,93 @@ func (p *Process) FrameOf(va vm.VAddr) (phys.PageNum, bool) {
 // translating through the current process's page table and accessing
 // memory through the cache. The kernel swaps CurrentAS on a context
 // switch; the network interface needs no action (Figure 3).
+//
+// Translation goes through a small direct-mapped micro-TLB. The TLB is
+// purely a host-side accelerator — Translate carries no simulated cost,
+// so caching it must never change behavior. Each entry is tagged with
+// the owning address space and that table's generation counter
+// (vm.AddressSpace.Gen), which advances on every Map, Unmap, and
+// SetWritable: a remap or protection change leaves stale entries
+// unmatchable by construction, and a context switch misses via the
+// address-space tag.
 type MemBox struct {
 	Cache     *cache.Cache
 	CurrentAS *vm.AddressSpace
+
+	tlb [tlbSlots]tlbEntry
+}
+
+// tlbSlots is the micro-TLB size (direct-mapped, power of two).
+const tlbSlots = 64
+
+type tlbEntry struct {
+	as       *vm.AddressSpace
+	gen      uint64
+	vpn      vm.VPN
+	base     phys.PAddr // physical base of the page (command offset folded in)
+	wt       bool       // page is write-through (or command)
+	writable bool
+}
+
+// InvalidateTLB drops every cached translation. Generation tags already
+// make mutation-driven invalidation automatic; the kernel calls this on
+// Reset so no entry outlives its address space object.
+func (b *MemBox) InvalidateTLB() { b.tlb = [tlbSlots]tlbEntry{} }
+
+func (b *MemBox) slot(vpn vm.VPN) *tlbEntry { return &b.tlb[uint32(vpn)&(tlbSlots-1)] }
+
+func (b *MemBox) fill(e *tlbEntry, a vm.VAddr, tr vm.Translation) {
+	pte, _ := b.CurrentAS.Lookup(a.Page())
+	*e = tlbEntry{
+		as:       b.CurrentAS,
+		gen:      b.CurrentAS.Gen(),
+		vpn:      a.Page(),
+		base:     tr.PA - phys.PAddr(a.Offset()),
+		wt:       tr.WriteThrough,
+		writable: pte.Writable,
+	}
 }
 
 // Load implements isa.MemPort.
 func (b *MemBox) Load(a vm.VAddr, size int) (uint32, sim.Time, *vm.Fault) {
+	vpn := a.Page()
+	if e := b.slot(vpn); e.as != nil && e.as == b.CurrentAS && e.vpn == vpn && e.gen == b.CurrentAS.Gen() {
+		v, t := b.Cache.Load(e.base+phys.PAddr(a.Offset()), size)
+		return v, t, nil
+	}
 	tr, f := b.CurrentAS.Translate(a, false)
 	if f != nil {
 		return 0, 0, f
 	}
+	b.fill(b.slot(vpn), a, tr)
 	v, t := b.Cache.Load(tr.PA, size)
 	return v, t, nil
 }
 
-// Store implements isa.MemPort.
+// Store implements isa.MemPort. A TLB hit requires the writable bit:
+// entries filled by loads on read-only pages take the slow path so
+// protection faults (the §4.4 invalidation protocol depends on them)
+// still surface.
 func (b *MemBox) Store(a vm.VAddr, v uint32, size int) (sim.Time, *vm.Fault) {
+	vpn := a.Page()
+	if e := b.slot(vpn); e.as != nil && e.as == b.CurrentAS && e.vpn == vpn && e.writable && e.gen == b.CurrentAS.Gen() {
+		return b.Cache.Store(e.base+phys.PAddr(a.Offset()), v, size, e.wt), nil
+	}
 	tr, f := b.CurrentAS.Translate(a, true)
 	if f != nil {
 		return 0, f
 	}
+	b.fill(b.slot(vpn), a, tr)
 	return b.Cache.Store(tr.PA, v, size, tr.WriteThrough), nil
 }
+
+// SpinProbe implements isa.SpinMemPort by exposing the cache's
+// access-purity counters.
+func (b *MemBox) SpinProbe() (pure, all uint64) { return b.Cache.SpinProbe() }
+
+// SpinAccount implements isa.SpinMemPort: skipped spin iterations are
+// charged to the cache statistics as the load hits they would have been.
+func (b *MemBox) SpinAccount(iters, loads uint64) { b.Cache.SpinAccount(iters, loads) }
 
 // CmpxchgLocked implements isa.MemPort (§4.3 command protocol).
 func (b *MemBox) CmpxchgLocked(a vm.VAddr, expect, repl uint32) (uint32, bool, sim.Time, *vm.Fault) {

@@ -1,0 +1,65 @@
+package msg
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/nic"
+	"repro/internal/nipt"
+)
+
+// dmaSendSrc starts a whole-page deliberate transfer with the §4.3 LOCK
+// CMPXCHG protocol and polls the command page until the engine is free.
+const dmaSendSrc = `
+send:
+	mov	edi, DBUF
+	add	edi, CMDDELTA
+	mov	ecx, 1024
+	xor	eax, eax
+	lock cmpxchg [edi], ecx
+	jnz	send
+wspin:
+	mov	eax, [edi]
+	test	eax, eax
+	jnz	wspin
+	hlt
+`
+
+// TestDMAWindowDataIdentity pins the batched DMA read path
+// (nic.Config.DMAWindow > 1): fewer, larger bus reads may change
+// arbitration timing, but the received bytes — content, order,
+// completeness — must be identical to the per-chunk default.
+func TestDMAWindowDataIdentity(t *testing.T) {
+	run := func(window int) []byte {
+		cfg := core.ConfigFor(2, 1, nic.GenEISAPrototype)
+		cfg.NIC.DMAWindow = window
+		p := NewPairOn(cfg, 0, 1)
+		sbuf, rbuf := p.MapBuf("DBUF", 1, 1, nipt.DeliberateUpdate)
+		p.GrantCmd(sbuf, 1)
+		p.Drain()
+		payload := make([]byte, 4096)
+		for i := range payload {
+			payload[i] = byte(i*7 + i>>8)
+		}
+		p.WriteSender(sbuf, payload)
+		p.Drain()
+		p.RunSender("dma-send", dmaSendSrc, "send", nil)
+		p.Drain()
+		got := p.ReadReceiver(rbuf, 4096)
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("window=%d: received page differs from payload", window)
+		}
+		if p.S.NIC.Stats().DMATransfers != 1 {
+			t.Fatalf("window=%d: expected exactly one transfer, got %d",
+				window, p.S.NIC.Stats().DMATransfers)
+		}
+		return got
+	}
+	w1 := run(1)
+	for _, w := range []int{2, 4, 16} {
+		if got := run(w); !bytes.Equal(got, w1) {
+			t.Fatalf("DMAWindow=%d delivered different bytes than window 1", w)
+		}
+	}
+}

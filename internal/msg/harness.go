@@ -52,7 +52,14 @@ func NewPair(gen nic.Generation) *Pair {
 // NewPairOn prepares a pair on two chosen nodes of an existing-config
 // machine (used by experiments that care about hop distance).
 func NewPairOn(cfg core.Config, snode, rnode int) *Pair {
-	m := core.New(cfg)
+	return PairOn(core.New(cfg), snode, rnode)
+}
+
+// PairOn prepares a pair on a caller-provided machine — typically one
+// being reused across measurements via Machine.Reset (the page allocator
+// is deterministic, so a pair rebuilt after Reset sees the same
+// addresses a fresh machine would).
+func PairOn(m *core.Machine, snode, rnode int) *Pair {
 	p := &Pair{
 		M: m, S: m.Node(snode), R: m.Node(rnode),
 		SSyms: map[string]int64{"CMDDELTA": CmdDelta},

@@ -73,8 +73,18 @@ func (ev *dmaChunkEvent) Fire() {
 	n := ev.n
 	d := &n.dma
 	n.flushMerge()
-	n.emit(d.pendingMap, d.pendingRemote, d.chunkBuf[:d.pendingLen], d.pendingSrcPage,
-		d.pendingStart, obs.SpanDeliberate)
+	// Packetize the window MaxPayload bytes at a time. With DMAWindow=1
+	// this is exactly one packet per bus read, as before; larger windows
+	// carry several packets' worth of data per read, framed identically.
+	buf := d.chunkBuf[:d.pendingLen]
+	for off := 0; off < len(buf); off += n.cfg.MaxPayload {
+		end := off + n.cfg.MaxPayload
+		if end > len(buf) {
+			end = len(buf)
+		}
+		n.emit(d.pendingMap, d.pendingRemote+phys.PAddr(off), buf[off:end], d.pendingSrcPage,
+			d.pendingStart, obs.SpanDeliberate)
+	}
 	d.chunking = false
 	if d.pendingFinished {
 		d.busy = false
@@ -175,9 +185,16 @@ func (d *dmaState) kick(n *NIC) {
 		d.busy = false
 		return
 	}
+	window := n.cfg.MaxPayload
+	if n.cfg.DMAWindow > 1 {
+		// Batched mode: one scatter read covers a window of chunks. A
+		// transfer never crosses a page (CmdWrite enforces it), so one
+		// Resolve covers the whole window.
+		window *= n.cfg.DMAWindow
+	}
 	chunk := int(d.remaining) * 4
-	if chunk > n.cfg.MaxPayload {
-		chunk = n.cfg.MaxPayload
+	if chunk > window {
+		chunk = window
 	}
 	d.chunking = true
 	if cap(d.chunkBuf) < chunk {

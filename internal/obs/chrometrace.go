@@ -43,9 +43,12 @@ type spanStage struct {
 	pid        int
 }
 
-// WriteChromeTrace renders spans and tracer events for a machine of the
-// given node count as Chrome trace-event JSON. Either slice may be nil.
-func WriteChromeTrace(w io.Writer, nodes int, spans []Span, events []trace.Event) error {
+// WriteChromeTrace renders spans, tracer events, and per-node counter
+// totals for a machine of the given node count as Chrome trace-event
+// JSON. Any slice may be nil; counters (one NodeSnapshot per node, e.g.
+// Snapshot().Nodes) render as "C" counter tracks — one series per
+// counter name — sampled at the end of the timeline.
+func WriteChromeTrace(w io.Writer, nodes int, spans []Span, events []trace.Event, counters []NodeSnapshot) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(`{"displayTimeUnit":"ns","traceEvents":[` + "\n"); err != nil {
 		return err
@@ -122,6 +125,36 @@ func WriteChromeTrace(w io.Writer, nodes int, spans []Span, events []trace.Event
 			Name: e.Kind.String(), Cat: "trace", Ph: "i", Scope: "t",
 			Pid: e.Node, Tid: 0, Ts: float64(e.At) * usPerPs,
 			Args: map[string]any{"a": e.A, "b": e.B},
+		}); err != nil {
+			return err
+		}
+	}
+
+	// Counter totals, stamped at the last timestamp on the timeline so
+	// the tracks span the whole trace (json.Marshal sorts map keys, so
+	// the series order is deterministic).
+	var last int64
+	for i := range spans {
+		if d := int64(spans[i].Deposited); d > last {
+			last = d
+		}
+	}
+	for _, e := range events {
+		if at := int64(e.At); at > last {
+			last = at
+		}
+	}
+	for _, ns := range counters {
+		if len(ns.Counters) == 0 {
+			continue
+		}
+		args := make(map[string]any, len(ns.Counters))
+		for name, v := range ns.Counters {
+			args[name] = v
+		}
+		if err := emit(chromeEvent{
+			Name: "counters", Cat: "obs", Ph: "C", Pid: ns.Node, Tid: 0,
+			Ts: float64(last) * usPerPs, Args: args,
 		}); err != nil {
 			return err
 		}

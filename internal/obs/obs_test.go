@@ -264,9 +264,11 @@ func TestWriteChromeTrace(t *testing.T) {
 	eng.Advance(500 * sim.Nanosecond)
 	r.SpanDeposited(ref)
 
+	r.Node(0).Inc(CtrTraceHits)
+	r.Node(0).Add(CtrSpinSkippedPs, 12345)
 	events := []trace.Event{{At: 42 * sim.Nanosecond, Node: 1, Kind: trace.IRQ, A: 0, B: 7}}
 	var b strings.Builder
-	if err := WriteChromeTrace(&b, 2, r.CompletedSpans(), events); err != nil {
+	if err := WriteChromeTrace(&b, 2, r.CompletedSpans(), events, r.Snapshot().Nodes); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -284,14 +286,24 @@ func TestWriteChromeTrace(t *testing.T) {
 		names = append(names, ev["name"].(string))
 	}
 	joined := strings.Join(names, ",")
-	for _, want := range []string{"process_name", "snoop", "out-fifo", "mesh", "deposit", "irq"} {
+	for _, want := range []string{"process_name", "snoop", "out-fifo", "mesh", "deposit", "irq", "counters"} {
 		if !strings.Contains(joined, want) {
 			t.Fatalf("missing %q in %s", want, joined)
 		}
 	}
-	// 2 nodes x 2 metadata + 4 stages x b/e + 1 instant.
-	if len(doc.TraceEvents) != 4+8+1 {
+	// 2 nodes x 2 metadata + 4 stages x b/e + 1 instant + 1 counter track
+	// (only node 0 has non-zero counters).
+	if len(doc.TraceEvents) != 4+8+1+1 {
 		t.Fatalf("event count %d", len(doc.TraceEvents))
+	}
+	// The counter event carries the trace-cache series by name.
+	for _, ev := range doc.TraceEvents {
+		if ev["name"] == "counters" {
+			args := ev["args"].(map[string]any)
+			if args[CtrTraceHits.String()] != 1.0 || args[CtrSpinSkippedPs.String()] != 12345.0 {
+				t.Fatalf("counter args wrong: %v", args)
+			}
+		}
 	}
 }
 

@@ -77,10 +77,14 @@ func (f *Fault) Error() string {
 }
 
 // AddressSpace is one process's page table. cmdBase is the physical base
-// of the NIC command space on the owning node.
+// of the NIC command space on the owning node. gen counts page-table
+// mutations; translation caches (the kernel MemBox micro-TLB) key their
+// entries on it so a remap, unmap, or protection change invalidates any
+// stale cached translation without a shootdown walk.
 type AddressSpace struct {
 	pt      map[VPN]PTE
 	cmdBase phys.PAddr
+	gen     uint64
 }
 
 // NewAddressSpace returns an empty address space for a node whose
@@ -90,10 +94,21 @@ func NewAddressSpace(cmdBase phys.PAddr) *AddressSpace {
 }
 
 // Map installs a PTE for virtual page p.
-func (s *AddressSpace) Map(p VPN, e PTE) { s.pt[p] = e }
+func (s *AddressSpace) Map(p VPN, e PTE) {
+	s.pt[p] = e
+	s.gen++
+}
 
 // Unmap removes the mapping for virtual page p.
-func (s *AddressSpace) Unmap(p VPN) { delete(s.pt, p) }
+func (s *AddressSpace) Unmap(p VPN) {
+	delete(s.pt, p)
+	s.gen++
+}
+
+// Gen returns the page-table generation: it advances on every Map,
+// Unmap, and SetWritable, so a cached translation tagged with an older
+// generation is stale by construction.
+func (s *AddressSpace) Gen() uint64 { return s.gen }
 
 // Lookup returns the PTE for p, if present in the table (the entry may
 // still be non-Present, meaning paged out).
@@ -122,6 +137,7 @@ func (s *AddressSpace) SetWritable(p VPN, w bool) bool {
 	}
 	e.Writable = w
 	s.pt[p] = e
+	s.gen++
 	return true
 }
 
