@@ -12,6 +12,22 @@ go test -run '^$' -bench BenchmarkEngine -benchtime 100x ./internal/sim
 # workers under the race detector (report discarded; the differential
 # tests assert parallel == sequential output).
 go run -race ./cmd/shrimp-bench -parallel 4 -iters 2 -only sweep -o /dev/null
+# Partitioned-engine guards. The partition differential suites (any
+# node→partition assignment must reproduce the sequential engine
+# bit-for-bit: latencies, goodput, machine checks, metrics, Table 1)
+# run under the race detector at both ends of the scheduler-parallelism
+# range, and a race smoke drives the mesh/par allreduce pair on a small
+# mesh so real cluster goroutines cross the rendezvous under -race.
+GOMAXPROCS=1 go test -race -count 1 -run 'TestPartition|TestTable1Partition' ./internal/core ./internal/msg
+GOMAXPROCS=8 go test -race -count 1 -run 'TestPartition|TestTable1Partition' ./internal/core ./internal/msg
+go run -race ./cmd/shrimp-bench -iters 1 -only mesh/par -mesh 8x8 -partitions 1,4 -o /dev/null
+# Intra-machine speedup gate: the 32x32 allreduce with 8 partitions
+# must run >= 3x faster than with 1 partition (BENCH_7.json is the
+# committed snapshot of this pair). Meaningless without cores for the
+# partition goroutines to land on, so skipped on hosts with < 8 CPUs.
+if [ "$(getconf _NPROCESSORS_ONLN)" -ge 8 ]; then
+	go run ./cmd/shrimp-bench -iters 3 -only mesh/par -partitions 1,8 -speedup mesh/par/1,mesh/par/8,3.0 -o /dev/null
+fi
 # Observability guard: the metrics registry and causal spans must stay
 # allocation-free on the hot path (counters, gauges, histograms, span
 # lifecycle all land in preallocated arrays). Run without -race — the

@@ -76,13 +76,13 @@ func main() {
 	cpu := node.CPU
 	cpu.Load(prog)
 	cpu.R[isa.ESP] = uint32(syms["STKTOP"])
-	start := m.Eng.Now()
+	start := m.Now()
 	if err := cpu.Start(*entry); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	for !cpu.Halted() {
-		if !m.Eng.Step() {
+		if !m.Step() {
 			fmt.Fprintln(os.Stderr, "deadlock: nothing left to simulate")
 			os.Exit(1)
 		}
@@ -98,7 +98,7 @@ func main() {
 
 	c := cpu.Counters()
 	fmt.Printf("halted after %d instruction(s) (%d rep iterations), simulated time %v\n",
-		c.Total(), c.RepIters, m.Eng.Now()-start)
+		c.Total(), c.RepIters, m.Now()-start)
 	names := []string{"eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi"}
 	for i, n := range names {
 		fmt.Printf("%s=%#-10x ", n, cpu.R[i])

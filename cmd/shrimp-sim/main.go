@@ -83,7 +83,7 @@ func main() {
 	for i := range payload {
 		payload[i] = byte(i * 17)
 	}
-	start := m.Eng.Now()
+	start := m.Now()
 	for r := 0; r < *rounds; r++ {
 		for _, ch := range channels {
 			if err := ch.Send(payload); err != nil {
@@ -104,7 +104,7 @@ func main() {
 		}
 	}
 	m.RunUntilIdle(1_000_000_000)
-	elapsed := m.Eng.Now() - start
+	elapsed := m.Now() - start
 
 	moved := *rounds * len(links) * *msgBytes
 	fmt.Printf("workload %q on %dx%d %s mesh: %d links x %d rounds x %d B\n",

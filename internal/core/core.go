@@ -47,6 +47,18 @@ type Config struct {
 	// is built and the machine is bit-identical to one without the
 	// subsystem.
 	Faults fault.Config
+	// Partitions splits the node set across that many simulation engines
+	// so one machine runs its node phases on multiple cores (the mesh
+	// fabric gets its own hub engine). 0 or 1 selects the sequential
+	// single-engine machine. Results are bit-identical across partition
+	// counts by construction — see internal/sim's Cluster. Incompatible
+	// with TraceCapacity (the tracer is a single serial log) and with
+	// StartGangScheduling.
+	Partitions int
+	// PartitionSeed, when nonzero, shuffles the node→partition assignment
+	// deterministically instead of using contiguous blocks. Exists to let
+	// the differential tests prove assignment does not affect results.
+	PartitionSeed uint64
 
 	Mesh   mesh.Config
 	Xpress bus.XpressConfig
@@ -82,7 +94,9 @@ func ConfigFor(w, h int, gen nic.Generation) Config {
 	return cfg
 }
 
-// Node is one SHRIMP node (Figure 2).
+// Node is one SHRIMP node (Figure 2). Eng is the engine the node's
+// events run on: the machine's only engine sequentially, the owning
+// partition's engine when the machine is partitioned.
 type Node struct {
 	Eng   *sim.Engine
 	ID    packet.NodeID
@@ -95,11 +109,23 @@ type Node struct {
 	CPU   *isa.CPU
 	Box   *kernel.MemBox
 	K     *kernel.Kernel
+
+	m *Machine // for cluster-aware run loops in user accessors
 }
 
 // Machine is a booted SHRIMP multicomputer.
+//
+// Eng is the fabric engine: the single shared engine of a sequential
+// machine, or the mesh hub of a partitioned one. Harness code that
+// drives the simulation should use the Machine's own clock and run
+// methods (Now, Step, RunWhile, RunFor, Fired, Failed) — they are the
+// sequential engine's methods when Clu is nil and the cluster's
+// canonical-order equivalents otherwise.
 type Machine struct {
 	Eng    *sim.Engine
+	Clu    *sim.Cluster  // nil unless Cfg.Partitions > 1
+	Parts  []*sim.Engine // partition engines; nil sequentially
+	PartOf []int         // node id → partition index; nil sequentially
 	Cfg    Config
 	Net    *mesh.Network
 	Nodes  []*Node
@@ -123,37 +149,60 @@ func New(cfg Config) *Machine {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
+	// The fabric engine: the only engine sequentially, the hub of a
+	// partitioned machine. The mesh always lives here.
 	eng := sim.NewEngine()
 	net := mesh.New(eng, cfg.Mesh)
 	m := &Machine{Eng: eng, Cfg: cfg, Net: net}
+	if cfg.Partitions > 1 {
+		m.Parts = make([]*sim.Engine, cfg.Partitions)
+		for i := range m.Parts {
+			m.Parts[i] = sim.NewEngine()
+		}
+		m.PartOf = partitionNodes(cfg.NodeCount(), cfg.Partitions, cfg.PartitionSeed)
+		m.Clu = sim.NewCluster(m.Parts, eng, cfg.Mesh.Lookahead())
+	}
 	if cfg.TraceCapacity > 0 {
 		m.Tracer = trace.New(eng, cfg.TraceCapacity)
 		net.Tracer = m.Tracer
 	}
 	if cfg.Metrics {
-		m.Obs = obs.New(eng, cfg.NodeCount(), cfg.SpanCapacity)
+		m.Obs = obs.New(cfg.NodeCount(), cfg.SpanCapacity)
 		net.SetObs(m.Obs)
 	}
 	if cfg.Faults.Enabled() {
-		m.Faults = fault.NewInjector(eng, cfg.Faults, cfg.NodeCount())
+		m.Faults = fault.NewInjector(cfg.Faults, cfg.NodeCount())
 		net.SetFaults(m.Faults)
 	}
 
 	for id := 0; id < cfg.NodeCount(); id++ {
 		coord := cfg.CoordOf(packet.NodeID(id))
+		nodeEng := eng
+		var nodeNet nic.Network = net
+		if m.Clu != nil {
+			nodeEng = m.Parts[m.PartOf[id]]
+			nodeNet = &partNet{
+				clu: m.Clu, mesh: net, hub: eng, eng: nodeEng,
+				part: m.PartOf[id], dom: sim.DomNode(id),
+			}
+		}
 		mem := phys.NewMemory(cfg.MemPagesPerNode)
-		xbus := bus.NewXpress(eng, cfg.Xpress, mem)
+		xbus := bus.NewXpress(nodeEng, cfg.Xpress, mem)
 		var eisaBus *bus.EISA
 		if cfg.Generation == nic.GenEISAPrototype {
-			eisaBus = bus.NewEISA(eng, cfg.EISA, xbus)
+			eisaBus = bus.NewEISA(nodeEng, cfg.EISA, xbus)
 		}
-		ch := cache.New(eng, cfg.Cache, xbus)
+		ch := cache.New(nodeEng, cfg.Cache, xbus)
 		table := nipt.New(cfg.MemPagesPerNode)
-		nicDev := nic.New(eng, cfg.NIC, packet.NodeID(id), coord, table, xbus, eisaBus, net)
+		nicDev := nic.New(nodeEng, cfg.NIC, packet.NodeID(id), coord, table, xbus, eisaBus, nodeNet)
+		if m.Clu != nil {
+			nicDev.SetFabricEngine(eng)
+		}
 		box := &kernel.MemBox{Cache: ch}
-		cpu := isa.NewCPU(eng, cfg.CPU, box)
+		cpu := isa.NewCPU(nodeEng, cfg.CPU, box)
 		cpu.SetName(fmt.Sprintf("cpu%d", id))
-		k := kernel.New(eng, cfg.Kernel, packet.NodeID(id), coord, mem, xbus, nicDev, cpu, box)
+		cpu.SetDom(sim.DomNode(id))
+		k := kernel.New(nodeEng, cfg.Kernel, packet.NodeID(id), coord, mem, xbus, nicDev, cpu, box)
 		nicDev.Tracer = m.Tracer
 		k.Tracer = m.Tracer
 		scope := m.Obs.Node(id) // nil when metrics are disabled
@@ -166,10 +215,20 @@ func New(cfg Config) *Machine {
 			nicDev.SetFaults(m.Faults)
 			k.SetRingCRC(cfg.Faults.Reliable)
 		}
+		if m.Clu != nil {
+			// Harness syscalls must be timestamped at the cluster's
+			// observable clock, exactly where the sequential machine's
+			// single clock would sit (see Node.enter).
+			eng := nodeEng
+			k.SetClockSync(func() { eng.AdvanceTo(m.Clu.Now()) })
+		}
 		m.Nodes = append(m.Nodes, &Node{
-			Eng: eng, ID: packet.NodeID(id), Coord: coord, Mem: mem, Xbus: xbus,
-			EISA: eisaBus, Cache: ch, NIC: nicDev, CPU: cpu, Box: box, K: k,
+			Eng: nodeEng, ID: packet.NodeID(id), Coord: coord, Mem: mem, Xbus: xbus,
+			EISA: eisaBus, Cache: ch, NIC: nicDev, CPU: cpu, Box: box, K: k, m: m,
 		})
+	}
+	if m.Clu != nil {
+		m.Clu.SetProbe(m.earliestPost)
 	}
 	m.installKernelRings()
 	m.applyFaults()
@@ -247,12 +306,80 @@ func peerIndex(a, b int) int {
 // Node returns node i.
 func (m *Machine) Node(i int) *Node { return m.Nodes[i] }
 
+// Now returns the machine's simulated clock (the furthest engine when
+// partitioned).
+func (m *Machine) Now() sim.Time {
+	if m.Clu != nil {
+		return m.Clu.Now()
+	}
+	return m.Eng.Now()
+}
+
+// Fired returns the total events executed across all engines.
+func (m *Machine) Fired() uint64 {
+	if m.Clu != nil {
+		return m.Clu.Fired()
+	}
+	return m.Eng.Fired()
+}
+
+// Failed returns the machine's recorded failure (the canonically-first
+// one across partitions), if any.
+func (m *Machine) Failed() error {
+	if m.Clu != nil {
+		return m.Clu.Failed()
+	}
+	return m.Eng.Failed()
+}
+
+// Step fires the next event in canonical global order; false when no
+// events remain.
+func (m *Machine) Step() bool {
+	if m.Clu != nil {
+		return m.Clu.Step()
+	}
+	return m.Eng.Step()
+}
+
+// RunWhile fires events in canonical order while cond() holds; false if
+// it stopped early (queues drained or a failure was recorded).
+func (m *Machine) RunWhile(cond func() bool) bool {
+	if m.Clu != nil {
+		return m.Clu.RunWhile(cond)
+	}
+	return m.Eng.RunWhile(cond)
+}
+
+// RunFor advances the machine by d, firing everything in the window.
+func (m *Machine) RunFor(d sim.Time) {
+	if m.Clu != nil {
+		m.Clu.RunFor(d)
+		return
+	}
+	m.Eng.RunFor(d)
+}
+
+// MaxPending returns the deepest any engine's queue has been.
+func (m *Machine) MaxPending() int {
+	if m.Clu != nil {
+		return m.Clu.MaxPending()
+	}
+	return m.Eng.MaxPending()
+}
+
 // RunUntilIdle drains the event queue and returns the machine check a
 // component raised through the engine's failure surface, if any. It
 // still panics after limit events (livelock guard): a blown budget is a
-// harness bug, not a simulated fault.
+// harness bug, not a simulated fault. On a partitioned machine this is
+// the parallel path: events drain in lookahead-bounded rounds across
+// all partition engines.
 func (m *Machine) RunUntilIdle(limit uint64) error {
-	err := m.Eng.DrainBudget(limit)
+	var err error
+	if m.Clu != nil {
+		err = m.Clu.DrainBudget(limit)
+	} else {
+		err = m.Eng.DrainBudget(limit)
+	}
 	if errors.Is(err, sim.ErrBudget) {
 		panic(fmt.Sprintf("core: RunUntilIdle exceeded %d events: %v", limit, err))
 	}
@@ -263,9 +390,9 @@ func (m *Machine) RunUntilIdle(limit uint64) error {
 // its error. A machine check raised while waiting is returned instead;
 // it panics only if the event queue runs dry with no failure recorded.
 func (m *Machine) Await(f *kernel.Future) error {
-	ok := m.Eng.RunWhile(func() bool { return !f.Done() })
+	ok := m.RunWhile(func() bool { return !f.Done() })
 	if !ok && !f.Done() {
-		if err := m.Eng.Failed(); err != nil {
+		if err := m.Failed(); err != nil {
 			return err
 		}
 		panic("core: Await ran out of events before future resolved")
@@ -296,9 +423,30 @@ func (n *Node) UserWrite32(p *kernel.Process, va vm.VAddr, v uint32) error {
 	return n.userStore(p, va, v, 4)
 }
 
+// enter tags the engine with this node's event domain for the duration
+// of a harness-initiated component call: anything the call schedules
+// carries the node's domain, so the canonical (time, domain, seq) order
+// — and with it a partitioned run — matches the sequential one
+// regardless of which event happened to fire last. The caller must
+// restore the returned previous domain.
+//
+// In a partitioned machine it also synchronizes the node's clock to the
+// cluster's observable time first: a sequential machine has one clock,
+// so a harness action always runs at the time of the last fired event,
+// wherever it fired. A partition engine's clock only advances when its
+// own events fire, so without the sync a harness action on a lagging
+// node would issue bus cycles in the past relative to the sequential
+// run.
+func (n *Node) enter() sim.Domain {
+	if n.m.Clu != nil {
+		n.Eng.AdvanceTo(n.m.Clu.Now())
+	}
+	return n.Eng.EnterDomain(sim.DomNode(int(n.ID)))
+}
+
 func (n *Node) userStore(p *kernel.Process, va vm.VAddr, v uint32, size int) error {
 	for n.NIC.OutStalled() {
-		if !n.Eng.Step() {
+		if !n.m.Step() {
 			break
 		}
 	}
@@ -306,8 +454,10 @@ func (n *Node) userStore(p *kernel.Process, va vm.VAddr, v uint32, size int) err
 	if f != nil {
 		return f
 	}
+	prev := n.enter()
 	lat := n.Cache.Store(tr.PA, v, size, tr.WriteThrough)
-	n.Eng.RunFor(lat)
+	n.Eng.EnterDomain(prev)
+	n.m.RunFor(lat)
 	return nil
 }
 
@@ -317,8 +467,34 @@ func (n *Node) UserRead32(p *kernel.Process, va vm.VAddr) (uint32, error) {
 	if f != nil {
 		return 0, f
 	}
+	prev := n.enter()
 	v, _ := n.Cache.Load(tr.PA, 4)
+	n.Eng.EnterDomain(prev)
 	return v, nil
+}
+
+// CacheRead32 loads four bytes at physical address pa through the
+// node's cache — the harness form of a user-mode load that already
+// holds a translation. Like LockedCmpxchg it keeps the node's event
+// domain correct for anything the access schedules (miss fills, dirty
+// evictions).
+func (n *Node) CacheRead32(pa phys.PAddr) uint32 {
+	prev := n.enter()
+	v, _ := n.Cache.Load(pa, 4)
+	n.Eng.EnterDomain(prev)
+	return v
+}
+
+// LockedCmpxchg performs an atomic compare-exchange on p's virtual
+// address space through the node's cache, as a LOCK CMPXCHG instruction
+// would. Harness code uses it in place of issuing the instruction; it
+// keeps the node's event domain correct, which direct Cache access from
+// outside an event would not.
+func (n *Node) LockedCmpxchg(pa phys.PAddr, expect, repl uint32) (uint32, bool, sim.Time) {
+	prev := n.enter()
+	read, swapped, lat := n.Cache.LockedCmpxchg(pa, expect, repl)
+	n.Eng.EnterDomain(prev)
+	return read, swapped, lat
 }
 
 // UserWriteBytes stores a byte slice word by word (tail bytes singly).
@@ -340,6 +516,8 @@ func (n *Node) UserWriteBytes(p *kernel.Process, va vm.VAddr, b []byte) error {
 
 // UserReadBytes loads len(out) bytes from p's virtual memory.
 func (n *Node) UserReadBytes(p *kernel.Process, va vm.VAddr, out []byte) error {
+	prev := n.enter()
+	defer n.Eng.EnterDomain(prev)
 	for i := range out {
 		tr, f := p.AS.Translate(va+vm.VAddr(i), false)
 		if f != nil {

@@ -39,7 +39,13 @@ func (m *Machine) Settle(phase string) error {
 }
 
 func (m *Machine) settleWithin(phase string, budget uint64) error {
-	if err := m.Eng.DrainBudget(budget); err != nil {
+	var err error
+	if m.Clu != nil {
+		err = m.Clu.DrainBudget(budget)
+	} else {
+		err = m.Eng.DrainBudget(budget)
+	}
+	if err != nil {
 		return fmt.Errorf("core: %s: %w", phase, err)
 	}
 	return nil
@@ -111,7 +117,7 @@ func measureStoreLatencyOn(m *Machine, src, dst int) LatencyResult {
 	s := setupPair(m, src, dst, nipt.SingleWriteAU)
 
 	const probe = 0x5a5a_5a5a
-	start := m.Eng.Now()
+	start := m.Now()
 	if err := s.src.UserWrite32(s.ps, s.sendVA+128, probe); err != nil {
 		panic(err)
 	}
@@ -119,16 +125,16 @@ func measureStoreLatencyOn(m *Machine, src, dst int) LatencyResult {
 	frame, _ := s.pd.FrameOf(s.recvVA)
 	arrived := func() bool { return s.dst.Mem.Read32(frame.Addr(128)) == probe }
 	for !arrived() {
-		if !m.Eng.Step() {
+		if !m.Step() {
 			panic("core: latency probe never arrived")
 		}
 	}
 	return LatencyResult{
 		Src: s.src.ID, Dst: s.dst.ID,
 		Hops:    s.src.Coord.Hops(s.dst.Coord),
-		Latency: m.Eng.Now() - start,
-		Events:  m.Eng.Fired(),
-		SimEnd:  m.Eng.Now(),
+		Latency: m.Now() - start,
+		Events:  m.Fired(),
+		SimEnd:  m.Now(),
 	}
 }
 
@@ -195,24 +201,24 @@ func measureDeliberateBandwidthOn(m *Machine, src, dst, transferBytes, totalByte
 	words := uint32(transferBytes / 4)
 	transfers := totalBytes / transferBytes
 	startPkts := s.dst.NIC.Stats().PacketsIn
-	start := m.Eng.Now()
+	start := m.Now()
 	for i := 0; i < transfers; i++ {
 		// The §4.3 protocol: locked CMPXCHG until the engine accepts.
 		for {
-			_, swapped, _ := s.src.Cache.LockedCmpxchg(tr.PA, 0, words)
+			_, swapped, _ := s.src.LockedCmpxchg(tr.PA, 0, words)
 			if swapped {
 				break
 			}
 			// Engine busy: let simulated time advance (user-level
 			// backoff would spin; stepping the engine models the time
 			// passing between retries).
-			if !m.Eng.Step() {
+			if !m.Step() {
 				panic("core: DMA engine never freed")
 			}
 		}
 	}
 	mustSettle(m, "bandwidth stream drain")
-	elapsed := m.Eng.Now() - start
+	elapsed := m.Now() - start
 	delivered := transfers * transferBytes
 	return BandwidthResult{
 		TransferBytes: transferBytes,
@@ -220,8 +226,8 @@ func measureDeliberateBandwidthOn(m *Machine, src, dst, transferBytes, totalByte
 		Elapsed:       elapsed,
 		Packets:       s.dst.NIC.Stats().PacketsIn - startPkts,
 		MBps:          float64(delivered) / 1e6 / elapsed.Seconds(),
-		Events:        m.Eng.Fired(),
-		SimEnd:        m.Eng.Now(),
+		Events:        m.Fired(),
+		SimEnd:        m.Now(),
 	}
 }
 
@@ -264,7 +270,7 @@ func measureAUBandwidthOn(m *Machine, mode nipt.Mode, stores int) AUBandwidthRes
 	s := setupPair(m, 0, 1, mode)
 	before := s.dst.NIC.Stats()
 	beforeWire := m.Net.Stats().TotalWireByte
-	start := m.Eng.Now()
+	start := m.Now()
 	off := vm.VAddr(0)
 	for i := 0; i < stores; i++ {
 		if err := s.src.UserWrite32(s.ps, s.sendVA+off, uint32(i)); err != nil {
@@ -276,7 +282,7 @@ func measureAUBandwidthOn(m *Machine, mode nipt.Mode, stores int) AUBandwidthRes
 		}
 	}
 	mustSettle(m, "AU stream drain")
-	elapsed := m.Eng.Now() - start
+	elapsed := m.Now() - start
 	after := s.dst.NIC.Stats()
 	payload := 4 * stores
 	return AUBandwidthResult{

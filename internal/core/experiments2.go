@@ -108,17 +108,17 @@ func runOverlap(m *Machine, mode nipt.Mode, iters int, mapped bool) (sim.Time, u
 	cpu.Load(prog)
 	cpu.R = [8]uint32{}
 	cpu.R[isa.ESP] = uint32(stack) + phys.PageSize
-	start := m.Eng.Now()
+	start := m.Now()
 	if err := cpu.Start("work"); err != nil {
 		panic(err)
 	}
 	// Run until the CPU halts: that is the CPU-visible time. The
 	// network may still be draining afterwards — that is the point.
-	ok := m.Eng.RunWhile(func() bool { return !cpu.Halted() })
+	ok := m.RunWhile(func() bool { return !cpu.Halted() })
 	if !ok && !cpu.Halted() {
 		panic("core: overlap program starved")
 	}
-	cpuTime := m.Eng.Now() - start
+	cpuTime := m.Now() - start
 	mustSettle(m, "overlap drain")
 	if err := cpu.Err(); err != nil {
 		panic(err)
@@ -168,11 +168,11 @@ func MeasureCPUBound(cfg Config, iters int) CPUBoundResult {
 	cpu.R = [8]uint32{}
 	cpu.R[isa.ESP] = uint32(stack) + phys.PageSize
 	cpu.ResetCounters()
-	start := m.Eng.Now()
+	start := m.Now()
 	if err := cpu.Start("work"); err != nil {
 		panic(err)
 	}
-	ok := m.Eng.RunWhile(func() bool { return !cpu.Halted() })
+	ok := m.RunWhile(func() bool { return !cpu.Halted() })
 	if !ok && !cpu.Halted() {
 		panic("core: cpu-bound program starved")
 	}
@@ -181,9 +181,9 @@ func MeasureCPUBound(cfg Config, iters int) CPUBoundResult {
 	}
 	return CPUBoundResult{
 		Instructions: cpu.Counters().Total(),
-		CPUTime:      m.Eng.Now() - start,
-		EngineEvents: m.Eng.Fired(),
-		SimEnd:       m.Eng.Now(),
+		CPUTime:      m.Now() - start,
+		EngineEvents: m.Fired(),
+		SimEnd:       m.Now(),
 	}
 }
 
@@ -221,7 +221,7 @@ func measureMergeWindowOn(m *Machine, storeGap sim.Time, stores int) MergeWindow
 		if off >= phys.PageSize {
 			off = 0
 		}
-		m.Eng.RunFor(storeGap)
+		m.RunFor(storeGap)
 	}
 	mustSettle(m, "merge-window drain")
 	pkts := s.dst.NIC.Stats().PacketsIn - before

@@ -29,14 +29,21 @@ func (m *Machine) applyFaults() {
 			panic(err) // Validate already rejected non-adjacent pairs
 		}
 	}
+	// Node fault events run on the faulted node's own engine under its
+	// own domain: they mutate node-owned state (CPU, NIC dead flag — the
+	// fabric learns of a crash through the NIC's SetDead post), and the
+	// explicit domain keeps the canonical order identical whether or not
+	// the machine is partitioned.
 	for _, nf := range fc.Nodes {
+		node := m.Nodes[nf.Node]
+		dom := sim.DomNode(nf.Node)
 		switch nf.Kind {
 		case fault.NodeCrash:
-			m.Eng.Schedule(nf.At, &nodeFaultEvent{node: m.Nodes[nf.Node], crash: true})
+			node.Eng.ScheduleDom(dom, nf.At, &nodeFaultEvent{node: node, crash: true})
 		case fault.NodeFreeze:
-			m.Eng.Schedule(nf.At, &nodeFaultEvent{node: m.Nodes[nf.Node]})
+			node.Eng.ScheduleDom(dom, nf.At, &nodeFaultEvent{node: node})
 			if nf.Until > 0 {
-				m.Eng.Schedule(nf.Until, &nodeFaultEvent{node: m.Nodes[nf.Node], thaw: true})
+				node.Eng.ScheduleDom(dom, nf.Until, &nodeFaultEvent{node: node, thaw: true})
 			}
 		}
 	}
@@ -125,18 +132,18 @@ func measureFaultyTransferOn(m *Machine, src, dst, transferBytes, totalBytes int
 	transfers := totalBytes / transferBytes
 	before := s.dst.NIC.Stats()
 	netBefore := m.Net.Stats()
-	start := m.Eng.Now()
+	start := m.Now()
 	for i := 0; i < transfers && res.Err == ""; i++ {
 		for {
-			if err := m.Eng.Failed(); err != nil {
+			if err := m.Failed(); err != nil {
 				res.Err = err.Error()
 				break
 			}
-			_, swapped, _ := s.src.Cache.LockedCmpxchg(tr.PA, 0, words)
+			_, swapped, _ := s.src.LockedCmpxchg(tr.PA, 0, words)
 			if swapped {
 				break
 			}
-			if !m.Eng.Step() {
+			if !m.Step() {
 				res.Err = "core: DMA engine never freed"
 				break
 			}
@@ -147,7 +154,7 @@ func measureFaultyTransferOn(m *Machine, src, dst, transferBytes, totalBytes int
 			res.Err = err.Error()
 		}
 	}
-	elapsed := m.Eng.Now() - start
+	elapsed := m.Now() - start
 	after := s.dst.NIC.Stats()
 	net := m.Net.Stats()
 	srcStats := s.src.NIC.Stats()
@@ -164,7 +171,7 @@ func measureFaultyTransferOn(m *Machine, src, dst, transferBytes, totalBytes int
 	res.AcksSent = after.RelAcksSent - before.RelAcksSent
 	res.NacksSent = after.RelNacksSent - before.RelNacksSent
 	res.DupDrops = after.RelDupDrops - before.RelDupDrops
-	res.Events = m.Eng.Fired()
+	res.Events = m.Fired()
 	return res
 }
 
@@ -174,6 +181,7 @@ func measureFaultyTransferOn(m *Machine, src, dst, transferBytes, totalBytes int
 // runs inline); results are ordered as dropsPPM. The base config's
 // seed, rates and plan are kept; only DropPPM varies per point.
 func FaultSweep(cfg Config, dropsPPM []uint32, transferBytes, totalBytes, workers int) []FaultPoint {
+	workers = exp.CapWorkers(workers, cfg.Partitions)
 	return exp.Map(workers, len(dropsPPM), newMachinePool,
 		func(p *machinePool, i int) FaultPoint {
 			c := cfg

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/mesh"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// This file is the core-side glue of the partitioned machine (paper
+// reproduction infrastructure, not paper content): each node's NIC
+// talks to the mesh through a partNet proxy that turns node→fabric
+// calls into cluster posts and fabric→node calls into deferred
+// messages, so the mesh (on the hub engine) and the nodes (on their
+// partition engines) never touch each other's state mid-phase. See
+// internal/sim's Cluster for the rendezvous protocol and the
+// determinism argument, and DESIGN.md §11 for the overview.
+
+// partitionNodes assigns nodes to parts partitions: contiguous blocks
+// (near-equal, remainders to the low partitions) by default, or a
+// deterministic seeded shuffle when seed is nonzero.
+func partitionNodes(nodes, parts int, seed uint64) []int {
+	order := make([]int, nodes)
+	for i := range order {
+		order[i] = i
+	}
+	if seed != 0 {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		rng.Shuffle(nodes, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	}
+	assign := make([]int, nodes)
+	base, rem := nodes/parts, nodes%parts
+	i := 0
+	for p := 0; p < parts; p++ {
+		size := base
+		if p < rem {
+			size++
+		}
+		for k := 0; k < size; k++ {
+			assign[order[i]] = p
+			i++
+		}
+	}
+	return assign
+}
+
+// earliestPost is the cluster's lookahead probe: a lower bound on the
+// earliest simulated time any node could post to the fabric. Posts come
+// only from NIC activity (injections and FIFO releases — crash
+// notifications ride on already-bounded node events), so the minimum of
+// the NICs' pipeline floors bounds them all.
+func (m *Machine) earliestPost() sim.Time {
+	t := sim.Forever
+	for _, n := range m.Nodes {
+		if p := n.NIC.EarliestPost(); p < t {
+			t = p
+		}
+	}
+	return t
+}
+
+// partNet adapts one node's nic.Network calls to the cluster protocol.
+// Node→fabric actions become posts stamped with the node's clock and
+// domain; fabric→node actions (via partEndpoint) become deferred
+// messages that replay the hub's current domain on the node engine, so
+// every scheduled event carries the same (time, domain) key a
+// sequential machine would have given it.
+type partNet struct {
+	clu  *sim.Cluster
+	mesh *mesh.Network
+	hub  *sim.Engine // fabric engine (mesh side)
+	eng  *sim.Engine // owning partition's engine (node side)
+	part int
+	dom  sim.Domain
+}
+
+// post buffers fn for replay on the hub at the node's current instant.
+func (pn *partNet) post(fn func()) {
+	pn.clu.PostTo(pn.part, sim.Post{At: pn.eng.Now(), Dom: pn.dom, Fn: fn})
+}
+
+// deferNode records fn to run on the node side after the hub phase,
+// under the domain the hub event chain carried (which is what the
+// scheduling would have inherited had everything shared one engine).
+func (pn *partNet) deferNode(fn func()) {
+	dom := pn.hub.Domain()
+	pn.clu.Defer(pn.part, func() {
+		prev := pn.eng.EnterDomain(dom)
+		fn()
+		pn.eng.EnterDomain(prev)
+	})
+}
+
+func (pn *partNet) Attach(c packet.Coord, ep mesh.Endpoint) {
+	pn.mesh.Attach(c, &partEndpoint{pn: pn, ep: ep})
+}
+
+func (pn *partNet) OnInjectorFree(c packet.Coord, fn func()) {
+	pn.mesh.OnInjectorFree(c, func() { pn.deferNode(fn) })
+}
+
+func (pn *partNet) Inject(src packet.Coord, p *packet.Packet, wire int) {
+	pn.post(func() { pn.mesh.Inject(src, p, wire) })
+}
+
+func (pn *partNet) Release(c packet.Coord, wire int, span uint64, dropped bool) {
+	pn.post(func() { pn.mesh.Release(c, wire, span, dropped) })
+}
+
+func (pn *partNet) DropSpan(span uint64) {
+	pn.post(func() { pn.mesh.DropSpan(span) })
+}
+
+func (pn *partNet) SetDead(c packet.Coord) {
+	pn.post(func() { pn.mesh.SetDead(c) })
+}
+
+// partEndpoint wraps the NIC's mesh endpoint for a partitioned node.
+// Accept and Credit run directly — they touch only fabric-owned state
+// (Incoming-FIFO occupancy) and execute on the hub's event stream by
+// design. Deliver hands the packet to the node side as a deferred
+// message.
+type partEndpoint struct {
+	pn *partNet
+	ep mesh.Endpoint
+}
+
+func (pe *partEndpoint) Accept(p *packet.Packet, wire int) bool { return pe.ep.Accept(p, wire) }
+func (pe *partEndpoint) Credit(wire int)                        { pe.ep.Credit(wire) }
+
+func (pe *partEndpoint) Deliver(p *packet.Packet, wire int) {
+	pe.pn.deferNode(func() { pe.ep.Deliver(p, wire) })
+}

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/nic"
+	"repro/internal/nipt"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Differential tests for the partitioned machine (Config.Partitions):
+// partitioning is a pure simulator optimization, so every simulated
+// result — latencies, bandwidths, goodput, machine checks, metrics —
+// must be bit-identical to the sequential machine at any partition
+// count and any node→partition assignment. Engine bookkeeping
+// legitimately differs (the rendezvous replays posts as extra hub
+// events, and RunBound windows break CPU batches at different points),
+// so Events counts, batch-break/trace/spin counters and the completed-
+// span ring order are normalized out; everything else compares exactly.
+
+// partitionVariants covers the even split, two uneven splits (16 nodes
+// over 3 and 5 partitions), and the one-node-per-worker-ish extreme.
+var partitionVariants = []int{2, 3, 5, 8}
+
+// partitionSeeds: 0 is the contiguous-block assignment; nonzero values
+// select deterministic shuffled assignments.
+var partitionSeeds = []uint64{0, 42, 1729}
+
+func TestPartitionNodes(t *testing.T) {
+	for _, nodes := range []int{1, 2, 7, 16} {
+		for parts := 1; parts <= nodes; parts++ {
+			for _, seed := range partitionSeeds {
+				assign := partitionNodes(nodes, parts, seed)
+				if len(assign) != nodes {
+					t.Fatalf("nodes=%d parts=%d: len %d", nodes, parts, len(assign))
+				}
+				sizes := make([]int, parts)
+				for n, p := range assign {
+					if p < 0 || p >= parts {
+						t.Fatalf("nodes=%d parts=%d seed=%d: node %d → partition %d", nodes, parts, seed, n, p)
+					}
+					sizes[p]++
+				}
+				for p, s := range sizes {
+					if lo, hi := nodes/parts, (nodes+parts-1)/parts; s < lo || s > hi {
+						t.Errorf("nodes=%d parts=%d seed=%d: partition %d has %d nodes (want %d..%d)",
+							nodes, parts, seed, p, s, lo, hi)
+					}
+				}
+				// Deterministic: the same inputs give the same assignment.
+				if again := partitionNodes(nodes, parts, seed); !reflect.DeepEqual(assign, again) {
+					t.Errorf("nodes=%d parts=%d seed=%d: assignment not deterministic", nodes, parts, seed)
+				}
+			}
+		}
+	}
+	// A nonzero seed actually shuffles (16 nodes, 4 partitions: the odds
+	// of the identity permutation are astronomically small).
+	if reflect.DeepEqual(partitionNodes(16, 4, 0), partitionNodes(16, 4, 42)) {
+		t.Error("seed 42 produced the contiguous assignment")
+	}
+}
+
+// partCfg returns the 16-node machine config with the given partition
+// count and assignment seed.
+func partCfg(parts int, seed uint64) Config {
+	cfg := ConfigFor(4, 4, nic.GenEISAPrototype)
+	cfg.Partitions = parts
+	cfg.PartitionSeed = seed
+	return cfg
+}
+
+// normLatency clears the engine-artifact field of a latency result.
+func normLatency(r LatencyResult) LatencyResult {
+	r.Events = 0
+	return r
+}
+
+// TestPartitionDifferentialLatencySweep pins the full E2 corner sweep:
+// every (partition count, assignment seed) pair reproduces the
+// sequential sweep bit-for-bit.
+func TestPartitionDifferentialLatencySweep(t *testing.T) {
+	cfg := partCfg(1, 0)
+	seq := New(cfg)
+	want := make([]LatencyResult, 0, cfg.NodeCount()-1)
+	for dst := 1; dst < cfg.NodeCount(); dst++ {
+		seq.Reset()
+		want = append(want, normLatency(measureStoreLatencyOn(seq, 0, dst)))
+	}
+	for _, parts := range partitionVariants {
+		for _, seed := range partitionSeeds {
+			m := New(partCfg(parts, seed))
+			for dst := 1; dst < cfg.NodeCount(); dst++ {
+				m.Reset()
+				if got := normLatency(measureStoreLatencyOn(m, 0, dst)); got != want[dst-1] {
+					t.Fatalf("parts=%d seed=%d dst=%d:\n got  %+v\n want %+v", parts, seed, dst, got, want[dst-1])
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionDifferentialBandwidth pins the E3 deliberate-update
+// path (DMA engine, LOCK CMPXCHG command protocol) under partitioning.
+func TestPartitionDifferentialBandwidth(t *testing.T) {
+	run := func(parts int) BandwidthResult {
+		cfg := ConfigFor(2, 1, nic.GenEISAPrototype)
+		cfg.Partitions = parts
+		r := measureDeliberateBandwidthOn(New(cfg), 0, 1, 1024, 64*1024)
+		r.Events = 0
+		return r
+	}
+	want := run(1)
+	if got := run(2); got != want {
+		t.Fatalf("partitioned bandwidth diverged:\n got  %+v\n want %+v", got, want)
+	}
+}
+
+// scrubSnapshot removes the engine-artifact metrics (CPU batching and
+// trace-cache behavior depends on event-queue pressure, which RunBound
+// windows legitimately change) so the rest compares exactly.
+func scrubSnapshot(s obs.Snapshot) obs.Snapshot {
+	artifacts := []string{
+		"batch-break-event", "batch-break-quantum", "batch-break-fault",
+		"batch-break-halt", "batch-break-freeze",
+		"trace-hits", "trace-misses", "trace-flushes",
+		"spin-fast-forwards", "spin-skipped-ps",
+	}
+	for i := range s.Nodes {
+		for _, a := range artifacts {
+			delete(s.Nodes[i].Counters, a)
+		}
+		delete(s.Nodes[i].Hists, "batch-len")
+		delete(s.Nodes[i].Hists, "spin-skipped")
+	}
+	return s
+}
+
+// sortedSpans returns the registry's completed spans ordered by ID:
+// completion order through the fabric can micro-diverge between
+// partition layouts, but the set of spans and every stage timestamp
+// must not.
+func sortedSpans(r *obs.Registry) []obs.Span {
+	spans := append([]obs.Span(nil), r.CompletedSpans()...)
+	sort.Slice(spans, func(i, j int) bool { return spans[i].ID < spans[j].ID })
+	return spans
+}
+
+// TestPartitionDifferentialMetrics runs the AU bandwidth workload with
+// the metrics registry on and compares the full snapshot (counters,
+// gauges, histograms, span totals) and the completed span set.
+func TestPartitionDifferentialMetrics(t *testing.T) {
+	run := func(parts int, seed uint64) (obs.Snapshot, []obs.Span, AUBandwidthResult) {
+		cfg := partCfg(parts, seed)
+		cfg.Metrics = true
+		m := New(cfg)
+		r := measureAUBandwidthOn(m, nipt.SingleWriteAU, 600)
+		return scrubSnapshot(m.Obs.Snapshot()), sortedSpans(m.Obs), r
+	}
+	wantSnap, wantSpans, wantR := run(1, 0)
+	if wantSnap.SpansFinished == 0 || len(wantSpans) == 0 {
+		t.Fatal("sequential run produced no spans; workload too small")
+	}
+	for _, parts := range []int{2, 3} {
+		snap, spans, r := run(parts, 42)
+		if r != wantR {
+			t.Fatalf("parts=%d: result diverged:\n got  %+v\n want %+v", parts, r, wantR)
+		}
+		if !reflect.DeepEqual(snap, wantSnap) {
+			t.Fatalf("parts=%d: metrics snapshot diverged:\n got  %+v\n want %+v", parts, snap, wantSnap)
+		}
+		if !reflect.DeepEqual(spans, wantSpans) {
+			t.Fatalf("parts=%d: span set diverged (%d vs %d spans)", parts, len(spans), len(wantSpans))
+		}
+	}
+}
+
+// TestPartitionDifferentialFaults arms the fault injector (drops,
+// corruption, duplication, stalls, reliable delivery) and pins the
+// goodput, retransmit accounting and — at a hopeless drop rate — the
+// machine check against the sequential machine.
+func TestPartitionDifferentialFaults(t *testing.T) {
+	run := func(parts int, crash bool) FaultPoint {
+		cfg := ConfigFor(2, 1, nic.GenXpress)
+		cfg.Partitions = parts
+		cfg.Faults = fault.Config{
+			Seed: 1729, DropPPM: 60_000, CorruptPPM: 40_000, DupPPM: 20_000,
+			StallPPM: 30_000, Reliable: true,
+		}
+		if crash {
+			cfg.Faults.RetryBudget = 4
+			cfg.Faults.Nodes[0] = fault.NodeFault{Node: 1, Kind: fault.NodeCrash, At: 300 * sim.Microsecond}
+		}
+		p := measureFaultyTransferOn(New(cfg), 0, 1, 1024, 32*1024)
+		p.Events = 0
+		return p
+	}
+	for _, crash := range []bool{false, true} {
+		want := run(1, crash)
+		if crash && want.Err == "" {
+			t.Fatal("crashed receiver did not fail the sequential run")
+		}
+		if got := run(2, crash); got != want {
+			t.Fatalf("crash=%v partitioned run diverged:\n got  %+v\n want %+v", crash, got, want)
+		}
+	}
+}
+
+// TestPartitionResetReuse pins Reset-reused partitioned machines: every
+// round on a reused machine must equal the fresh sequential result.
+func TestPartitionResetReuse(t *testing.T) {
+	want := normLatency(measureStoreLatencyOn(New(partCfg(1, 0)), 0, 15))
+	m := New(partCfg(3, 42))
+	for round := 0; round < 3; round++ {
+		if round > 0 {
+			m.Reset()
+		}
+		if got := normLatency(measureStoreLatencyOn(m, 0, 15)); got != want {
+			t.Fatalf("round %d: got %+v want %+v", round, got, want)
+		}
+	}
+}
+
+// TestPartitionSweepCompose pins the two parallelism levels composed:
+// an exp.Map sweep (outer workers) of partitioned machines (inner
+// engines) returns exactly what the all-sequential path returns. The
+// worker cap (exp.CapWorkers inside the sweep) must be invisible in the
+// results.
+func TestPartitionSweepCompose(t *testing.T) {
+	want := LatencySweepParallel(partCfg(1, 0), 1)
+	for i := range want {
+		want[i] = normLatency(want[i])
+	}
+	got := LatencySweepParallel(partCfg(3, 42), 4)
+	for i := range got {
+		got[i] = normLatency(got[i])
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("composed sweep diverged:\n got  %+v\n want %+v", got, want)
+	}
+}
+
+// TestPartitionDifferentialFaultSweep pins the multi-point fault sweep
+// (Reset-reused worker machines, varying drop rates) under partitioning.
+func TestPartitionDifferentialFaultSweep(t *testing.T) {
+	drops := []uint32{0, 40_000, 120_000}
+	run := func(parts int) []FaultPoint {
+		cfg := ConfigFor(2, 1, nic.GenXpress)
+		cfg.Partitions = parts
+		cfg.Faults = fault.Config{Seed: 7}
+		pts := FaultSweep(cfg, drops, 1024, 16*1024, 1)
+		for i := range pts {
+			pts[i].Events = 0
+		}
+		return pts
+	}
+	want := run(1)
+	if got := run(2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("partitioned fault sweep diverged:\n got  %+v\n want %+v", got, want)
+	}
+}
+
+// TestPartitionValidate covers the partition-specific config errors.
+func TestPartitionValidate(t *testing.T) {
+	bad := func(mut func(*Config)) error {
+		cfg := ConfigFor(2, 1, nic.GenEISAPrototype)
+		mut(&cfg)
+		return cfg.Validate()
+	}
+	if err := bad(func(c *Config) { c.Partitions = -1 }); err == nil {
+		t.Error("negative Partitions accepted")
+	}
+	if err := bad(func(c *Config) { c.Partitions = 3 }); err == nil {
+		t.Error("Partitions > NodeCount accepted")
+	}
+	if err := bad(func(c *Config) { c.Partitions = 2; c.TraceCapacity = 64 }); err == nil {
+		t.Error("tracing + partitions accepted")
+	}
+	m := New(partCfg(2, 0))
+	if _, err := m.StartGangScheduling(sim.Microsecond); err == nil {
+		t.Error("gang scheduling on a partitioned machine accepted")
+	}
+}

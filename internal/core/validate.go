@@ -20,6 +20,17 @@ func (c Config) Validate() error {
 			c.Mesh.Width, c.Mesh.Height, c.MeshWidth, c.MeshHeight)
 	}
 	n := c.NodeCount()
+	if c.Partitions < 0 {
+		return fmt.Errorf("core: %d partitions invalid", c.Partitions)
+	}
+	if c.Partitions > n {
+		return fmt.Errorf("core: %d partitions exceed %d nodes", c.Partitions, n)
+	}
+	if c.Partitions > 1 && c.TraceCapacity > 0 {
+		// The tracer is one serial event log on one engine; a partitioned
+		// machine has no single serial order to record mid-run.
+		return fmt.Errorf("core: tracing and partitioned simulation are mutually exclusive")
+	}
 	if ring := 2 * (n - 1); ring+8 > c.MemPagesPerNode {
 		return fmt.Errorf("core: %d pages/node cannot hold %d kernel ring pages plus working memory",
 			c.MemPagesPerNode, ring)

@@ -4,7 +4,7 @@
 // on the mesh, NIC outgoing-FIFO stalls, a link outage window, node
 // crash/freeze schedules — and an Injector turns it into per-event
 // decisions that are a pure function of (seed, node, stream, per-stream
-// count, simulated clock). No wall-clock time and no global math/rand
+// count, decision-time clock). No wall-clock time and no global math/rand
 // state is ever consulted, so a given seed reproduces the exact same
 // fault pattern on every run, after Machine.Reset, and across parallel
 // sweep workers.
@@ -165,13 +165,12 @@ const (
 // *Injector unconditionally and pay one nil/zero check on hot paths.
 type Injector struct {
 	cfg    Config
-	eng    *sim.Engine
 	counts [][numStreams]uint64 // per-node decision counters
 }
 
 // NewInjector builds an injector for a machine of nodes nodes.
-func NewInjector(eng *sim.Engine, cfg Config, nodes int) *Injector {
-	return &Injector{cfg: cfg, eng: eng, counts: make([][numStreams]uint64, nodes)}
+func NewInjector(cfg Config, nodes int) *Injector {
+	return &Injector{cfg: cfg, counts: make([][numStreams]uint64, nodes)}
 }
 
 // Config returns the injector's configuration; nil-safe (zero Config).
@@ -204,41 +203,45 @@ func splitmix(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
-// roll draws one decision for (node, stream): true with probability
-// ppm/1e6. The hash key mixes the seed, node, stream, that stream's
-// per-node counter, and the simulated clock — deterministic state only.
-func (i *Injector) roll(node, stream int, ppm uint32) bool {
+// roll draws one decision for (node, stream) at simulated time now:
+// true with probability ppm/1e6. The hash key mixes the seed, node,
+// stream, that stream's per-node counter, and the caller's clock —
+// deterministic state only. Callers pass their own engine's Now so a
+// partitioned machine (where the mesh and each node run on different
+// engines) draws the same decisions as a sequential one.
+func (i *Injector) roll(node, stream int, ppm uint32, now sim.Time) bool {
 	if i == nil || ppm == 0 {
 		return false
 	}
 	c := &i.counts[node][stream]
 	*c++
 	h := splitmix(i.cfg.Seed ^ uint64(node)<<48 ^ uint64(stream)<<40 ^ *c)
-	h = splitmix(h ^ uint64(i.eng.Now()))
+	h = splitmix(h ^ uint64(now))
 	return h%1_000_000 < uint64(ppm)
 }
 
-// DropPacket decides whether a packet injected by node is lost in
-// flight; nil-safe.
-func (i *Injector) DropPacket(node int) bool {
-	return i.roll(node, streamDrop, i.configDrop())
+// DropPacket decides whether a packet injected by node at time now is
+// lost in flight; nil-safe.
+func (i *Injector) DropPacket(node int, now sim.Time) bool {
+	return i.roll(node, streamDrop, i.configDrop(), now)
 }
 
-// CorruptPacket decides whether a packet injected by node arrives
-// damaged; nil-safe.
-func (i *Injector) CorruptPacket(node int) bool {
-	return i.roll(node, streamCorrupt, i.configCorrupt())
+// CorruptPacket decides whether a packet injected by node at time now
+// arrives damaged; nil-safe.
+func (i *Injector) CorruptPacket(node int, now sim.Time) bool {
+	return i.roll(node, streamCorrupt, i.configCorrupt(), now)
 }
 
-// DupPacket decides whether a packet injected by node is delivered
-// twice; nil-safe.
-func (i *Injector) DupPacket(node int) bool {
-	return i.roll(node, streamDup, i.configDup())
+// DupPacket decides whether a packet injected by node at time now is
+// delivered twice; nil-safe.
+func (i *Injector) DupPacket(node int, now sim.Time) bool {
+	return i.roll(node, streamDup, i.configDup(), now)
 }
 
-// StallOut decides whether node's outgoing-FIFO drain stalls; nil-safe.
-func (i *Injector) StallOut(node int) bool {
-	return i.roll(node, streamStall, i.configStall())
+// StallOut decides whether node's outgoing-FIFO drain stalls at time
+// now; nil-safe.
+func (i *Injector) StallOut(node int, now sim.Time) bool {
+	return i.roll(node, streamStall, i.configStall(), now)
 }
 
 // The config accessors below keep roll's nil check the only one on the

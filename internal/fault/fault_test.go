@@ -44,20 +44,19 @@ func TestRollDeterminism(t *testing.T) {
 		var out []bool
 		for n := 0; n < 4; n++ {
 			for k := 0; k < 64; k++ {
-				out = append(out, i.DropPacket(n), i.CorruptPacket(n), i.DupPacket(n))
+				out = append(out, i.DropPacket(n, 0), i.CorruptPacket(n, 0), i.DupPacket(n, 0))
 			}
 		}
 		return out
 	}
-	eng := sim.NewEngine()
-	a := draw(NewInjector(eng, cfg, 4))
-	b := draw(NewInjector(eng, cfg, 4))
+	a := draw(NewInjector(cfg, 4))
+	b := draw(NewInjector(cfg, 4))
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatalf("decision %d diverged", i)
 		}
 	}
-	inj := NewInjector(eng, cfg, 4)
+	inj := NewInjector(cfg, 4)
 	c := draw(inj)
 	inj.Reset()
 	d := draw(inj)
@@ -77,19 +76,18 @@ func TestRollDeterminism(t *testing.T) {
 }
 
 func TestRollRespectsRates(t *testing.T) {
-	eng := sim.NewEngine()
-	never := NewInjector(eng, Config{Seed: 9}, 1)
-	always := NewInjector(eng, Config{Seed: 9, DropPPM: 1_000_000}, 1)
+	never := NewInjector(Config{Seed: 9}, 1)
+	always := NewInjector(Config{Seed: 9, DropPPM: 1_000_000}, 1)
 	for i := 0; i < 100; i++ {
-		if never.DropPacket(0) {
+		if never.DropPacket(0, 0) {
 			t.Fatal("zero rate fired")
 		}
-		if !always.DropPacket(0) {
+		if !always.DropPacket(0, 0) {
 			t.Fatal("1e6 ppm rate missed")
 		}
 	}
 	var nilInj *Injector
-	if nilInj.DropPacket(0) || nilInj.StallOut(0) || nilInj.Reliable() {
+	if nilInj.DropPacket(0, 0) || nilInj.StallOut(0, 0) || nilInj.Reliable() {
 		t.Fatal("nil injector not inert")
 	}
 	nilInj.Reset() // must not panic

@@ -87,6 +87,8 @@ type Stats struct {
 // Kernel is one node's operating system.
 type Kernel struct {
 	eng   *sim.Engine
+	dom   sim.Domain // the node's event domain; tags harness-entered syscalls
+	sync  func()     // optional: advances eng to the machine clock before harness syscalls
 	cfg   Config
 	id    packet.NodeID
 	coord packet.Coord
@@ -146,7 +148,7 @@ type exportKey struct {
 func New(eng *sim.Engine, cfg Config, id packet.NodeID, coord packet.Coord,
 	mem *phys.Memory, xbus *bus.Xpress, n *nic.NIC, cpu *isa.CPU, box *MemBox) *Kernel {
 	k := &Kernel{
-		eng: eng, cfg: cfg, id: id, coord: coord,
+		eng: eng, dom: sim.DomNode(int(id)), cfg: cfg, id: id, coord: coord,
 		mem: mem, xbus: xbus, nic: n, cpu: cpu, box: box,
 		procs:     make(map[int]*Process),
 		nextPID:   1,
@@ -193,6 +195,22 @@ func (k *Kernel) Reset() {
 
 // ID returns the node id.
 func (k *Kernel) ID() packet.NodeID { return k.id }
+
+// SetClockSync installs a callback run at every harness syscall entry
+// (Map, GrantCommandPages, StartScheduler) before the kernel tags its
+// domain. A partitioned machine uses it to advance this node's engine
+// to the cluster clock: the sequential machine has one clock, so a
+// syscall issued between Steps must be timestamped at the globally
+// last-fired event, not at this partition's (possibly lagging) one.
+func (k *Kernel) SetClockSync(fn func()) { k.sync = fn }
+
+// enter syncs the clock (if configured) and tags the node's domain.
+func (k *Kernel) enter() sim.Domain {
+	if k.sync != nil {
+		k.sync()
+	}
+	return k.eng.EnterDomain(k.dom)
+}
 
 // Coord returns the node's mesh coordinates.
 func (k *Kernel) Coord() packet.Coord { return k.coord }

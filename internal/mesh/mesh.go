@@ -56,13 +56,33 @@ func DefaultConfig(w, h int) Config {
 	}
 }
 
+// Lookahead returns the minimum simulated delay between any fabric entry
+// (Inject, Release, SetDead) and the earliest node-visible consequence
+// (a Deliver or injector-free callback). Every delivery path streams at
+// least one flit after the entry — an unparked worm drains no earlier
+// than one WireTime (>= one FlitCycle) later, and a fresh injection also
+// pays per-hop routing first — so one flit time is a safe conservative
+// lookahead for a partitioned simulation.
+func (c Config) Lookahead() sim.Time { return c.FlitCycle }
+
 // Endpoint is the node-side consumer attached to a router's processor
 // port (the SHRIMP network interface).
+//
+// Accept and Credit run in the mesh's (hub) domain and may touch only
+// the endpoint's fabric-facing occupancy state; Deliver runs in the
+// node's domain (a partitioned machine defers it through the cluster's
+// message channel). This split is what lets the mesh run on a different
+// engine than its endpoints.
 type Endpoint interface {
 	// Accept is called when a worm's head reaches the processor port.
 	// Returning false parks the worm — it keeps holding its channels,
-	// backpressuring the mesh — until the endpoint calls Network.Unpark.
+	// backpressuring the mesh — until the endpoint calls Network.Unpark
+	// (normally via Release).
 	Accept(p *packet.Packet, wire int) bool
+	// Credit returns wire bytes of Incoming-FIFO occupancy previously
+	// claimed by Accept; Network.Release invokes it when the endpoint
+	// has finished depositing a packet.
+	Credit(wire int)
 	// Deliver is called when the worm's tail has fully drained into the
 	// endpoint (Accept returned true WireTime earlier).
 	Deliver(p *packet.Packet, wire int)
@@ -165,6 +185,12 @@ type Network struct {
 	inj   []*channel
 	ej    []*channel
 	park  []*worm // parked worm per node index (at most one: it owns the ejection channel)
+	// dead marks crashed nodes on the fabric side: the ejection port
+	// bit-buckets worms for them without consulting the endpoint. It is
+	// set through SetDead — a fabric entry — so a partitioned run learns
+	// of the crash in (time, domain) order, never early from a
+	// partition's run-ahead.
+	dead []bool
 	// injFree is called when a node's injection port frees up with no
 	// waiters; the NIC uses it to pace its outgoing FIFO drain.
 	injFree []func()
@@ -208,6 +234,7 @@ func New(eng *sim.Engine, cfg Config) *Network {
 		inj:     make([]*channel, nodes),
 		ej:      make([]*channel, nodes),
 		park:    make([]*worm, nodes),
+		dead:    make([]bool, nodes),
 		injFree: make([]func(), nodes),
 	}
 	for y := 0; y < cfg.Height; y++ {
@@ -297,6 +324,7 @@ func (n *Network) Reset() {
 		resetChannel(n.inj[i])
 		resetChannel(n.ej[i])
 		n.park[i] = nil
+		n.dead[i] = false
 	}
 	n.corruptEvery = 0
 	n.injectCount = 0
@@ -420,8 +448,12 @@ func (n *Network) putWorm(w *worm) {
 
 // Inject launches a packet from src toward p.Dst. The caller must have
 // checked InjectorBusy; injecting into a busy port queues behind the
-// current owner (permitted, but it defeats FIFO pacing).
+// current owner (permitted, but it defeats FIFO pacing). Like every
+// fabric entry it runs in the hub domain, so everything it schedules
+// carries the fabric's event-ordering rank.
 func (n *Network) Inject(src packet.Coord, p *packet.Packet, wire int) {
+	prev := n.eng.EnterDomain(sim.DomHub)
+	defer n.eng.EnterDomain(prev)
 	if !n.Contains(src) || !n.Contains(p.Dst) {
 		panic(fmt.Sprintf("mesh: inject %v->%v outside mesh", src, p.Dst))
 	}
@@ -450,25 +482,25 @@ func (n *Network) Inject(src packet.Coord, p *packet.Packet, wire int) {
 // is withheld.
 func (n *Network) rollFaults(w *worm, src packet.Coord) {
 	node := n.index(src)
+	now := n.eng.Now()
 	scope := n.reg.Node(node)
-	if n.faults.DropPacket(node) {
+	if n.faults.DropPacket(node, now) {
 		w.lost = true
 		n.stats.FaultDropped++
 		scope.Inc(obs.CtrFaultDrops)
 		n.Tracer.Record(node, trace.Drop, trace.DropFault, 0)
 	}
-	if n.faults.CorruptPacket(node) {
+	if n.faults.CorruptPacket(node, now) {
 		w.pkt.Corrupt = true
 		n.stats.FaultCorrupted++
 		scope.Inc(obs.CtrFaultCorrupts)
 	}
-	if n.faults.DupPacket(node) {
+	if n.faults.DupPacket(node, now) {
 		w.dup = true
 		n.stats.FaultDuplicated++
 		scope.Inc(obs.CtrFaultDups)
 	}
 	if n.linkFault && !w.lost {
-		now := n.eng.Now()
 		for _, ch := range w.path {
 			if ch.down(now) {
 				w.lost = true
@@ -534,6 +566,14 @@ func (n *Network) arrive(w *worm) {
 		n.eng.ScheduleAfter(n.WireTime(w.wire), w)
 		return
 	}
+	if n.dead[i] {
+		// Crashed node: the fabric bit-buckets the worm — it streams in
+		// and drains normally (so the mesh cannot deadlock through the
+		// corpse) and the endpoint's Deliver discards it.
+		w.phase = phaseDrained
+		n.eng.ScheduleAfter(n.WireTime(w.wire), w)
+		return
+	}
 	if !ep.Accept(w.pkt, w.wire) {
 		w.parked = true
 		n.park[i] = w
@@ -548,8 +588,10 @@ func (n *Network) arrive(w *worm) {
 }
 
 // Unpark retries delivery of the worm parked at c, if any. Endpoints call
-// this when receive space frees up.
+// this when receive space frees up (normally through Release).
 func (n *Network) Unpark(c packet.Coord) {
+	prev := n.eng.EnterDomain(sim.DomHub)
+	defer n.eng.EnterDomain(prev)
 	i := n.index(c)
 	w := n.park[i]
 	if w == nil {
@@ -558,6 +600,52 @@ func (n *Network) Unpark(c packet.Coord) {
 	n.park[i] = nil
 	w.parked = false
 	n.arrive(w)
+}
+
+// Release is the endpoint's end-of-deposit fabric entry: it returns wire
+// bytes of Incoming-FIFO occupancy (Endpoint.Credit), completes the
+// packet's causal span (as a drop when the deposit discarded it), and
+// retries the worm parked at c now that space freed up. Bundling the
+// three keeps them a single atomic fabric action, so a partitioned run
+// replays them at exactly the sequential point.
+func (n *Network) Release(c packet.Coord, wire int, span uint64, dropped bool) {
+	prev := n.eng.EnterDomain(sim.DomHub)
+	defer n.eng.EnterDomain(prev)
+	i := n.index(c)
+	if ep := n.eps[i]; ep != nil {
+		ep.Credit(wire)
+	}
+	if dropped {
+		n.reg.SpanDropped(span, n.eng.Now())
+	} else {
+		n.reg.SpanDeposited(span, n.eng.Now())
+	}
+	w := n.park[i]
+	if w == nil {
+		return
+	}
+	n.park[i] = nil
+	w.parked = false
+	n.arrive(w)
+}
+
+// DropSpan completes a causal span as a drop at the fabric's clock. Node
+// components use it for packets discarded before they ever reached the
+// fabric (Outgoing-FIFO overflow), keeping span completion — shared
+// machine-wide state — a fabric action in partitioned runs.
+func (n *Network) DropSpan(span uint64) {
+	prev := n.eng.EnterDomain(sim.DomHub)
+	defer n.eng.EnterDomain(prev)
+	n.reg.SpanDropped(span, n.eng.Now())
+}
+
+// SetDead marks the node at c crashed on the fabric side: worms arriving
+// for it bit-bucket (drain without an endpoint offer) so the mesh cannot
+// deadlock through a dead node. One-way until Reset.
+func (n *Network) SetDead(c packet.Coord) {
+	prev := n.eng.EnterDomain(sim.DomHub)
+	defer n.eng.EnterDomain(prev)
+	n.dead[n.index(c)] = true
 }
 
 // drained fires when the accepted worm's tail has passed: release its
@@ -573,7 +661,7 @@ func (n *Network) drained(w *worm) {
 	pkt, wire := w.pkt, w.wire
 	if w.lost {
 		n.putWorm(w)
-		n.reg.SpanDropped(pkt.Span)
+		n.reg.SpanDropped(pkt.Span, n.eng.Now())
 		packet.Put(pkt)
 		return
 	}
@@ -592,13 +680,15 @@ func (n *Network) drained(w *worm) {
 		clone.Corrupt = pkt.Corrupt
 		clone.Payload = append(clone.Payload, pkt.Payload...)
 	}
-	ep := n.eps[n.index(pkt.Dst)]
+	i := n.index(pkt.Dst)
+	ep := n.eps[i]
 	n.putWorm(w)
 	ep.Deliver(pkt, wire)
 	if clone != nil {
 		// The duplicate pays its own Incoming-FIFO accounting; if the
-		// FIFO refuses it, the copy dies to backpressure.
-		if ep.Accept(clone, wire) {
+		// FIFO refuses it, the copy dies to backpressure. A dead node
+		// bit-buckets the copy like the original (no occupancy claimed).
+		if n.dead[i] || ep.Accept(clone, wire) {
 			ep.Deliver(clone, wire)
 		} else {
 			packet.Put(clone)

@@ -27,6 +27,8 @@ func (c *collector) Accept(p *packet.Packet, wire int) bool {
 	return true
 }
 
+func (c *collector) Credit(wire int) {}
+
 func (c *collector) Deliver(p *packet.Packet, wire int) { c.got = append(c.got, p) }
 
 func build(t *testing.T, w, h int) (*sim.Engine, *Network, [][]*collector) {

@@ -116,7 +116,7 @@ func (b *Barrier) Sync() error {
 		}
 		return true
 	}
-	if ok := b.m.Eng.RunWhile(func() bool { return !allArrived() }); !ok && !allArrived() {
+	if ok := b.m.RunWhile(func() bool { return !allArrived() }); !ok && !allArrived() {
 		return fmt.Errorf("msg: barrier deadlock waiting for arrivals")
 	}
 	// Root releases everyone.
@@ -140,7 +140,7 @@ func (b *Barrier) Sync() error {
 		}
 		return true
 	}
-	if ok := b.m.Eng.RunWhile(func() bool { return !released() }); !ok && !released() {
+	if ok := b.m.RunWhile(func() bool { return !released() }); !ok && !released() {
 		return fmt.Errorf("msg: barrier deadlock waiting for release")
 	}
 	return nil

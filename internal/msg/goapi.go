@@ -77,7 +77,7 @@ func NewChannel(m *core.Machine, snd, rcv Endpoint, pages int) (*Channel, error)
 
 // await steps the simulation until cond holds.
 func (c *Channel) await(cond func() bool) error {
-	if ok := c.m.Eng.RunWhile(func() bool { return !cond() }); !ok && !cond() {
+	if ok := c.m.RunWhile(func() bool { return !cond() }); !ok && !cond() {
 		return fmt.Errorf("msg: channel deadlock: nothing left to simulate")
 	}
 	return nil
@@ -187,7 +187,7 @@ func (c *DoubleChannel) Send(b []byte) error {
 		v, err := c.snd.Node.UserRead32(c.snd.Proc, flag)
 		return err == nil && v == 0
 	}
-	if ok := c.m.Eng.RunWhile(func() bool { return !free() }); !ok && !free() {
+	if ok := c.m.RunWhile(func() bool { return !free() }); !ok && !free() {
 		return fmt.Errorf("msg: double channel deadlock on send")
 	}
 	if err := c.snd.Node.UserWriteBytes(c.snd.Proc, buf, b); err != nil {
@@ -215,7 +215,7 @@ func (c *DoubleChannel) Recv() ([]byte, error) {
 		n = v
 		return v != 0
 	}
-	if ok := c.m.Eng.RunWhile(func() bool { return !arrived() }); !ok && !arrived() {
+	if ok := c.m.RunWhile(func() bool { return !arrived() }); !ok && !arrived() {
 		return nil, fmt.Errorf("msg: double channel deadlock on recv")
 	}
 	out := make([]byte, n)
@@ -292,11 +292,11 @@ func (b *BlockSender) Send(off, nbytes int) error {
 		}
 		words := uint32((chunk + 3) / 4)
 		for {
-			_, swapped, _ := b.snd.Node.Cache.LockedCmpxchg(tr.PA, 0, words)
+			_, swapped, _ := b.snd.Node.LockedCmpxchg(tr.PA, 0, words)
 			if swapped {
 				break
 			}
-			if !b.m.Eng.Step() {
+			if !b.m.Step() {
 				return fmt.Errorf("msg: DMA engine wedged")
 			}
 		}
@@ -313,8 +313,7 @@ func (b *BlockSender) Done() bool {
 	if f != nil {
 		return false
 	}
-	v, _ := b.snd.Node.Cache.Load(tr.PA, 4)
-	return v == 0
+	return b.snd.Node.CacheRead32(tr.PA) == 0
 }
 
 // Read copies data out of the receiver-side region.

@@ -1,0 +1,30 @@
+package msg
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/nic"
+)
+
+// TestTable1PartitionDifferential pins the full Table 1 reproduction —
+// hand-written ISA programs, spin loops, kernel ring traffic — on a
+// partitioned machine against the sequential one, with the superblock
+// trace cache both on and off: instruction counts are pure simulated
+// results, so they must be bit-identical at any partition count.
+func TestTable1PartitionDifferential(t *testing.T) {
+	run := func(parts int, traceCache bool) []Overhead {
+		cfg := core.ConfigFor(2, 1, nic.GenEISAPrototype)
+		cfg.Partitions = parts
+		cfg.CPU.TraceCache = traceCache
+		return MeasureTable1Cfg(cfg)
+	}
+	for _, traceCache := range []bool{true, false} {
+		want := run(1, traceCache)
+		if got := run(2, traceCache); !reflect.DeepEqual(got, want) {
+			t.Fatalf("traceCache=%v: partitioned Table 1 diverged:\n got  %+v\n want %+v",
+				traceCache, got, want)
+		}
+	}
+}

@@ -14,7 +14,7 @@ import (
 func storeBench(b *testing.B, armed bool) {
 	r := newRig(b, DefaultConfig())
 	if armed {
-		inj := fault.NewInjector(r.eng, fault.Config{Seed: 42}, 2)
+		inj := fault.NewInjector(fault.Config{Seed: 42}, 2)
 		r.nics[0].SetFaults(inj)
 		r.nics[1].SetFaults(inj)
 		r.net.SetFaults(inj)

@@ -67,7 +67,7 @@ func TestInjectedStallDelaysDrain(t *testing.T) {
 	deliverAt := func(stallPPM uint32) (sim.Time, Stats) {
 		r := newRig(t, DefaultConfig())
 		if stallPPM > 0 {
-			inj := fault.NewInjector(r.eng, fault.Config{Seed: 7, StallPPM: stallPPM}, 2)
+			inj := fault.NewInjector(fault.Config{Seed: 7, StallPPM: stallPPM}, 2)
 			r.nics[0].SetFaults(inj)
 			r.net.SetFaults(inj)
 		}

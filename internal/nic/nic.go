@@ -140,6 +140,28 @@ type Stats struct {
 	AUSeqGaps      uint64 // automatic-update sequence gaps observed
 }
 
+// Network is the routing backplane as the NIC sees it. *mesh.Network
+// implements it directly (the sequential machine); a partitioned
+// machine installs a per-node proxy whose mutating entries post to the
+// fabric coordinator instead, so node events never touch fabric state.
+// Attach and OnInjectorFree are build-time wiring; the rest are
+// runtime fabric actions.
+type Network interface {
+	Attach(c packet.Coord, ep mesh.Endpoint)
+	OnInjectorFree(c packet.Coord, fn func())
+	// Inject starts a worm carrying p from src into the backplane.
+	Inject(src packet.Coord, p *packet.Packet, wire int)
+	// Release returns wire bytes of Incoming-FIFO occupancy (via
+	// Endpoint.Credit), completes the packet's span, and retries the
+	// parked worm, as one fabric action.
+	Release(c packet.Coord, wire int, span uint64, dropped bool)
+	// DropSpan completes a span as a drop for a packet discarded before
+	// it reached the fabric.
+	DropSpan(span uint64)
+	// SetDead bit-buckets future worms arriving for c.
+	SetDead(c packet.Coord)
+}
+
 // IRQCause identifies why the NIC interrupted the CPU.
 type IRQCause uint8
 
@@ -159,7 +181,18 @@ type NIC struct {
 	table *nipt.Table
 	xbus  *bus.Xpress
 	eisa  *bus.EISA
-	net   *mesh.Network
+	net   Network
+	// fab is the engine whose event stream runs the fabric (and hence
+	// the mesh-facing endpoint methods). It is eng itself in a
+	// sequential machine; a partitioned machine points it at the
+	// coordinator's hub engine.
+	fab *sim.Engine
+	// dom is this node's event domain. Every event the NIC schedules is
+	// tagged with it explicitly: NIC pipelines can be kicked from event
+	// chains carrying another node's domain (e.g. a deposit chain that
+	// triggers an IRQ reply), and inheriting that foreign domain would
+	// let two same-instant FIFO enqueues fire out of schedule order.
+	dom sim.Domain
 
 	// OnIRQ is the interrupt line to the CPU/kernel: cause plus the
 	// physical page the interrupt concerns.
@@ -232,7 +265,8 @@ type injectEvent struct{ n *NIC }
 func (ev *injectEvent) Fire() {
 	n := ev.n
 	head := n.out.q.peek()
-	n.obs.SpanInjected(head.pkt.Span)
+	n.out.injectFired = true
+	n.obs.SpanInjected(head.pkt.Span, n.eng.Now())
 	n.net.Inject(n.coord, head.pkt, head.wire)
 }
 
@@ -276,20 +310,31 @@ type outState struct {
 	injecting bool
 	stalled   bool
 	stallFrom sim.Time
+	// injectAt/injectFired track the pending injectEvent for the
+	// partition-lookahead probe (EarliestPost): the exact scheduled
+	// injection instant, and whether it has already fired (worm in
+	// flight, next injection gated on the injector-free callback).
+	injectAt    sim.Time
+	injectFired bool
 }
 
 type inState struct {
 	q          pktQueue
 	bytes      int
 	depositing bool
+	// nextAt is the scheduled time of the deposit pipeline's next event
+	// (depositEv or finishEv) while depositing — the earliest instant
+	// the pipeline can call Network.Release.
+	nextAt sim.Time
 }
 
 // New builds a network interface and attaches it to the backplane and
 // memory bus.
 func New(eng *sim.Engine, cfg Config, node packet.NodeID, coord packet.Coord,
-	table *nipt.Table, xbus *bus.Xpress, eisa *bus.EISA, net *mesh.Network) *NIC {
+	table *nipt.Table, xbus *bus.Xpress, eisa *bus.EISA, net Network) *NIC {
 	n := &NIC{
-		eng: eng, cfg: cfg, node: node, coord: coord,
+		eng: eng, fab: eng, cfg: cfg, node: node, coord: coord,
+		dom: sim.DomNode(int(node)),
 		table: table, xbus: xbus, eisa: eisa, net: net,
 	}
 	n.injectEv.n = n
@@ -327,11 +372,40 @@ func (n *NIC) SetFaults(inj *fault.Injector) {
 	}
 }
 
+// SetFabricEngine points the NIC at the engine that runs the fabric's
+// event stream. The mesh-facing endpoint methods (Accept, Credit)
+// execute there, so their clock reads and failure reports must use it;
+// New defaults it to the NIC's own engine (the sequential machine).
+func (n *NIC) SetFabricEngine(e *sim.Engine) { n.fab = e }
+
 // SetDead marks the node as crashed: the NIC stops delivering arriving
-// packets (bit-bucketing worms so the mesh cannot deadlock) and sends
-// nothing further. Senders with reliable delivery exhaust their retry
-// budget against a dead peer and raise a machine check.
-func (n *NIC) SetDead() { n.dead = true }
+// packets (the fabric bit-buckets its worms so the mesh cannot
+// deadlock) and sends nothing further. Senders with reliable delivery
+// exhaust their retry budget against a dead peer and raise a machine
+// check.
+func (n *NIC) SetDead() {
+	n.dead = true
+	n.net.SetDead(n.coord)
+}
+
+// EarliestPost lower-bounds the next instant this NIC can invoke a
+// fabric action that leads to cross-node traffic (Network.Inject or
+// Network.Release) — the per-node half of the partitioned machine's
+// conservative lookahead. An armed injection and an active deposit
+// pipeline are tracked exactly; any fresh injection needs a node event
+// to fire first (>= now) and then the FIFO+setup latency. Only a lower
+// bound is required: underestimates shrink the window, overestimates
+// would break it.
+func (n *NIC) EarliestPost() sim.Time {
+	t := n.eng.Now() + n.cfg.OutFIFOLatency + n.cfg.InjectSetup
+	if n.out.injecting && !n.out.injectFired && n.out.injectAt < t {
+		t = n.out.injectAt
+	}
+	if n.in.depositing && n.in.nextAt < t {
+		t = n.in.nextAt
+	}
+	return t
+}
 
 // Dead reports whether the node has been crashed by fault injection.
 func (n *NIC) Dead() bool { return n.dead }
@@ -394,8 +468,11 @@ func (n *NIC) Reset() {
 	n.out.injecting = false
 	n.out.stalled = false
 	n.out.stallFrom = 0
+	n.out.injectAt = 0
+	n.out.injectFired = false
 	n.in.bytes = 0
 	n.in.depositing = false
+	n.in.nextAt = 0
 	chunkBuf := n.dma.chunkBuf
 	n.dma = dmaState{chunkBuf: chunkBuf}
 	if o := n.merge.open; o != nil {
@@ -478,7 +555,7 @@ func (n *NIC) emit(m *nipt.OutMapping, remote phys.PAddr, payload []byte, srcPag
 	}
 	ev.p = p
 	ev.wire = p.WireSize()
-	n.eng.ScheduleAfter(n.cfg.SnoopPacketize, ev)
+	n.eng.ScheduleAfterDom(n.dom, n.cfg.SnoopPacketize, ev)
 }
 
 func (n *NIC) enqueueOut(p *packet.Packet, wire int) {
@@ -492,13 +569,13 @@ func (n *NIC) enqueueOut(p *packet.Packet, wire int) {
 			Node: int(n.node), Kind: fault.CheckOutFIFOOverflow, At: n.eng.Now(),
 			Detail: fmt.Sprintf("%d+%d > %d bytes", n.out.bytes, wire, n.cfg.OutFIFOBytes),
 		})
-		n.obs.SpanDropped(p.Span)
+		n.net.DropSpan(p.Span)
 		packet.Put(p)
 		return
 	}
 	n.out.q.push(queuedPacket{p, wire})
 	n.out.bytes += wire
-	n.obs.SpanEnqueued(p.Span)
+	n.obs.SpanEnqueued(p.Span, n.eng.Now())
 	n.scope.Set(obs.GaugeOutFIFOBytes, int64(n.out.bytes))
 	n.scope.Observe(obs.HistOutFIFODepth, uint64(n.out.bytes))
 	if n.out.bytes > n.stats.MaxOutFIFOBytes {
@@ -526,12 +603,14 @@ func (n *NIC) drainOut() {
 	}
 	n.out.injecting = true
 	delay := n.cfg.OutFIFOLatency + n.cfg.InjectSetup
-	if n.inj != nil && n.inj.StallOut(int(n.node)) {
+	if n.inj != nil && n.inj.StallOut(int(n.node), n.eng.Now()) {
 		delay += n.inj.StallTime()
 		n.stats.FaultStalls++
 		n.scope.Inc(obs.CtrFaultStalls)
 	}
-	n.eng.ScheduleAfter(delay, &n.injectEv)
+	n.out.injectAt = n.eng.Now() + delay
+	n.out.injectFired = false
+	n.eng.ScheduleAfterDom(n.dom, delay, &n.injectEv)
 }
 
 // injectorFree fires when the injected worm's tail has left this node:

@@ -20,14 +20,14 @@ type endpoint NIC
 // Once the Incoming FIFO exceeds its programmable threshold the NIC
 // ceases to accept packets from the network; the parked worm holds its
 // channels and backpressures the mesh (§4).
+// Accept, like Credit below, executes on the fabric's event stream
+// (n.fab): Incoming-FIFO occupancy is fabric-owned state, claimed here
+// and returned by Credit, so a partitioned machine never has a node
+// worker and the coordinator touching it at once. (Crashed nodes never
+// reach Accept — the fabric bit-buckets their worms; see
+// Network.SetDead.)
 func (e *endpoint) Accept(p *packet.Packet, wire int) bool {
 	n := (*NIC)(e)
-	if n.dead {
-		// A crashed node's NIC bit-buckets arriving worms (no FIFO
-		// accounting; Deliver discards) so the mesh cannot deadlock on
-		// channels held through a dead endpoint.
-		return true
-	}
 	if n.in.bytes >= n.cfg.InThreshold {
 		return false
 	}
@@ -35,8 +35,8 @@ func (e *endpoint) Accept(p *packet.Packet, wire int) bool {
 		// Threshold headroom must cover a maximum-size packet; raise a
 		// machine check (a mis-sized model, not a recoverable fault) and
 		// refuse the worm, which parks until the failure surfaces.
-		n.eng.Fail(&fault.MachineCheck{
-			Node: int(n.node), Kind: fault.CheckInFIFOHeadroom, At: n.eng.Now(),
+		n.fab.Fail(&fault.MachineCheck{
+			Node: int(n.node), Kind: fault.CheckInFIFOHeadroom, At: n.fab.Now(),
 			Detail: fmt.Sprintf("%d+%d > %d bytes", n.in.bytes, wire, n.cfg.InFIFOBytes),
 		})
 		return false
@@ -50,19 +50,30 @@ func (e *endpoint) Accept(p *packet.Packet, wire int) bool {
 	return true
 }
 
+// Credit implements mesh.Endpoint: Network.Release returns the wire
+// bytes of Incoming-FIFO occupancy that Accept claimed. Fabric event
+// stream, like Accept.
+func (e *endpoint) Credit(wire int) {
+	n := (*NIC)(e)
+	n.in.bytes -= wire
+	n.scope.Set(obs.GaugeInFIFOBytes, int64(n.in.bytes))
+}
+
 // Deliver implements mesh.Endpoint: the worm has fully streamed into the
 // Incoming FIFO.
 func (e *endpoint) Deliver(p *packet.Packet, wire int) {
 	n := (*NIC)(e)
 	if n.dead {
+		// The fabric bit-bucketed this worm without claiming FIFO space
+		// (see Network.SetDead), so there is nothing to Credit back.
 		n.stats.DropDead++
 		n.Tracer.Record(int(n.node), trace.Drop, trace.DropNodeDead, uint64(p.DstAddr.Page()))
-		n.obs.SpanDropped(p.Span)
+		n.net.DropSpan(p.Span)
 		n.scope.Inc(obs.CtrDrops)
 		packet.Put(p)
 		return
 	}
-	n.obs.SpanDelivered(p.Span)
+	n.obs.SpanDelivered(p.Span, n.eng.Now())
 	n.in.q.push(queuedPacket{p, wire})
 	n.deposit()
 }
@@ -103,7 +114,8 @@ func (n *NIC) deposit() {
 	}
 	n.in.depositing = true
 	n.depositQP = n.in.q.pop()
-	n.eng.ScheduleAfter(n.cfg.InFIFOLatency, &n.depositEv)
+	n.in.nextAt = n.eng.Now() + n.cfg.InFIFOLatency
+	n.eng.ScheduleAfterDom(n.dom, n.cfg.InFIFOLatency, &n.depositEv)
 }
 
 func (n *NIC) depositPacket(q queuedPacket) {
@@ -143,24 +155,24 @@ func (n *NIC) depositPacket(q queuedPacket) {
 	if n.cfg.Generation == GenEISAPrototype {
 		done = n.eisa.DMAWrite(p.DstAddr, p.Payload)
 		n.finishEv.xpress = false
-		n.eng.Schedule(done, &n.finishEv)
+		n.in.nextAt = done
+		n.eng.ScheduleDom(n.dom, done, &n.finishEv)
 		return
 	}
 	// Next generation: the NIC masters the Xpress bus directly.
 	done = n.eng.Now() + n.cfg.XpressDepositSetup + sim.PerByte(n.cfg.XpressDepositRate, len(p.Payload))
 	n.finishEv.xpress = true
-	n.eng.Schedule(done, &n.finishEv)
+	n.in.nextAt = done
+	n.eng.ScheduleDom(n.dom, done, &n.finishEv)
 }
 
-// finishDeposit releases FIFO space, raises any arrival interrupt,
-// recycles the packet, and resumes both the deposit pipeline and any
-// parked worm.
+// finishDeposit raises any arrival interrupt, recycles the packet,
+// returns the packet's FIFO space through the fabric (Network.Release,
+// which also completes the span and retries the parked worm), and
+// resumes the deposit pipeline.
 func (n *NIC) finishDeposit(q queuedPacket, delivered bool) {
-	n.in.bytes -= q.wire
 	n.in.depositing = false
-	n.scope.Set(obs.GaugeInFIFOBytes, int64(n.in.bytes))
 	if delivered {
-		n.obs.SpanDeposited(q.pkt.Span)
 		n.stats.PacketsIn++
 		n.stats.BytesIn += uint64(len(q.pkt.Payload))
 		n.scope.Inc(obs.CtrPacketsIn)
@@ -186,15 +198,16 @@ func (n *NIC) finishDeposit(q queuedPacket, delivered bool) {
 			}
 		}
 	} else {
-		n.obs.SpanDropped(q.pkt.Span)
 		n.scope.Inc(obs.CtrDrops)
 	}
+	span := q.pkt.Span
 	// The payload has been deposited (or dropped); this NIC holds the
 	// last reference, so the packet returns to the pool for the next
 	// snooped store anywhere in the machine.
 	packet.Put(q.pkt)
-	// FIFO space freed: a parked worm may now be accepted.
-	n.net.Unpark(n.coord)
+	// FIFO space freed and span complete: one fabric action, which also
+	// lets a parked worm in.
+	n.net.Release(n.coord, q.wire, span, !delivered)
 	n.deposit()
 }
 
@@ -203,11 +216,9 @@ func (n *NIC) finishDeposit(q queuedPacket, delivered bool) {
 // the data-path accounting (control traffic is neither delivered data
 // nor a drop).
 func (n *NIC) finishControl(q queuedPacket) {
-	n.in.bytes -= q.wire
 	n.in.depositing = false
-	n.scope.Set(obs.GaugeInFIFOBytes, int64(n.in.bytes))
-	n.obs.SpanDeposited(q.pkt.Span)
+	span := q.pkt.Span
 	packet.Put(q.pkt)
-	n.net.Unpark(n.coord)
+	n.net.Release(n.coord, q.wire, span, false)
 	n.deposit()
 }

@@ -320,7 +320,7 @@ func (f *relFlow) arm() {
 	}
 	ev.f = f
 	ev.gen = f.gen
-	f.n.eng.ScheduleAfter(f.rto, ev)
+	f.n.eng.ScheduleAfterDom(f.n.dom, f.rto, ev)
 }
 
 // fire is the retransmission timeout: no ACK progress within rto.
@@ -431,7 +431,7 @@ func (rc *relRecv) bumpAck() {
 	}
 	ev.r = rc
 	ev.gen = rc.gen
-	rc.n.eng.ScheduleAfter(fault.AckDelay, ev)
+	rc.n.eng.ScheduleAfterDom(rc.n.dom, fault.AckDelay, ev)
 }
 
 func (rc *relRecv) sendAck() {

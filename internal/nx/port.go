@@ -127,7 +127,7 @@ func (p *Port) block(cond func() (bool, error)) error {
 		if ok {
 			return nil
 		}
-		if !p.m.Eng.Step() {
+		if !p.m.Step() {
 			return fmt.Errorf("nx: deadlock: nothing left to simulate")
 		}
 	}

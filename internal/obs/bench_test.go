@@ -28,10 +28,10 @@ func (h *instrumentedHandler) Fire() {
 	h.s.Observe(HistOutFIFODepth, uint64(h.left&1023))
 	h.l.Take(8)
 	ref := h.r.BeginSpan(0, 1, 64, SpanSingleWrite, h.e.Now())
-	h.r.SpanEnqueued(ref)
-	h.r.SpanInjected(ref)
-	h.r.SpanDelivered(ref)
-	h.r.SpanDeposited(ref)
+	h.r.SpanEnqueued(ref, h.e.Now())
+	h.r.SpanInjected(ref, h.e.Now())
+	h.r.SpanDelivered(ref, h.e.Now())
+	h.r.SpanDeposited(ref, h.e.Now())
 	h.e.ScheduleAfter(10, h)
 }
 
@@ -41,7 +41,7 @@ func (h *instrumentedHandler) Fire() {
 // instrumentation must never allocate on the hot path.
 func BenchmarkEngineMetrics(b *testing.B) {
 	e := sim.NewEngine()
-	r := New(e, 4, 256)
+	r := New(4, 256)
 	handlers := make([]*instrumentedHandler, 64)
 	for i := range handlers {
 		handlers[i] = &instrumentedHandler{

@@ -13,10 +13,11 @@
 //     records nothing, so components carry optional instrumentation
 //     without checks at every call site. Metrics are compiled in but
 //     off by default (core.Config.Metrics).
-//   - Observation only. Recording reads the clock but never schedules
-//     events or advances time, so enabling metrics cannot change any
-//     simulated result — the differential tests in internal/core
-//     enforce bit-identical outputs with metrics on and off.
+//   - Observation only. Recording takes timestamps from its callers and
+//     never schedules events or advances time, so enabling metrics
+//     cannot change any simulated result — the differential tests in
+//     internal/core enforce bit-identical outputs with metrics on and
+//     off.
 //   - Reset support. Registry.Reset returns every counter, histogram,
 //     link stat and span table to its just-built state in place, so the
 //     sweep harnesses' machine-reuse pools stay bit-identical.
@@ -400,21 +401,22 @@ const DefaultSpanCapacity = 8192
 // node, one LinkStat per registered mesh channel, and the causal span
 // table. A nil *Registry is valid and records nothing.
 type Registry struct {
-	eng   *sim.Engine
 	nodes []NodeScope
 	links []*LinkStat
 	spans spanTable
 }
 
 // New builds a registry for a machine of the given node count. spanCap
-// bounds both in-flight and retained-completed spans (<= 0 selects
-// DefaultSpanCapacity).
-func New(eng *sim.Engine, nodes, spanCap int) *Registry {
+// bounds each node's in-flight spans and the retained-completed ring
+// (<= 0 selects DefaultSpanCapacity). The registry holds no engine
+// reference: span stages take explicit timestamps, so one registry
+// serves every partition of a partitioned machine.
+func New(nodes, spanCap int) *Registry {
 	if spanCap <= 0 {
 		spanCap = DefaultSpanCapacity
 	}
-	r := &Registry{eng: eng, nodes: make([]NodeScope, nodes)}
-	r.spans.init(spanCap)
+	r := &Registry{nodes: make([]NodeScope, nodes)}
+	r.spans.init(nodes, spanCap)
 	return r
 }
 

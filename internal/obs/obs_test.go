@@ -30,8 +30,8 @@ func TestNilSafety(t *testing.T) {
 	if ref := r.BeginSpan(0, 1, 4, SpanSingleWrite, 0); ref != 0 {
 		t.Fatal("nil registry minted a span")
 	}
-	r.SpanEnqueued(0)
-	r.SpanDeposited(0)
+	r.SpanEnqueued(0, 0)
+	r.SpanDeposited(0, 0)
 	r.Reset()
 	if snap := r.Snapshot(); len(snap.Nodes) != 0 {
 		t.Fatal("nil snapshot non-empty")
@@ -102,19 +102,19 @@ func TestHistogram(t *testing.T) {
 
 func TestSpanLifecycle(t *testing.T) {
 	eng := sim.NewEngine()
-	r := New(eng, 4, 16)
+	r := New(4, 16)
 	ref := r.BeginSpan(1, 3, 64, SpanBlockedWrite, eng.Now())
 	if ref == 0 {
 		t.Fatal("no ref")
 	}
 	eng.Advance(100)
-	r.SpanEnqueued(ref)
+	r.SpanEnqueued(ref, eng.Now())
 	eng.Advance(200)
-	r.SpanInjected(ref)
+	r.SpanInjected(ref, eng.Now())
 	eng.Advance(300)
-	r.SpanDelivered(ref)
+	r.SpanDelivered(ref, eng.Now())
 	eng.Advance(400)
-	r.SpanDeposited(ref)
+	r.SpanDeposited(ref, eng.Now())
 
 	spans := r.CompletedSpans()
 	if len(spans) != 1 {
@@ -146,13 +146,13 @@ func TestSpanLifecycle(t *testing.T) {
 
 func TestSpanDropAndTruncation(t *testing.T) {
 	eng := sim.NewEngine()
-	r := New(eng, 2, 2)
+	r := New(2, 2)
 	// Dropped span: total histogram must NOT be fed.
 	ref := r.BeginSpan(0, 1, 4, SpanSingleWrite, eng.Now())
-	r.SpanEnqueued(ref)
-	r.SpanInjected(ref)
-	r.SpanDelivered(ref)
-	r.SpanDropped(ref)
+	r.SpanEnqueued(ref, eng.Now())
+	r.SpanInjected(ref, eng.Now())
+	r.SpanDelivered(ref, eng.Now())
+	r.SpanDropped(ref, eng.Now())
 	if r.Node(0).Hist(HistStageTotal).Count != 0 {
 		t.Fatal("dropped span fed total histogram")
 	}
@@ -173,7 +173,7 @@ func TestSpanDropAndTruncation(t *testing.T) {
 		t.Fatalf("truncated %d", trunc)
 	}
 	// Freeing one slot makes Begin succeed again.
-	r.SpanDeposited(a)
+	r.SpanDeposited(a, eng.Now())
 	if c := r.BeginSpan(0, 1, 4, SpanSingleWrite, 0); c == 0 {
 		t.Fatal("slot not recycled")
 	}
@@ -181,10 +181,10 @@ func TestSpanDropAndTruncation(t *testing.T) {
 
 func TestCompletedRingWraparound(t *testing.T) {
 	eng := sim.NewEngine()
-	r := New(eng, 1, 4)
+	r := New(1, 4)
 	for i := 0; i < 10; i++ {
 		ref := r.BeginSpan(0, 0, i, SpanSingleWrite, eng.Now())
-		r.SpanDeposited(ref)
+		r.SpanDeposited(ref, eng.Now())
 	}
 	spans := r.CompletedSpans()
 	if len(spans) != 4 {
@@ -199,7 +199,7 @@ func TestCompletedRingWraparound(t *testing.T) {
 
 func TestRegistryReset(t *testing.T) {
 	eng := sim.NewEngine()
-	r := New(eng, 2, 8)
+	r := New(2, 8)
 	fresh := r.Snapshot()
 	l := r.Link("inj(0,0)")
 
@@ -209,7 +209,7 @@ func TestRegistryReset(t *testing.T) {
 	l.Take(3)
 	l.Wait(2)
 	ref := r.BeginSpan(0, 1, 4, SpanSingleWrite, eng.Now())
-	r.SpanDeposited(ref)
+	r.SpanDeposited(ref, eng.Now())
 	r.BeginSpan(0, 1, 4, SpanSingleWrite, eng.Now()) // left active
 
 	r.Reset()
@@ -222,15 +222,14 @@ func TestRegistryReset(t *testing.T) {
 	}
 	// Span IDs restart, so a reset machine is bit-identical to a fresh one.
 	ref = r.BeginSpan(0, 1, 4, SpanSingleWrite, eng.Now())
-	r.SpanDeposited(ref)
+	r.SpanDeposited(ref, eng.Now())
 	if spans := r.CompletedSpans(); spans[0].ID != 1 {
 		t.Fatalf("post-reset span ID %d", spans[0].ID)
 	}
 }
 
 func TestSnapshotOmitsZeros(t *testing.T) {
-	eng := sim.NewEngine()
-	r := New(eng, 2, 8)
+	r := New(2, 8)
 	r.Node(0).Inc(CtrDrops)
 	snap := r.Snapshot()
 	if len(snap.Nodes) != 2 {
@@ -253,16 +252,16 @@ func TestSnapshotOmitsZeros(t *testing.T) {
 
 func TestWriteChromeTrace(t *testing.T) {
 	eng := sim.NewEngine()
-	r := New(eng, 2, 8)
+	r := New(2, 8)
 	ref := r.BeginSpan(0, 1, 64, SpanDeliberate, eng.Now())
 	eng.Advance(150 * sim.Nanosecond)
-	r.SpanEnqueued(ref)
+	r.SpanEnqueued(ref, eng.Now())
 	eng.Advance(100 * sim.Nanosecond)
-	r.SpanInjected(ref)
+	r.SpanInjected(ref, eng.Now())
 	eng.Advance(70 * sim.Nanosecond)
-	r.SpanDelivered(ref)
+	r.SpanDelivered(ref, eng.Now())
 	eng.Advance(500 * sim.Nanosecond)
-	r.SpanDeposited(ref)
+	r.SpanDeposited(ref, eng.Now())
 
 	r.Node(0).Inc(CtrTraceHits)
 	r.Node(0).Add(CtrSpinSkippedPs, 12345)
@@ -312,7 +311,7 @@ func TestWriteChromeTrace(t *testing.T) {
 // must not allocate. (ci.sh runs it by name.)
 func TestInstrumentationZeroAlloc(t *testing.T) {
 	eng := sim.NewEngine()
-	r := New(eng, 4, 64)
+	r := New(4, 64)
 	s := r.Node(0)
 	l := r.Link("l")
 	allocs := testing.AllocsPerRun(1000, func() {
@@ -323,10 +322,10 @@ func TestInstrumentationZeroAlloc(t *testing.T) {
 		l.Take(8)
 		l.Wait(1)
 		ref := r.BeginSpan(0, 3, 64, SpanSingleWrite, eng.Now())
-		r.SpanEnqueued(ref)
-		r.SpanInjected(ref)
-		r.SpanDelivered(ref)
-		r.SpanDeposited(ref)
+		r.SpanEnqueued(ref, eng.Now())
+		r.SpanInjected(ref, eng.Now())
+		r.SpanDelivered(ref, eng.Now())
+		r.SpanDeposited(ref, eng.Now())
 	})
 	if allocs != 0 {
 		t.Fatalf("instrumentation hot path allocates: %.1f allocs/op", allocs)

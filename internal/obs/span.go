@@ -20,6 +20,14 @@ import "repro/internal/sim"
 //	Deposited payload written to destination memory (or the packet
 //	          was dropped: Dropped is set and Deposited is the drop
 //	          instant)
+//
+// Allocation is sharded per source node: minting and the send-side
+// stage stamps happen on the minting node's event stream, so in a
+// partitioned machine each partition touches only its own nodes'
+// shards. Completion (and the shared completed ring) is a fabric
+// action — routed through mesh.Release/DropSpan — and therefore runs
+// only while node phases are quiescent. Timestamps are passed in
+// explicitly because a partitioned machine has no single engine clock.
 
 // SpanKind classifies what initiated a span's transfer.
 type SpanKind uint8
@@ -77,73 +85,87 @@ type Span struct {
 	Deposited sim.Time `json:"deposited"`
 }
 
-// spanTable is the preallocated slab of in-flight spans plus the
-// bounded ring of completed ones. References handed to packets are
-// slot+1 (0 = no span), so the hot path is two array indexings.
-type spanTable struct {
-	active    []Span
-	freeList  []int32 // slots returned by finished spans
-	virgin    int     // next never-used slot; active[virgin:] is all zero
-	completed []Span  // ring of the last cap(completed) finished spans
-	next      int     // ring write position
-	nextID    uint64
-	finished  uint64 // completed spans (including dropped)
-	dropped   uint64 // completed spans that were packet drops
-	truncated uint64 // spans not tracked because the slab was full
+// spanShard is one source node's in-flight span slab. Only that node's
+// event stream allocates from it or stamps send-side stages, so shards
+// need no locks in a partitioned machine. The slab grows on demand up
+// to its capacity (it is not preallocated: a 1,024-node machine would
+// otherwise pay capacity × nodes up front).
+type spanShard struct {
+	active   []Span
+	freeList []int32 // slots returned by finished spans
+	nextID   uint64
+	truncated uint64 // spans not tracked because the shard was full
+	capacity int
 }
 
-func (t *spanTable) init(capacity int) {
-	t.active = make([]Span, capacity)
-	t.freeList = make([]int32, 0, capacity)
+// spanTable is the per-node shards plus the bounded ring of completed
+// spans. References handed to packets encode (src+1, slot+1), so the
+// hot path is two array indexings; 0 = no span.
+type spanTable struct {
+	shards    []spanShard
+	completed []Span // ring of the last cap(completed) finished spans
+	next      int    // ring write position
+	finished  uint64 // completed spans (including dropped)
+	dropped   uint64 // completed spans that were packet drops
+}
+
+func (t *spanTable) init(nodes, capacity int) {
+	t.shards = make([]spanShard, nodes)
+	for i := range t.shards {
+		t.shards[i].capacity = capacity
+	}
 	t.completed = make([]Span, 0, capacity)
 	t.reset()
 }
 
-// reset costs O(slots actually used), not O(capacity): finish() zeroes
-// each freed slot, so only the touched prefix needs clearing, and the
-// free list empties rather than refilling. Reset state is independent
-// of prior traffic, keeping Reset-reused machines bit-identical to
-// fresh ones — a sweep pool resets per point and must not pay for the
-// whole slab each time.
+// reset costs O(slots actually used): each shard's slab truncates in
+// place (capacity retained), so a sweep pool resetting per point never
+// pays for untouched capacity. Reset state is independent of prior
+// traffic, keeping Reset-reused machines bit-identical to fresh ones.
 func (t *spanTable) reset() {
-	clear(t.active[:t.virgin])
-	t.freeList = t.freeList[:0]
-	t.virgin = 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		clear(sh.active)
+		sh.active = sh.active[:0]
+		sh.freeList = sh.freeList[:0]
+		sh.nextID = 0
+		sh.truncated = 0
+	}
 	t.completed = t.completed[:0]
 	t.next = 0
-	t.nextID = 0
 	t.finished = 0
 	t.dropped = 0
-	t.truncated = 0
 }
 
-// BeginSpan mints a span and returns its reference for the packet (0
-// when untracked: nil registry or slab exhausted). start may precede
-// the current time (blocked-write packets start at their first merged
-// store).
+// BeginSpan mints a span on src's shard and returns its reference for
+// the packet (0 when untracked: nil registry or shard exhausted). start
+// may precede the current time (blocked-write packets start at their
+// first merged store). Span IDs are (src, per-shard sequence) so they
+// are unique and identical at any partition count.
 func (r *Registry) BeginSpan(src, dst, bytes int, kind SpanKind, start sim.Time) uint64 {
 	if r == nil {
 		return 0
 	}
+	sh := &r.spans.shards[src]
 	// Freed slots are reused first, then never-used ones — the same
 	// ascending order a pre-filled descending free list would hand out.
-	t := &r.spans
 	var slot int32
-	if n := len(t.freeList); n > 0 {
-		slot = t.freeList[n-1]
-		t.freeList = t.freeList[:n-1]
-	} else if t.virgin < len(t.active) {
-		slot = int32(t.virgin)
-		t.virgin++
+	if n := len(sh.freeList); n > 0 {
+		slot = sh.freeList[n-1]
+		sh.freeList = sh.freeList[:n-1]
+	} else if len(sh.active) < sh.capacity {
+		slot = int32(len(sh.active))
+		sh.active = append(sh.active, Span{})
 	} else {
-		t.truncated++
+		sh.truncated++
 		return 0
 	}
-	t.nextID++
-	t.active[slot] = Span{
-		ID: t.nextID, Src: src, Dst: dst, Bytes: bytes, Kind: kind, Start: start,
+	sh.nextID++
+	sh.active[slot] = Span{
+		ID: uint64(src)<<40 | sh.nextID, Src: src, Dst: dst, Bytes: bytes,
+		Kind: kind, Start: start,
 	}
-	return uint64(slot) + 1
+	return uint64(src+1)<<32 | uint64(slot) + 1
 }
 
 // span resolves a packet reference to its active slot, or nil.
@@ -151,48 +173,48 @@ func (r *Registry) span(ref uint64) *Span {
 	if r == nil || ref == 0 {
 		return nil
 	}
-	return &r.spans.active[ref-1]
+	return &r.spans.shards[int(ref>>32)-1].active[uint32(ref)-1]
 }
 
-// SpanEnqueued records the packet entering the Outgoing FIFO; nil-safe.
-func (r *Registry) SpanEnqueued(ref uint64) {
+// SpanEnqueued records the packet entering the Outgoing FIFO at now;
+// nil-safe.
+func (r *Registry) SpanEnqueued(ref uint64, now sim.Time) {
 	if s := r.span(ref); s != nil {
-		s.Enqueued = r.eng.Now()
+		s.Enqueued = now
 	}
 }
 
-// SpanInjected records the packet's worm entering the backplane;
+// SpanInjected records the packet's worm entering the backplane at now;
 // nil-safe.
-func (r *Registry) SpanInjected(ref uint64) {
+func (r *Registry) SpanInjected(ref uint64, now sim.Time) {
 	if s := r.span(ref); s != nil {
-		s.Injected = r.eng.Now()
+		s.Injected = now
 	}
 }
 
 // SpanDelivered records the worm fully drained into the receiving
-// Incoming FIFO; nil-safe.
-func (r *Registry) SpanDelivered(ref uint64) {
+// Incoming FIFO at now; nil-safe.
+func (r *Registry) SpanDelivered(ref uint64, now sim.Time) {
 	if s := r.span(ref); s != nil {
-		s.Delivered = r.eng.Now()
+		s.Delivered = now
 	}
 }
 
-// SpanDeposited completes the span: the payload reached destination
-// memory. Stage durations feed the source node's histograms and the
-// span is retained for export; nil-safe.
-func (r *Registry) SpanDeposited(ref uint64) { r.finish(ref, false) }
+// SpanDeposited completes the span at now: the payload reached
+// destination memory. Stage durations feed the source node's histograms
+// and the span is retained for export; nil-safe.
+func (r *Registry) SpanDeposited(ref uint64, now sim.Time) { r.finish(ref, now, false) }
 
-// SpanDropped completes the span as a packet drop (wrong destination,
-// CRC failure, or not mapped in). Stages reached still feed the
-// histograms; the total-stage histogram does not; nil-safe.
-func (r *Registry) SpanDropped(ref uint64) { r.finish(ref, true) }
+// SpanDropped completes the span as a packet drop at now (wrong
+// destination, CRC failure, or not mapped in). Stages reached still
+// feed the histograms; the total-stage histogram does not; nil-safe.
+func (r *Registry) SpanDropped(ref uint64, now sim.Time) { r.finish(ref, now, true) }
 
-func (r *Registry) finish(ref uint64, dropped bool) {
+func (r *Registry) finish(ref uint64, now sim.Time, dropped bool) {
 	s := r.span(ref)
 	if s == nil {
 		return
 	}
-	now := r.eng.Now()
 	s.Deposited = now
 	s.Dropped = dropped
 	src := &r.nodes[s.Src]
@@ -216,9 +238,10 @@ func (r *Registry) finish(ref uint64, dropped bool) {
 		t.completed[t.next] = *s
 		t.next = (t.next + 1) % cap(t.completed)
 	}
-	slot := int32(ref - 1)
-	t.active[slot] = Span{}
-	t.freeList = append(t.freeList, slot)
+	sh := &t.shards[s.Src]
+	slot := int32(uint32(ref) - 1)
+	sh.active[slot] = Span{}
+	sh.freeList = append(sh.freeList, slot)
 }
 
 // CompletedSpans returns the retained completed spans in completion
@@ -239,10 +262,13 @@ func (r *Registry) CompletedSpans() []Span {
 
 // SpanCounts reports lifetime span accounting: completed spans
 // (including drops), completed spans that were drops, and spans left
-// untracked because the slab was full; nil-safe.
+// untracked because a shard was full; nil-safe.
 func (r *Registry) SpanCounts() (finished, dropped, truncated uint64) {
 	if r == nil {
 		return 0, 0, 0
 	}
-	return r.spans.finished, r.spans.dropped, r.spans.truncated
+	for i := range r.spans.shards {
+		truncated += r.spans.shards[i].truncated
+	}
+	return r.spans.finished, r.spans.dropped, truncated
 }

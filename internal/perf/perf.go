@@ -90,20 +90,29 @@ type Report struct {
 	GOOS      string `json:"goos"`
 	GOARCH    string `json:"goarch"`
 	CPUs      int    `json:"cpus"`
+	// GOMAXPROCS is the scheduler's parallelism limit at report time —
+	// the number of goroutines (sweep workers × partition engines) that
+	// can actually run at once; 0 for reports that predate the field.
+	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
 	// Workers is the sweep worker-pool size the parallel benchmarks ran
 	// with (the -parallel flag); 0 for reports that predate the pool.
-	Workers int      `json:"workers,omitempty"`
-	Results []Result `json:"results"`
+	Workers int `json:"workers,omitempty"`
+	// Partitions lists the intra-machine partition counts the mesh/par
+	// benchmarks ran with (the -partitions flag); empty for reports that
+	// predate the partitioned engine.
+	Partitions []int    `json:"partitions,omitempty"`
+	Results    []Result `json:"results"`
 }
 
 // NewReport builds a report shell with the runtime environment filled in.
 func NewReport(paper string) *Report {
 	return &Report{
-		Paper:     paper,
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		CPUs:      runtime.NumCPU(),
+		Paper:      paper,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 }
 

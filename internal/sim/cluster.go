@@ -1,0 +1,554 @@
+// Cluster partitions one simulation across several Engines and replays
+// their interactions in a canonical order, so a machine split over
+// multiple cores produces bit-identical results to a sequential run —
+// by construction, not by luck.
+//
+// # Model
+//
+// The machine's sequential units are domains (see Domain): each node is
+// one domain, and the shared mesh fabric is the hub domain. A Cluster
+// owns P partition engines (each holding the events of a disjoint set of
+// node domains) plus one hub engine (holding the fabric's events). Node
+// events may touch only their own node's state; the only cross-domain
+// traffic is
+//
+//   - posts (node → hub): packet injections, FIFO credits, crash
+//     notifications — buffered per partition during a node phase and
+//     replayed onto the hub engine sorted by (time, domain, creation
+//     order), which is exactly the order a single engine with the
+//     (at, dom, seq) key would have fired them in;
+//   - messages (hub → node): packet deliveries and injector-free
+//     callbacks — recorded in hub execution order and run sequentially
+//     by the coordinator, which is exactly where a single engine would
+//     have run them inline.
+//
+// # Conservative lookahead
+//
+// The rendezvous is a bounded-horizon barrier (conservative PDES in the
+// Chandy–Misra–Bryant tradition). Each round computes
+//
+//	T = min next event over all engines
+//	W = min(hub's next event, probe() + lookahead)
+//
+// where probe() lower-bounds the earliest future post any partition can
+// make (the NICs' pipeline floors plus the fault plan's next crash) and
+// lookahead is the minimum post→consequence latency through the mesh
+// (one flit time). If W > T the round is a window: every partition runs
+// its node phase to W in parallel, then the hub drains to W; no message
+// can land inside the window, which the coordinator asserts. Otherwise
+// the round is a tick: partitions fire only events at exactly T (run
+// bound pinned to T, the same yield a sequential engine with a pending
+// event at T takes), the hub drains T, and messages are run — repeating
+// until the instant is exhausted.
+//
+// Parallelism is a WaitGroup fan-out per node phase; partition state
+// needs no locks because partitions are disjoint and the hub/message
+// phases run only while node phases are quiescent (the barrier provides
+// the happens-before edges).
+//
+// # Exact single-step mode
+//
+// Step, RunWhile, RunUntil and RunFor do not use rounds: they fire one
+// event at a time in the canonical global order (smallest (at, dom)
+// head across engines; the hub wins ties because a pending post was
+// created by an already-fired event), with the stepped engine's run
+// bound set so run-ahead components (the batched CPU) see exactly the
+// horizon a single shared heap would have shown them. Post replays and
+// the messages they produce drain inside the Step that fired the
+// originating event — sequentially those calls ran inside the event
+// itself — so the number and position of Step boundaries match the
+// sequential engine exactly, and harness code that interleaves Go-side
+// checks between events (futures, stall loops) behaves identically to
+// the sequential engine, event for event. Setting Sequential forces
+// drains onto this path too, which is
+// the A/B reference the differential tests compare the parallel rounds
+// against.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Post is one node→hub action: run fn on the hub engine at time At in
+// domain Dom (the posting node's domain, so replay order matches the
+// sequential interleaving).
+type Post struct {
+	At  Time
+	Dom Domain
+	Fn  func()
+}
+
+// deferred is one hub→node message, run after the hub phase that
+// produced it.
+type deferred struct {
+	part int
+	at   Time
+	fn   func()
+}
+
+// Cluster runs one machine partitioned across several engines.
+type Cluster struct {
+	parts []*Engine
+	hub   *Engine
+	look  Time // minimum post→node-consequence latency (mesh flit time)
+	probe func() Time
+
+	posts  [][]Post // per-partition post buffers (only owner appends)
+	merged []Post   // coordinator scratch for the sorted replay
+	msgs   []deferred
+
+	// Sequential forces DrainBudget onto the exact single-step path
+	// (differential testing); Step/RunWhile/RunUntil always use it.
+	Sequential bool
+
+	// Parallel disables the goroutine fan-out when false (set for
+	// single-partition clusters); rounds still run, inline.
+	parallel bool
+}
+
+// NewCluster builds a cluster over the given partition engines and the
+// hub engine. look is the conservative lookahead: the minimum simulated
+// delay between a node→hub post and any node-visible consequence.
+func NewCluster(parts []*Engine, hub *Engine, look Time) *Cluster {
+	if look <= 0 {
+		panic("sim: cluster lookahead must be positive")
+	}
+	c := &Cluster{
+		parts:    parts,
+		hub:      hub,
+		look:     look,
+		posts:    make([][]Post, len(parts)),
+		parallel: len(parts) > 1,
+	}
+	return c
+}
+
+// SetProbe installs the lookahead probe: a lower bound on the earliest
+// simulated time any partition could make its next post. It is called
+// only between phases (never concurrently with node phases).
+func (c *Cluster) SetProbe(f func() Time) { c.probe = f }
+
+// Parts returns the partition engines (for per-component wiring).
+func (c *Cluster) Parts() []*Engine { return c.parts }
+
+// Hub returns the hub engine.
+func (c *Cluster) Hub() *Engine { return c.hub }
+
+// PostTo buffers a node→hub action from partition part. Only events
+// running on partition part's engine may call it (each partition appends
+// to its own buffer, so node phases need no locks).
+func (c *Cluster) PostTo(part int, p Post) {
+	c.posts[part] = append(c.posts[part], p)
+}
+
+// Defer records a hub→node message for partition part at the hub's
+// current time; the coordinator runs it after the hub phase. Only hub
+// events may call it.
+func (c *Cluster) Defer(part int, fn func()) {
+	c.msgs = append(c.msgs, deferred{part: part, at: c.hub.Now(), fn: fn})
+}
+
+// Now returns the cluster's observable time: the furthest any engine
+// has advanced.
+func (c *Cluster) Now() Time {
+	t := c.hub.Now()
+	for _, e := range c.parts {
+		if n := e.Now(); n > t {
+			t = n
+		}
+	}
+	return t
+}
+
+// Fired returns the total events executed across all engines.
+func (c *Cluster) Fired() uint64 {
+	n := c.hub.Fired()
+	for _, e := range c.parts {
+		n += e.Fired()
+	}
+	return n
+}
+
+// Pending returns the total events waiting across all engines.
+func (c *Cluster) Pending() int {
+	n := c.hub.Pending() + len(c.msgs)
+	for i, e := range c.parts {
+		n += e.Pending() + len(c.posts[i])
+	}
+	return n
+}
+
+// MaxPending returns the deepest any single engine's queue has been.
+func (c *Cluster) MaxPending() int {
+	n := c.hub.MaxPending()
+	for _, e := range c.parts {
+		if m := e.MaxPending(); m > n {
+			n = m
+		}
+	}
+	return n
+}
+
+// Failed returns the canonically-first failure across all engines: the
+// one with the smallest (time, domain) stamp, which is the failure a
+// sequential run would have surfaced. Nil when no engine failed.
+func (c *Cluster) Failed() error {
+	var err error
+	var at Time
+	var dom Domain
+	consider := func(e *Engine) {
+		if e.failure == nil {
+			return
+		}
+		fa, fd := e.FailedAt()
+		if err == nil || fa < at || (fa == at && fd < dom) {
+			err, at, dom = e.failure, fa, fd
+		}
+	}
+	consider(c.hub)
+	for _, e := range c.parts {
+		consider(e)
+	}
+	return err
+}
+
+// Fail records a failure on the hub engine (harness-level aborts).
+func (c *Cluster) Fail(err error) { c.hub.Fail(err) }
+
+// Reset returns every engine to time zero and discards buffered posts
+// and messages.
+func (c *Cluster) Reset() {
+	c.hub.Reset()
+	for _, e := range c.parts {
+		e.Reset()
+	}
+	for i := range c.posts {
+		c.posts[i] = c.posts[i][:0]
+	}
+	c.msgs = c.msgs[:0]
+}
+
+// nextTime returns the earliest pending event time across all engines.
+func (c *Cluster) nextTime() Time {
+	t := c.hub.NextEventAt()
+	for _, e := range c.parts {
+		if n := e.NextEventAt(); n < t {
+			t = n
+		}
+	}
+	return t
+}
+
+// flushPosts replays buffered posts onto the hub engine in canonical
+// order: (time, domain) sorted, creation order within a domain (the sort
+// is stable and each partition's buffer is already in creation order;
+// one domain never spans partitions). The hub heap's (at, dom, seq) key
+// then interleaves them with fabric events exactly as a single shared
+// heap would have.
+func (c *Cluster) flushPosts() {
+	m := c.merged[:0]
+	for i := range c.posts {
+		m = append(m, c.posts[i]...)
+		c.posts[i] = c.posts[i][:0]
+	}
+	if len(m) == 0 {
+		c.merged = m
+		return
+	}
+	sort.SliceStable(m, func(a, b int) bool {
+		if m[a].At != m[b].At {
+			return m[a].At < m[b].At
+		}
+		return m[a].Dom < m[b].Dom
+	})
+	for i := range m {
+		c.hub.AtDom(m[i].Dom, m[i].At, m[i].Fn)
+	}
+	clear(m)
+	c.merged = m[:0]
+}
+
+// flushMsgs runs buffered hub→node messages in hub execution order,
+// advancing the target partition's clock to the message time first (safe:
+// nothing earlier can be pending, the message time is the current global
+// instant).
+func (c *Cluster) flushMsgs() {
+	for i := 0; i < len(c.msgs); i++ {
+		m := c.msgs[i]
+		e := c.parts[m.part]
+		e.AdvanceTo(m.at)
+		m.fn()
+	}
+	c.msgs = c.msgs[:0]
+}
+
+// nodePhase runs fn over every partition engine — concurrently when the
+// cluster is parallel, inline otherwise. It is the only place goroutines
+// touch partition state; the WaitGroup barrier publishes everything back
+// to the coordinator.
+func (c *Cluster) nodePhase(fn func(*Engine)) {
+	if !c.parallel {
+		for _, e := range c.parts {
+			fn(e)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for _, e := range c.parts {
+		wg.Add(1)
+		go func(e *Engine) {
+			defer wg.Done()
+			fn(e)
+		}(e)
+	}
+	wg.Wait()
+}
+
+// windowEdge returns the horizon W for a round starting at global time
+// T: events strictly before W can fire without rendezvous. W > T selects
+// a windowed round; W == T a tick round.
+func (c *Cluster) windowEdge(T Time) Time {
+	w := c.hub.NextEventAt()
+	p := Forever
+	if c.probe != nil {
+		p = c.probe()
+	}
+	if p < T {
+		p = T // a probe may lag; posts can never be scheduled in the past
+	}
+	if p < Forever-c.look {
+		if edge := p + c.look; edge < w {
+			w = edge
+		}
+	}
+	return w
+}
+
+// round executes one rendezvous round; it reports false when no events
+// remain anywhere.
+func (c *Cluster) round() bool {
+	T := c.nextTime()
+	if T == Forever {
+		return false
+	}
+	if w := c.windowEdge(T); w > T {
+		c.windowRound(w)
+	} else {
+		c.tickRound(T)
+	}
+	return true
+}
+
+// windowRound fires every node event strictly before w in parallel, then
+// drains the hub to w. The lookahead bound guarantees the hub cannot
+// produce node-side work inside the window.
+func (c *Cluster) windowRound(w Time) {
+	c.nodePhase(func(e *Engine) { e.runWindow(w) })
+	c.flushPosts()
+	for {
+		at, _, ok := c.hub.headKey()
+		if !ok || at >= w || c.hub.failure != nil {
+			break
+		}
+		c.hub.Step()
+	}
+	if len(c.msgs) != 0 {
+		panic(fmt.Sprintf("sim: cluster lookahead violated: %d message(s) produced inside window ending %v", len(c.msgs), w))
+	}
+}
+
+// tickRound exhausts the single instant T: node phases at exactly T,
+// post replay, hub drain to T, then messages — repeated until nothing at
+// T remains. Messages at T may wake node events at T (interrupt
+// delivery, thaw), hence the loop.
+func (c *Cluster) tickRound(T Time) {
+	for {
+		c.nodePhase(func(e *Engine) { e.runAt(T) })
+		c.flushPosts()
+		for {
+			at, _, ok := c.hub.headKey()
+			if !ok || at > T || c.hub.failure != nil {
+				break
+			}
+			c.hub.Step()
+		}
+		if len(c.msgs) > 0 {
+			c.flushMsgs()
+			continue
+		}
+		again := false
+		for _, e := range c.parts {
+			if at, _, ok := e.headKey(); ok && at <= T && e.failure == nil {
+				again = true
+				break
+			}
+		}
+		if !again {
+			return
+		}
+	}
+}
+
+// pick returns the engine holding the canonically-earliest pending event
+// (nil when all queues are empty). The hub wins (at, dom) ties: a post
+// pending there was created by a node event that already fired, so it
+// precedes any still-pending node event with the same key.
+func (c *Cluster) pick() *Engine {
+	best := c.hub
+	at, dom, ok := c.hub.headKey()
+	if !ok {
+		best = nil
+		at = Forever
+	}
+	for _, e := range c.parts {
+		ea, ed, eok := e.headKey()
+		if !eok {
+			continue
+		}
+		if best == nil || ea < at || (ea == at && ed < dom) {
+			best, at, dom = e, ea, ed
+		}
+	}
+	return best
+}
+
+// postCount reports how many node→hub posts are buffered.
+func (c *Cluster) postCount() int {
+	n := 0
+	for i := range c.posts {
+		n += len(c.posts[i])
+	}
+	return n
+}
+
+// stepOn fires one event on e with e's run bound set to limit, so
+// run-ahead components yield exactly where a single shared heap would
+// have made them yield. Post replays and the hub→node messages they
+// produce drain within the same step: a sequential machine ran those
+// calls synchronously inside the event that just fired, so they must
+// not surface as extra Step() boundaries — harness polling loops that
+// act once per Step would otherwise interleave differently (and, e.g.,
+// issue extra bus transactions) than against a single engine.
+func (c *Cluster) stepOn(e *Engine, limit Time) {
+	fire := func(eng *Engine) {
+		prevBound, prevBounded := eng.bound, eng.bounded
+		eng.bound, eng.bounded = limit, true
+		eng.Step()
+		eng.bound, eng.bounded = prevBound, prevBounded
+	}
+	fire(e)
+	if e == c.hub {
+		c.flushMsgs()
+	}
+	for c.postCount() > 0 {
+		n := c.postCount()
+		c.flushPosts()
+		// The replays sit at the hub's head: every other hub event keys
+		// strictly after the fired event (pick gave the hub the tie),
+		// while the replays key equal to it.
+		for i := 0; i < n; i++ {
+			fire(c.hub)
+			c.flushMsgs()
+		}
+	}
+}
+
+// stepBounded fires the canonically-next event with the caller's bound
+// folded in; it reports false when no events remain.
+func (c *Cluster) stepBounded(callerBound Time) bool {
+	e := c.pick()
+	if e == nil {
+		return false
+	}
+	// The stepped engine must treat other engines' next events the way a
+	// shared heap would: a run-ahead component may advance strictly up to
+	// (never onto) them. RunBound is an inclusive edge, hence the -1.
+	limit := callerBound
+	consider := func(o *Engine) {
+		if o == e {
+			return
+		}
+		if n := o.NextEventAt(); n != Forever && n-1 < limit {
+			limit = n - 1
+		}
+	}
+	consider(c.hub)
+	for _, o := range c.parts {
+		consider(o)
+	}
+	c.stepOn(e, limit)
+	return true
+}
+
+// Step fires the canonically-next event across all engines; it reports
+// false if no events are pending anywhere.
+func (c *Cluster) Step() bool { return c.stepBounded(Forever) }
+
+// RunWhile fires events in canonical order until cond() is false, no
+// events remain, or a failure is recorded — the exact per-event stopping
+// a sequential engine gives, so Go-side harness checks interleave
+// identically.
+func (c *Cluster) RunWhile(cond func() bool) bool {
+	for cond() {
+		if c.Failed() != nil {
+			return false
+		}
+		if !c.Step() {
+			return false
+		}
+	}
+	return true
+}
+
+// RunUntil fires events with timestamps <= t in canonical order, then
+// sets every engine's clock to t.
+func (c *Cluster) RunUntil(t Time) {
+	for {
+		next := c.nextTime()
+		if next > t {
+			break
+		}
+		c.stepBounded(t)
+	}
+	c.hub.AdvanceTo(t)
+	for _, e := range c.parts {
+		e.AdvanceTo(t)
+	}
+}
+
+// RunFor advances the cluster by d, firing all events in the window.
+func (c *Cluster) RunFor(d Time) { c.RunUntil(c.Now() + d) }
+
+// DrainBudget runs the cluster until quiescent, or until limit events
+// have fired, returning an error wrapping ErrBudget in that case. A
+// recorded failure stops the drain and is returned (the canonically-
+// first one across partitions). Parallel rounds drive the drain unless
+// Sequential is set.
+func (c *Cluster) DrainBudget(limit uint64) error {
+	if err := c.Failed(); err != nil {
+		return err
+	}
+	start := c.Fired()
+	if c.Sequential {
+		for c.Step() {
+			if err := c.Failed(); err != nil {
+				return err
+			}
+			if c.Fired()-start > limit {
+				return fmt.Errorf("%w (limit %d, %d still pending)", ErrBudget, limit, c.Pending())
+			}
+		}
+		return nil
+	}
+	for c.round() {
+		if err := c.Failed(); err != nil {
+			return err
+		}
+		if c.Fired()-start > limit {
+			return fmt.Errorf("%w (limit %d, %d still pending)", ErrBudget, limit, c.Pending())
+		}
+	}
+	return nil
+}

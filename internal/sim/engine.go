@@ -95,18 +95,53 @@ type Handler interface {
 	Fire()
 }
 
+// Domain identifies which sequential unit of the machine an event belongs
+// to: a node (its CPU, caches, buses, NIC send/deposit pipelines) or the
+// shared mesh fabric. Domains are the middle component of the event key
+// (at, dom, seq), so same-instant events fire node-by-node in ascending
+// node order with the mesh fabric last — an order a partitioned Cluster
+// can reproduce exactly without a global sequence counter, which is what
+// makes parallel runs bit-identical to sequential ones by construction.
+//
+// Events inherit the domain of the event that scheduled them; the few
+// true roots (CPU start/wake, kernel scheduler ticks, fault plan events,
+// mesh entry points) tag themselves explicitly.
+type Domain int32
+
+const (
+	// DomHost is the default domain: harness-level scheduling from
+	// outside any event. Node domains start above it.
+	DomHost Domain = 0
+	// DomHub is the mesh fabric's domain; it sorts after every node so
+	// that, at one instant, all node-side work (injections, credits)
+	// precedes fabric arbitration — the order the partitioned Cluster's
+	// rendezvous replays posts in.
+	DomHub Domain = 1 << 30
+)
+
+// DomNode returns the domain of node id (node domains are 1-based so
+// they never collide with DomHost).
+func DomNode(id int) Domain { return Domain(id) + 1 }
+
 // event is one pending queue entry. Exactly one of fn and h is set.
 type event struct {
 	at  Time
+	dom Domain
 	seq uint64
 	fn  func()
 	h   Handler
 }
 
-// before reports the firing order: time-ordered, scheduling-ordered
-// within an instant.
+// before reports the firing order: time-ordered, domain-ordered within an
+// instant, scheduling-ordered within a domain.
 func (a *event) before(b *event) bool {
-	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.dom != b.dom {
+		return a.dom < b.dom
+	}
+	return a.seq < b.seq
 }
 
 // Engine is a discrete-event simulator: a clock plus a pending-event queue.
@@ -114,7 +149,8 @@ func (a *event) before(b *event) bool {
 type Engine struct {
 	now        Time
 	seq        uint64
-	events     []event // 4-ary min-heap on (at, seq)
+	cur        Domain  // domain of the event being fired; inherited by schedules
+	events     []event // 4-ary min-heap on (at, dom, seq)
 	fired      uint64
 	maxPending int
 	// bound/bounded track an active RunUntil window so synchronous
@@ -125,7 +161,12 @@ type Engine struct {
 	// failure is the first fatal error a component raised through Fail
 	// (a structured machine check). Drains stop at the event that
 	// raised it and surface it instead of truncating silently.
+	// failAt/failDom stamp where in (time, domain) order it was raised,
+	// so a Cluster can pick the canonically-first failure across
+	// partitions.
 	failure error
+	failAt  Time
+	failDom Domain
 }
 
 // NewEngine returns an Engine starting at time zero.
@@ -152,11 +193,16 @@ func (e *Engine) MaxPending() int { return e.maxPending }
 func (e *Engine) Fail(err error) {
 	if err != nil && e.failure == nil {
 		e.failure = err
+		e.failAt, e.failDom = e.now, e.cur
 	}
 }
 
 // Failed returns the failure recorded by Fail, or nil.
 func (e *Engine) Failed() error { return e.failure }
+
+// FailedAt returns the (time, domain) stamp of the recorded failure;
+// meaningful only when Failed is non-nil.
+func (e *Engine) FailedAt() (Time, Domain) { return e.failAt, e.failDom }
 
 // NextEventAt returns the timestamp of the earliest pending event, or
 // Forever when the queue is empty. Synchronous run-ahead components use
@@ -193,32 +239,65 @@ func (e *Engine) Horizon() Time {
 	return h
 }
 
-// At schedules fn to run at absolute time t. Scheduling in the past (t <
-// Now) panics: it would silently reorder causality.
-func (e *Engine) At(t Time, fn func()) {
+// EnterDomain makes d the current scheduling domain and returns the
+// previous one, so callers restore it when done:
+//
+//	prev := eng.EnterDomain(sim.DomHub)
+//	defer eng.EnterDomain(prev)
+//
+// Component entry points that cross a domain boundary inline (a NIC
+// injecting into the mesh, the mesh delivering to a NIC) wrap themselves
+// this way so everything they schedule lands in the right domain.
+func (e *Engine) EnterDomain(d Domain) Domain {
+	prev := e.cur
+	e.cur = d
+	return prev
+}
+
+// Domain returns the current scheduling domain: the domain of the event
+// being fired, or of the last EnterDomain inside it.
+func (e *Engine) Domain() Domain { return e.cur }
+
+// At schedules fn to run at absolute time t in the current domain.
+// Scheduling in the past (t < Now) panics: it would silently reorder
+// causality.
+func (e *Engine) At(t Time, fn func()) { e.AtDom(e.cur, t, fn) }
+
+// AtDom schedules fn to run at absolute time t in domain d.
+func (e *Engine) AtDom(d Domain, t Time, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	e.push(event{at: t, seq: e.seq, fn: fn})
+	e.push(event{at: t, dom: d, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d after the current time.
-func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+func (e *Engine) After(d Time, fn func()) { e.AtDom(e.cur, e.now+d, fn) }
 
-// Schedule schedules h to fire at absolute time t. It is the
-// allocation-free twin of At: h is typically a pooled struct or a pointer
-// into an existing model object. Scheduling in the past panics.
-func (e *Engine) Schedule(t Time, h Handler) {
+// Schedule schedules h to fire at absolute time t in the current domain.
+// It is the allocation-free twin of At: h is typically a pooled struct or
+// a pointer into an existing model object. Scheduling in the past panics.
+func (e *Engine) Schedule(t Time, h Handler) { e.ScheduleDom(e.cur, t, h) }
+
+// ScheduleDom schedules h to fire at absolute time t in domain d. Event
+// roots (CPU wake-ups, scheduler ticks, fault plans) use it to pin their
+// domain explicitly instead of inheriting whatever fired last.
+func (e *Engine) ScheduleDom(d Domain, t Time, h Handler) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	e.push(event{at: t, seq: e.seq, h: h})
+	e.push(event{at: t, dom: d, seq: e.seq, h: h})
 }
 
 // ScheduleAfter schedules h to fire d after the current time.
-func (e *Engine) ScheduleAfter(d Time, h Handler) { e.Schedule(e.now+d, h) }
+func (e *Engine) ScheduleAfter(d Time, h Handler) { e.ScheduleDom(e.cur, e.now+d, h) }
+
+// ScheduleAfterDom schedules h to fire d after the current time in domain dom.
+func (e *Engine) ScheduleAfterDom(dom Domain, d Time, h Handler) {
+	e.ScheduleDom(dom, e.now+d, h)
+}
 
 // push appends ev and restores the heap invariant by sifting up.
 func (e *Engine) push(ev event) {
@@ -290,6 +369,7 @@ func (e *Engine) Step() bool {
 	}
 	ev := e.pop()
 	e.now = ev.at
+	e.cur = ev.dom
 	e.fired++
 	if ev.fn != nil {
 		ev.fn()
@@ -297,6 +377,41 @@ func (e *Engine) Step() bool {
 		ev.h.Fire()
 	}
 	return true
+}
+
+// headKey returns the (time, domain) key of the earliest pending event;
+// ok is false when the queue is empty. The Cluster merges engines by it.
+func (e *Engine) headKey() (at Time, dom Domain, ok bool) {
+	if len(e.events) == 0 {
+		return Forever, 0, false
+	}
+	return e.events[0].at, e.events[0].dom, true
+}
+
+// runWindow fires every event strictly before w, publishing w as the run
+// bound so run-ahead components never advance past the window. It stops
+// early on a recorded failure. The Cluster's windowed rounds use it for
+// each partition's node phase.
+func (e *Engine) runWindow(w Time) {
+	prevBound, prevBounded := e.bound, e.bounded
+	e.bound, e.bounded = w, true
+	for len(e.events) > 0 && e.events[0].at < w && e.failure == nil {
+		e.Step()
+	}
+	e.bound, e.bounded = prevBound, prevBounded
+}
+
+// runAt fires every event at exactly t with the run bound pinned to t, so
+// run-ahead components execute at most one instruction past the tick —
+// exactly the yield a sequential engine with a pending event at t takes.
+// The Cluster's tick rounds use it for each partition's node phase.
+func (e *Engine) runAt(t Time) {
+	prevBound, prevBounded := e.bound, e.bounded
+	e.bound, e.bounded = t, true
+	for len(e.events) > 0 && e.events[0].at <= t && e.failure == nil {
+		e.Step()
+	}
+	e.bound, e.bounded = prevBound, prevBounded
 }
 
 // Run fires events until none remain.
@@ -410,9 +525,11 @@ func (e *Engine) Reset() {
 	e.events = e.events[:0]
 	e.now = 0
 	e.seq = 0
+	e.cur = 0
 	e.fired = 0
 	e.maxPending = 0
 	e.bound = 0
 	e.bounded = false
 	e.failure = nil
+	e.failAt, e.failDom = 0, 0
 }
