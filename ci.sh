@@ -71,5 +71,28 @@ go run ./cmd/shrimp-bench -iters 3 -compare BENCH_3.json -tol 0.5 -o /dev/null
 # Trace-cache regression gate: the cpu/batch and cpu/trace pairs against
 # the committed BENCH_6.json snapshot (same wide tripwire tolerance).
 go run ./cmd/shrimp-bench -iters 3 -only cpu/ -compare BENCH_6.json -tol 0.5 -o /dev/null
-# Timeline smoke: a 16-node run must export valid Chrome trace JSON.
-go run ./cmd/shrimp-trace -rounds 1 -o /dev/null
+# Flight-recorder guards. Sampling must be allocation-free — each cut
+# snapshots the registry into a preallocated delta ring (run without
+# -race; the race runtime allocates and would mask a regression) — and
+# the recorder/off|on bench pair is gated against the committed
+# BENCH_8.json snapshot (same wide tripwire tolerance as BENCH_3).
+go test -run TestRecorderZeroAlloc -count 1 ./internal/obs
+go test -run '^$' -bench 'BenchmarkRecorderSample' -benchtime 1000x -benchmem ./internal/obs | grep 'BenchmarkRecorderSample' | grep -q ' 0 allocs/op'
+go run ./cmd/shrimp-bench -iters 3 -only metrics/recorder -compare BENCH_8.json -tol 0.5 -o /dev/null
+# Progress-watchdog smoke under the race detector: a crashed receiver
+# with an unbounded retry budget must trip the retry-storm check (plus
+# the deadline/FIFO-stall and differential watchdog suites).
+go test -race -count 1 -run 'TestWatchdog' ./internal/core
+# OpenMetrics determinism: two one-shot shrimp-top runs must compare
+# byte-identical, and a partitioned run must reproduce the sequential
+# exposition exactly (partition-aware aggregation: per-node scopes are
+# summed in node order at quiescent pacing cuts, so the merged timeline
+# is independent of the partition count).
+go run ./cmd/shrimp-top -mesh 2x2 -rounds 2 > /tmp/shrimp-top-a.prom
+go run ./cmd/shrimp-top -mesh 2x2 -rounds 2 > /tmp/shrimp-top-b.prom
+cmp /tmp/shrimp-top-a.prom /tmp/shrimp-top-b.prom
+go run -race ./cmd/shrimp-top -mesh 2x2 -rounds 2 -partitions 4 > /tmp/shrimp-top-p.prom
+cmp /tmp/shrimp-top-a.prom /tmp/shrimp-top-p.prom
+# Timeline smoke: a 16-node run must export valid Chrome trace JSON,
+# with recorder counter tracks riding along.
+go run ./cmd/shrimp-trace -rounds 1 -interval 10us -o /dev/null

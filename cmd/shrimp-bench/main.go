@@ -133,6 +133,14 @@ func main() {
 	run("metrics/sweep/off", func() perf.Sample { return metricsSweepSample(false) })
 	run("metrics/sweep/on", func() perf.Sample { return metricsSweepSample(true) })
 
+	// Flight-recorder tax: the same metrics-on sequential latency sweep
+	// with the recorder disarmed versus sampling every 10 simulated µs.
+	// Each sample is a registry snapshot into a preallocated ring, so the
+	// contract is zero allocations per cut; BENCH_8.json is the committed
+	// snapshot of this pair.
+	run("metrics/recorder/off", func() perf.Sample { return recorderSweepSample(false) })
+	run("metrics/recorder/on", func() perf.Sample { return recorderSweepSample(true) })
+
 	// Batched CPU interpretation: the instruction-bound compute loop with
 	// per-instruction stepping versus the default batch quantum. Events
 	// here are retired instructions — the mode-independent unit of work —
@@ -358,6 +366,30 @@ func metricsSweepSample(enabled bool) perf.Sample {
 	s.Metrics = map[string]float64{
 		"points":  float64(len(results)),
 		"metrics": on,
+	}
+	return s
+}
+
+// recorderSweepSample is metricsSweepSample(true) with the flight
+// recorder toggled — the off/on pair measures the sampling overhead on
+// top of the registry itself (the metrics/sweep pair).
+func recorderSweepSample(armed bool) perf.Sample {
+	cfg := shrimp.ConfigFor(4, 4, shrimp.GenEISAPrototype)
+	cfg.Metrics = true
+	on := 0.0
+	if armed {
+		cfg.Recorder = shrimp.RecorderConfig{Interval: 10 * shrimp.Microsecond}
+		on = 1
+	}
+	results := shrimp.LatencySweep(cfg)
+	var s perf.Sample
+	for _, r := range results {
+		s.Events += r.Events
+		s.SimTime += r.SimEnd
+	}
+	s.Metrics = map[string]float64{
+		"points":   float64(len(results)),
+		"recorder": on,
 	}
 	return s
 }

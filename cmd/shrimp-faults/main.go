@@ -44,6 +44,7 @@ func main() {
 	}
 
 	cfg := shrimp.ConfigFor(*w, *h, g)
+	cfg.Metrics = true // tail-latency quantiles ride the stage-total histogram
 	cfg.Faults = shrimp.FaultConfig{Seed: *seed, Reliable: true}
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -54,10 +55,10 @@ func main() {
 	fmt.Printf("fault sweep: %dx%d %s mesh, node %d -> %d, %d B transfers, %d B per point, seed %d\n",
 		*w, *h, g, src, dst, *transfer, *total, *seed)
 	fmt.Println()
-	fmt.Printf("  %-10s %-12s %-10s %-24s %s\n",
-		"drop", "goodput", "delivered", "injected", "recovery")
-	fmt.Printf("  %-10s %-12s %-10s %-24s %s\n",
-		"----", "-------", "---------", "--------", "--------")
+	fmt.Printf("  %-10s %-12s %-10s %-24s %-44s %s\n",
+		"drop", "goodput", "delivered", "injected", "recovery", "latency p50/p99/p999")
+	fmt.Printf("  %-10s %-12s %-10s %-24s %-44s %s\n",
+		"----", "-------", "---------", "--------", "--------", "--------------------")
 	failed := false
 	for _, p := range shrimp.FaultSweep(cfg, ladder, *transfer, *total, *workers) {
 		if p.Err != "" {
@@ -65,11 +66,12 @@ func main() {
 			fmt.Printf("  %8.2f%%  FAILED: %s\n", float64(p.DropPPM)/1e4, p.Err)
 			continue
 		}
-		fmt.Printf("  %8.2f%%  %7.2f MB/s %7d B  %5d drop %4d dup%s\n",
+		fmt.Printf("  %8.2f%%  %7.2f MB/s %7d B  %5d drop %4d dup%s  %v / %v / %v\n",
 			float64(p.DropPPM)/1e4, p.GoodputMBps, p.GoodBytes,
 			p.FaultDrops, p.Dups,
 			fmt.Sprintf("  %4d rexmit %4d ack %3d nack %3d dupdrop",
-				p.Retransmits, p.AcksSent, p.NacksSent, p.DupDrops))
+				p.Retransmits, p.AcksSent, p.NacksSent, p.DupDrops),
+			p.LatP50, p.LatP99, p.LatP999)
 	}
 	if failed {
 		os.Exit(1)

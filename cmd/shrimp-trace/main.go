@@ -30,6 +30,7 @@ func main() {
 	rounds := flag.Int("rounds", 4, "workload rounds")
 	spans := flag.Int("spans", 0, "retain up to N completed spans (0 = default)")
 	traceN := flag.Int("trace", 4096, "retain the last N datapath events as instants")
+	interval := flag.Duration("interval", 0, "arm the flight recorder at this simulated cadence, e.g. 10us (0 = off); samples render as counter tracks")
 	out := flag.String("o", "", "write the timeline to this file (default stdout)")
 	flag.Parse()
 
@@ -46,6 +47,9 @@ func main() {
 	cfg.Metrics = true
 	cfg.SpanCapacity = *spans
 	cfg.TraceCapacity = *traceN
+	if *interval > 0 {
+		cfg.Recorder = shrimp.RecorderConfig{Interval: shrimp.Time(interval.Nanoseconds()) * shrimp.Nanosecond}
+	}
 	m := shrimp.New(cfg)
 	n := w * h
 
@@ -132,6 +136,10 @@ func main() {
 	spansDone := len(m.Obs.CompletedSpans())
 	fmt.Fprintf(os.Stderr, "workload %q on %dx%d %s mesh: %d spans, %d tracer events\n",
 		*workload, w, h, g, spansDone, len(m.Tracer.Events()))
+	if m.Rec != nil {
+		fmt.Fprintf(os.Stderr, "flight recorder: %d samples every %v (%d retained)\n",
+			m.Rec.Taken(), m.Rec.Interval(), m.Rec.Len())
+	}
 	if err := m.Obs.WriteStageTable(os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "stage table:", err)
 	}

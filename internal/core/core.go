@@ -42,6 +42,21 @@ type Config struct {
 	// causal spans when Metrics is on (<= 0 selects
 	// obs.DefaultSpanCapacity).
 	SpanCapacity int
+	// Recorder arms the flight recorder (obs.Recorder): the registry is
+	// sampled into a preallocated ring every Recorder.Interval of
+	// simulated time, giving counters and gauges a time series and
+	// histograms windowed rates. Requires Metrics. The zero value
+	// disables it; arming it changes no simulated result, and samples
+	// are bit-identical across Partitions settings (see
+	// internal/sim/pacer.go).
+	Recorder obs.RecorderConfig
+	// Watchdog arms the progress watchdog (watchdog.go): at every
+	// Watchdog.Interval of simulated time it checks for reliable-
+	// delivery retry storms, wedged Outgoing-FIFO drains, and a missed
+	// quiescence deadline, raising a structured *fault.MachineCheck
+	// instead of letting a fault-plan deadlock spin to the event budget.
+	// Requires Metrics. The zero value disables it.
+	Watchdog WatchdogConfig
 	// Faults configures the deterministic fault-injection subsystem
 	// (internal/fault). The zero value disables it entirely: no injector
 	// is built and the machine is bit-identical to one without the
@@ -131,7 +146,10 @@ type Machine struct {
 	Nodes  []*Node
 	Tracer *trace.Tracer   // nil unless Config.TraceCapacity > 0
 	Obs    *obs.Registry   // nil unless Config.Metrics
+	Rec    *obs.Recorder   // nil unless Config.Recorder armed
 	Faults *fault.Injector // nil unless Config.Faults.Enabled()
+
+	wd *watchdog // nil unless Config.Watchdog armed
 }
 
 // CoordOf maps a node id to its mesh coordinates (row-major).
@@ -230,9 +248,63 @@ func New(cfg Config) *Machine {
 	if m.Clu != nil {
 		m.Clu.SetProbe(m.earliestPost)
 	}
+	if cfg.Recorder.Interval > 0 {
+		m.Rec = obs.NewRecorder(m.Obs, cfg.Recorder)
+	}
+	if cfg.Watchdog.Interval > 0 {
+		m.wd = newWatchdog(m, cfg.Watchdog)
+	}
+	if p := m.pacer(); p != nil {
+		// The pacer observes the canonical event order without scheduling
+		// anything; on a partitioned machine it must sit on the Cluster
+		// coordinator (node phases run concurrently), never on a
+		// partition engine.
+		if m.Clu != nil {
+			m.Clu.SetPacer(p)
+		} else {
+			m.Eng.SetPacer(p)
+		}
+	}
 	m.installKernelRings()
 	m.applyFaults()
 	return m
+}
+
+// pacer folds the armed observers into the machine's single pacer slot.
+func (m *Machine) pacer() sim.Pacer {
+	switch {
+	case m.Rec != nil && m.wd != nil:
+		return &machinePacer{rec: m.Rec, wd: m.wd}
+	case m.Rec != nil:
+		return m.Rec
+	case m.wd != nil:
+		return m.wd
+	}
+	return nil
+}
+
+// machinePacer multiplexes the flight recorder and the watchdog (their
+// cadences may differ) onto one sim.Pacer.
+type machinePacer struct {
+	rec *obs.Recorder
+	wd  *watchdog
+}
+
+func (p *machinePacer) NextDeadline() sim.Time {
+	d := p.rec.NextDeadline()
+	if w := p.wd.NextDeadline(); w < d {
+		d = w
+	}
+	return d
+}
+
+func (p *machinePacer) Pace(deadline, head sim.Time) {
+	if p.rec.NextDeadline() <= deadline {
+		p.rec.Pace(deadline, head)
+	}
+	if p.wd.NextDeadline() <= deadline {
+		p.wd.Pace(deadline, head)
+	}
 }
 
 // installKernelRings reserves the boot pages for kernel↔kernel rings,

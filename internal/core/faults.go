@@ -6,6 +6,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/fault"
 	"repro/internal/nipt"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/phys"
 	"repro/internal/sim"
@@ -85,17 +86,27 @@ type FaultPoint struct {
 	AcksSent      uint64 // receiver cumulative ACKs
 	NacksSent     uint64 // receiver gap reports
 	DupDrops      uint64 // duplicate data packets the receiver discarded
-	Events        uint64
-	Err           string // non-empty when the run ended in a machine check
+	// Tail latency of the end-to-end transfer pipeline (snoop through
+	// deposit) over this point's spans, interpolated from the stage-total
+	// histogram delta. Zero unless the config has Metrics on.
+	LatP50  sim.Time
+	LatP99  sim.Time
+	LatP999 sim.Time
+	Events  uint64
+	Err     string // non-empty when the run ended in a machine check
 }
 
 func (p FaultPoint) String() string {
 	if p.Err != "" {
 		return fmt.Sprintf("drop %5.2f%%: FAILED: %s", float64(p.DropPPM)/1e4, p.Err)
 	}
-	return fmt.Sprintf("drop %5.2f%%: %7.2f MB/s goodput, %d lost, %d corrupt, %d dup, %d rexmit, %d ack, %d nack",
+	s := fmt.Sprintf("drop %5.2f%%: %7.2f MB/s goodput, %d lost, %d corrupt, %d dup, %d rexmit, %d ack, %d nack",
 		float64(p.DropPPM)/1e4, p.GoodputMBps, p.FaultDrops, p.Corrupts, p.Dups,
 		p.Retransmits, p.AcksSent, p.NacksSent)
+	if p.LatP999 > 0 {
+		s += fmt.Sprintf(", lat p50/p99/p999 %v/%v/%v", p.LatP50, p.LatP99, p.LatP999)
+	}
+	return s
 }
 
 // MeasureFaultyTransfer streams totalBytes of deliberate-update
@@ -130,6 +141,10 @@ func measureFaultyTransferOn(m *Machine, src, dst, transferBytes, totalBytes int
 	}
 	words := uint32(transferBytes / 4)
 	transfers := totalBytes / transferBytes
+	var latBefore obs.Histogram
+	if m.Cfg.Metrics {
+		latBefore = m.Obs.StageHist(obs.HistStageTotal)
+	}
 	before := s.dst.NIC.Stats()
 	netBefore := m.Net.Stats()
 	start := m.Now()
@@ -171,6 +186,15 @@ func measureFaultyTransferOn(m *Machine, src, dst, transferBytes, totalBytes int
 	res.AcksSent = after.RelAcksSent - before.RelAcksSent
 	res.NacksSent = after.RelNacksSent - before.RelNacksSent
 	res.DupDrops = after.RelDupDrops - before.RelDupDrops
+	if m.Cfg.Metrics {
+		// Window the end-to-end stage histogram to this point's spans: the
+		// sweep pool reuses machines, so the registry may hold older runs.
+		lat := m.Obs.StageHist(obs.HistStageTotal)
+		d := lat.Delta(&latBefore)
+		res.LatP50 = sim.Time(d.QuantileInterp(0.50))
+		res.LatP99 = sim.Time(d.QuantileInterp(0.99))
+		res.LatP999 = sim.Time(d.QuantileInterp(0.999))
+	}
 	res.Events = m.Fired()
 	return res
 }

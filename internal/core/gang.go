@@ -30,7 +30,8 @@ func (m *Machine) StartGangScheduling(slice sim.Time) (*GangScheduler, error) {
 	if m.Clu != nil {
 		// A gang tick touches every node's kernel in one event; that event
 		// would have to run on every partition engine at once.
-		return nil, fmt.Errorf("core: gang scheduling requires a sequential machine (Partitions <= 1)")
+		return nil, fmt.Errorf("core: gang scheduling requires a sequential machine; "+
+			"set Partitions <= 1 (this machine runs %d partitions; DESIGN.md §11)", m.Cfg.Partitions)
 	}
 	for _, n := range m.Nodes {
 		if n.K.RunnableCount() == 0 {

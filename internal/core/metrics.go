@@ -25,5 +25,18 @@ func (m *Machine) TraceJSON(w io.Writer) error {
 		events = m.Tracer.Events()
 	}
 	return obs.WriteChromeTrace(w, m.Cfg.NodeCount(), m.Obs.CompletedSpans(), events,
-		m.Obs.Snapshot().Nodes)
+		m.Obs.Snapshot().Nodes, m.Rec)
+}
+
+// WriteOpenMetrics writes the machine's registry snapshot in OpenMetrics
+// text exposition format, followed by the flight recorder's timeline
+// when one is armed (Config.Recorder.Interval > 0).
+func (m *Machine) WriteOpenMetrics(w io.Writer, opt obs.OpenMetricsOptions) error {
+	if err := obs.WriteOpenMetricsOpts(w, m.Obs.Snapshot(), m.Now(), opt); err != nil {
+		return err
+	}
+	if m.Rec == nil {
+		return nil
+	}
+	return m.Rec.WriteOpenMetrics(w, opt)
 }

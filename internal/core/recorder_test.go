@@ -1,0 +1,298 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/nic"
+	"repro/internal/nipt"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Differential tests for the flight recorder and the watchdog: both are
+// pacers (passive observers of the canonical event order), so arming
+// them must change no simulated result — and on a sequential machine not
+// even the engine bookkeeping, since pacing adds no events.
+
+// recCfg arms metrics plus a recorder on cfg.
+func recCfg(cfg Config) Config {
+	cfg.Metrics = true
+	cfg.Recorder = obs.RecorderConfig{Interval: 10 * sim.Microsecond, Capacity: 256}
+	return cfg
+}
+
+// TestRecorderDifferentialOff: the sequential machine with a recorder
+// armed is strictly bit-identical to one without — result, full
+// unscrubbed metrics snapshot, and the engine's fired-event count.
+func TestRecorderDifferentialOff(t *testing.T) {
+	run := func(rec bool) (AUBandwidthResult, obs.Snapshot, uint64) {
+		cfg := ConfigFor(4, 4, nic.GenEISAPrototype)
+		cfg.Metrics = true
+		if rec {
+			cfg = recCfg(cfg)
+		}
+		m := New(cfg)
+		r := measureAUBandwidthOn(m, nipt.SingleWriteAU, 600)
+		return r, m.Obs.Snapshot(), m.Fired()
+	}
+	plainR, plainS, plainF := run(false)
+	recR, recS, recF := run(true)
+	if recR != plainR {
+		t.Fatalf("recorder changed the result:\n got  %+v\n want %+v", recR, plainR)
+	}
+	if recF != plainF {
+		t.Fatalf("recorder changed fired events: %d vs %d", recF, plainF)
+	}
+	if !reflect.DeepEqual(recS, plainS) {
+		t.Fatalf("recorder changed the metrics snapshot")
+	}
+}
+
+// scrubSeries zeroes the engine-artifact series of a recorder timeline
+// (same normalization as scrubSnapshot: CPU run-ahead batches break at
+// different points under partition windowing, so their bookkeeping
+// counters sampled mid-run legitimately differ).
+func scrubSeries(s obs.Series) obs.Series {
+	for i := range s.Counters {
+		if obs.IsEngineArtifact(obs.Counter(i).String()) {
+			s.Counters[i] = nil
+		}
+	}
+	for i := range s.HistCounts {
+		if obs.IsEngineArtifact(obs.Hist(i).String()) {
+			s.HistCounts[i] = nil
+			s.HistSums[i] = nil
+		}
+	}
+	return s
+}
+
+// TestRecorderPartitionInvariance: recorder samples cut the canonical
+// event order, so the sampled timeline is identical across partition
+// counts — times, counters, gauges, histogram windows — up to the
+// documented engine artifacts.
+func TestRecorderPartitionInvariance(t *testing.T) {
+	run := func(parts int, seed uint64) (obs.Series, AUBandwidthResult) {
+		cfg := recCfg(partCfg(parts, seed))
+		m := New(cfg)
+		r := measureAUBandwidthOn(m, nipt.SingleWriteAU, 600)
+		return m.Rec.Series(), r
+	}
+	wantS, wantR := run(1, 0)
+	if len(wantS.Times) == 0 {
+		t.Fatal("sequential run took no samples; workload too short for the cadence")
+	}
+	wantScrubbed := scrubSeries(wantS)
+	for _, parts := range []int{2, 4} {
+		s, r := run(parts, 42)
+		if r != wantR {
+			t.Fatalf("parts=%d: result diverged under recorder", parts)
+		}
+		if !reflect.DeepEqual(s.Times, wantScrubbed.Times) {
+			t.Fatalf("parts=%d: sample times diverged:\n got  %v\n want %v", parts, s.Times, wantScrubbed.Times)
+		}
+		if got := scrubSeries(s); !reflect.DeepEqual(got, wantScrubbed) {
+			for c := range got.Counters {
+				if !reflect.DeepEqual(got.Counters[c], wantScrubbed.Counters[c]) {
+					t.Fatalf("parts=%d: counter %s series diverged:\n got  %v\n want %v",
+						parts, obs.Counter(c), got.Counters[c], wantScrubbed.Counters[c])
+				}
+			}
+			t.Fatalf("parts=%d: recorder series diverged", parts)
+		}
+	}
+}
+
+// TestRecorderResetReuse: a Reset-reused machine's recorder replays the
+// fresh machine's timeline exactly, including after ring wraparound.
+func TestRecorderResetReuse(t *testing.T) {
+	cfg := recCfg(ConfigFor(4, 4, nic.GenEISAPrototype))
+	cfg.Recorder.Capacity = 8 // small ring: exercise wraparound + O(used) reset
+	fresh := New(cfg)
+	want := measureAUBandwidthOn(fresh, nipt.SingleWriteAU, 600)
+	wantS := fresh.Rec.Series()
+
+	m := New(cfg)
+	for round := 0; round < 3; round++ {
+		if round > 0 {
+			m.Reset()
+		}
+		if got := measureAUBandwidthOn(m, nipt.SingleWriteAU, 600); got != want {
+			t.Fatalf("round %d: result diverged: %+v vs %+v", round, got, want)
+		}
+		if got := m.Rec.Series(); !reflect.DeepEqual(got, wantS) {
+			t.Fatalf("round %d: recorder series diverged after reset", round)
+		}
+	}
+}
+
+// TestRecorderParallelSweep: sweeps over Reset-reused pool machines with
+// the recorder armed return exactly the recorder-off results.
+func TestRecorderParallelSweep(t *testing.T) {
+	want := LatencySweepParallel(ConfigFor(4, 4, nic.GenEISAPrototype), 4)
+	got := LatencySweepParallel(recCfg(ConfigFor(4, 4, nic.GenEISAPrototype)), 4)
+	if len(got) != len(want) {
+		t.Fatalf("sweep sizes differ")
+	}
+	for i := range want {
+		if normLatency(got[i]) != normLatency(want[i]) {
+			t.Fatalf("point %d diverged with recorder armed:\n got  %+v\n want %+v",
+				i, got[i], want[i])
+		}
+	}
+}
+
+// TestMachineOpenMetricsDeterministic: two identical runs expose
+// byte-identical OpenMetrics, and partition counts 1 vs 2 agree once
+// engine-artifact series are omitted.
+func TestMachineOpenMetricsDeterministic(t *testing.T) {
+	render := func(parts int, omit bool) string {
+		cfg := recCfg(partCfg(parts, 0))
+		m := New(cfg)
+		measureAUBandwidthOn(m, nipt.SingleWriteAU, 600)
+		var b strings.Builder
+		if err := m.WriteOpenMetrics(&b, obs.OpenMetricsOptions{OmitEngineArtifacts: omit}); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if render(1, false) != render(1, false) {
+		t.Fatal("two identical runs exposed different OpenMetrics")
+	}
+	seq, par := render(1, true), render(2, true)
+	if seq != par {
+		t.Fatalf("partitions 1 vs 2 OpenMetrics diverged (artifacts omitted):\nseq %d bytes, par %d bytes",
+			len(seq), len(par))
+	}
+	if !strings.HasSuffix(seq, "# EOF\n") || !strings.Contains(seq, "shrimp_rec_samples_total") {
+		t.Fatal("exposition malformed")
+	}
+}
+
+// TestWatchdogRetryStorm: a crashed receiver with an effectively
+// unbounded retry budget used to spin the run into its event budget; the
+// watchdog converts it into a structured retry-storm machine check.
+func TestWatchdogRetryStorm(t *testing.T) {
+	cfg := ConfigFor(2, 1, nic.GenXpress)
+	cfg.Metrics = true
+	cfg.Faults = fault.Config{
+		Seed: 1, Reliable: true, RetryBudget: 1 << 30,
+		Nodes: [2]fault.NodeFault{{Node: 1, Kind: fault.NodeCrash, At: 200 * sim.Microsecond}},
+	}
+	cfg.Watchdog = WatchdogConfig{Interval: 50 * sim.Microsecond}
+	cfg.Recorder = obs.RecorderConfig{Interval: 50 * sim.Microsecond}
+	m := New(cfg)
+	p := measureFaultyTransferOn(m, 0, 1, 1024, 64*1024)
+	if p.Err == "" {
+		t.Fatal("crashed receiver with huge retry budget did not fail")
+	}
+	if !strings.Contains(p.Err, "retry-storm") {
+		t.Fatalf("expected a retry-storm machine check, got: %s", p.Err)
+	}
+	var mc *fault.MachineCheck
+	if err := m.Failed(); !errors.As(err, &mc) || mc.Kind != fault.CheckRetryStorm || mc.Node != 0 {
+		t.Fatalf("failure surface: %v", err)
+	}
+	// The trip pinned a mark on the recorder timeline.
+	marks := m.Rec.Series().Marks
+	if len(marks) != 1 || marks[0].Label != "watchdog: retry-storm" {
+		t.Fatalf("recorder marks %+v", marks)
+	}
+}
+
+// TestWatchdogDeadline: a workload still running past the configured
+// deadline trips CheckDeadline at the first check at/after it.
+func TestWatchdogDeadline(t *testing.T) {
+	cfg := ConfigFor(2, 1, nic.GenEISAPrototype)
+	cfg.Metrics = true
+	cfg.Watchdog = WatchdogConfig{Interval: 10 * sim.Microsecond, Deadline: 50 * sim.Microsecond}
+	m := New(cfg)
+	// An event chain that outlives the deadline.
+	var tick func()
+	tick = func() {
+		if m.Eng.Now() < 500*sim.Microsecond {
+			m.Eng.After(5*sim.Microsecond, tick)
+		}
+	}
+	m.Eng.After(5*sim.Microsecond, tick)
+	err := m.Eng.DrainBudget(1 << 20)
+	var mc *fault.MachineCheck
+	if !errors.As(err, &mc) || mc.Kind != fault.CheckDeadline {
+		t.Fatalf("expected deadline machine check, got %v", err)
+	}
+	if mc.At < 50*sim.Microsecond || mc.At >= 60*sim.Microsecond {
+		t.Fatalf("deadline check at %v, want first check at/after 50us", mc.At)
+	}
+}
+
+// TestWatchdogFIFOStall drives the stall detector directly: a node
+// pinned at the threshold with no sends for `windows` checks trips.
+func TestWatchdogFIFOStall(t *testing.T) {
+	cfg := ConfigFor(2, 1, nic.GenEISAPrototype)
+	cfg.Metrics = true
+	cfg.Watchdog = WatchdogConfig{Interval: 10 * sim.Microsecond, Windows: 3, StallBytes: 512}
+	m := New(cfg)
+	m.Obs.Node(1).Set(obs.GaugeOutFIFOBytes, 600)
+	for i := 1; i <= 2; i++ {
+		m.wd.Pace(m.wd.NextDeadline(), m.wd.NextDeadline())
+		if m.Failed() != nil {
+			t.Fatalf("tripped after %d windows", i)
+		}
+	}
+	m.wd.Pace(m.wd.NextDeadline(), m.wd.NextDeadline())
+	var mc *fault.MachineCheck
+	if err := m.Failed(); !errors.As(err, &mc) || mc.Kind != fault.CheckFIFOStall || mc.Node != 1 {
+		t.Fatalf("expected node-1 fifo-stall, got %v", m.Failed())
+	}
+	// Tripped: no further deadlines.
+	if m.wd.NextDeadline() != sim.Forever {
+		t.Fatal("tripped watchdog still scheduling checks")
+	}
+	// Reset rearms it.
+	m.Reset()
+	if m.wd.NextDeadline() != 10*sim.Microsecond || m.Failed() != nil {
+		t.Fatal("reset did not rearm the watchdog")
+	}
+}
+
+// TestWatchdogDifferentialOff: a watchdog that never trips changes no
+// simulated result.
+func TestWatchdogDifferentialOff(t *testing.T) {
+	run := func(wd bool) AUBandwidthResult {
+		cfg := ConfigFor(4, 4, nic.GenEISAPrototype)
+		cfg.Metrics = true
+		if wd {
+			cfg.Watchdog = WatchdogConfig{Interval: 20 * sim.Microsecond}
+		}
+		m := New(cfg)
+		return measureAUBandwidthOn(m, nipt.SingleWriteAU, 600)
+	}
+	if got, want := run(true), run(false); got != want {
+		t.Fatalf("watchdog changed the result:\n got  %+v\n want %+v", got, want)
+	}
+}
+
+// TestFaultPointTailLatency: with metrics on, a fault point reports
+// ordered, positive end-to-end latency quantiles, deterministically.
+func TestFaultPointTailLatency(t *testing.T) {
+	run := func() FaultPoint {
+		cfg := ConfigFor(2, 1, nic.GenXpress)
+		cfg.Metrics = true
+		cfg.Faults = fault.Config{Seed: 7, DropPPM: 20_000, Reliable: true}
+		return measureFaultyTransferOn(New(cfg), 0, 1, 1024, 32*1024)
+	}
+	p := run()
+	if p.Err != "" {
+		t.Fatalf("run failed: %s", p.Err)
+	}
+	if p.LatP50 <= 0 || p.LatP99 < p.LatP50 || p.LatP999 < p.LatP99 {
+		t.Fatalf("latency quantiles out of order: p50=%v p99=%v p999=%v", p.LatP50, p.LatP99, p.LatP999)
+	}
+	if again := run(); again != p {
+		t.Fatalf("fault point not deterministic:\n got  %+v\n want %+v", again, p)
+	}
+}

@@ -35,6 +35,8 @@ func (m *Machine) Reset() {
 	}
 	m.Tracer.Reset()
 	m.Obs.Reset()
+	m.Rec.Reset()
+	m.wd.reset()
 	m.Faults.Reset()
 	m.installKernelRings()
 	// Re-schedule fault-plan events (node crashes, link outages): the

@@ -28,8 +28,30 @@ func (c Config) Validate() error {
 	}
 	if c.Partitions > 1 && c.TraceCapacity > 0 {
 		// The tracer is one serial event log on one engine; a partitioned
-		// machine has no single serial order to record mid-run.
-		return fmt.Errorf("core: tracing and partitioned simulation are mutually exclusive")
+		// machine has no single serial order to record mid-run. Metrics,
+		// the flight recorder, and the watchdog all remain available under
+		// partitioning (DESIGN.md §12 "Flight recorder & telemetry").
+		return fmt.Errorf("core: instruction tracing (TraceCapacity=%d) requires a sequential machine; "+
+			"set Partitions <= 1 or drop TraceCapacity (DESIGN.md §11; metrics and the flight recorder "+
+			"work under partitioning)", c.TraceCapacity)
+	}
+	if c.Recorder.Interval < 0 {
+		return fmt.Errorf("core: recorder interval %v negative", c.Recorder.Interval)
+	}
+	if c.Recorder.Capacity < 0 {
+		return fmt.Errorf("core: recorder capacity %d negative", c.Recorder.Capacity)
+	}
+	if c.Recorder.Interval > 0 && !c.Metrics {
+		return fmt.Errorf("core: the flight recorder samples the metrics registry; set Metrics: true")
+	}
+	if c.Watchdog.Interval < 0 {
+		return fmt.Errorf("core: watchdog interval %v negative", c.Watchdog.Interval)
+	}
+	if c.Watchdog.Interval > 0 && !c.Metrics {
+		return fmt.Errorf("core: the progress watchdog reads the metrics registry; set Metrics: true")
+	}
+	if c.Watchdog.Windows < 0 || c.Watchdog.StallBytes < 0 || c.Watchdog.Deadline < 0 {
+		return fmt.Errorf("core: watchdog tunables must be non-negative")
 	}
 	if ring := 2 * (n - 1); ring+8 > c.MemPagesPerNode {
 		return fmt.Errorf("core: %d pages/node cannot hold %d kernel ring pages plus working memory",

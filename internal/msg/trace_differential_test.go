@@ -180,6 +180,22 @@ func TestTraceMetricsOnChangesNothing(t *testing.T) {
 	}
 }
 
+// TestTraceRecorderOnChangesNothing extends the observability contract
+// to the flight recorder and the watchdog: sampling the registry at a
+// fixed cadence — and running progress checks that never trip — over the
+// ISA-level ping-pong changes no simulated result.
+func TestTraceRecorderOnChangesNothing(t *testing.T) {
+	plain := traceCfg(traceVariants[2])
+	plain.Metrics = true
+	want := runPingPong(t, plain)
+	armed := plain
+	armed.Recorder = obs.RecorderConfig{Interval: 5 * sim.Microsecond, Capacity: 128}
+	armed.Watchdog = core.WatchdogConfig{Interval: 20 * sim.Microsecond}
+	if got := runPingPong(t, armed); got != want {
+		t.Fatalf("recorder+watchdog armed diverged:\n got  %+v\n want %+v", got, want)
+	}
+}
+
 // dmaPollRun snapshots the §4.3 status-poll workload: a command-page
 // spin is uncacheable, so fast-forward must decline it and step
 // literally — and still agree exactly.

@@ -43,12 +43,16 @@ type spanStage struct {
 	pid        int
 }
 
-// WriteChromeTrace renders spans, tracer events, and per-node counter
-// totals for a machine of the given node count as Chrome trace-event
-// JSON. Any slice may be nil; counters (one NodeSnapshot per node, e.g.
+// WriteChromeTrace renders spans, tracer events, per-node counter
+// totals, and the flight recorder's timeline for a machine of the given
+// node count as Chrome trace-event JSON. Any slice and rec may be nil or
+// empty (the output stays valid JSON — an empty trace renders an empty
+// traceEvents array); counters (one NodeSnapshot per node, e.g.
 // Snapshot().Nodes) render as "C" counter tracks — one series per
-// counter name — sampled at the end of the timeline.
-func WriteChromeTrace(w io.Writer, nodes int, spans []Span, events []trace.Event, counters []NodeSnapshot) error {
+// counter name — sampled at the end of the timeline, and recorder
+// samples render as machine-total counter tracks over time on a
+// synthetic "machine" process.
+func WriteChromeTrace(w io.Writer, nodes int, spans []Span, events []trace.Event, counters []NodeSnapshot, rec *Recorder) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(`{"displayTimeUnit":"ns","traceEvents":[` + "\n"); err != nil {
 		return err
@@ -157,6 +161,71 @@ func WriteChromeTrace(w io.Writer, nodes int, spans []Span, events []trace.Event
 			Ts: float64(last) * usPerPs, Args: args,
 		}); err != nil {
 			return err
+		}
+	}
+
+	// Flight-recorder timeline: machine-total counter/gauge tracks with a
+	// real time axis, on a synthetic process after the node tracks. Only
+	// series that ever move are emitted.
+	if s := rec.Series(); len(s.Times) > 0 {
+		recPid := nodes
+		if err := emit(chromeEvent{
+			Name: "process_name", Ph: "M", Pid: recPid,
+			Args: map[string]any{"name": "machine (flight recorder)"},
+		}); err != nil {
+			return err
+		}
+		live := make([]Counter, 0, int(numCounters))
+		for c := Counter(0); c < numCounters; c++ {
+			for _, v := range s.Counter(c) {
+				if v != 0 {
+					live = append(live, c)
+					break
+				}
+			}
+		}
+		liveG := make([]Gauge, 0, int(numGauges))
+		for g := Gauge(0); g < numGauges; g++ {
+			for _, v := range s.Gauge(g) {
+				if v != 0 {
+					liveG = append(liveG, g)
+					break
+				}
+			}
+		}
+		for i, t := range s.Times {
+			if len(live) > 0 {
+				args := make(map[string]any, len(live))
+				for _, c := range live {
+					args[c.String()] = s.Counter(c)[i]
+				}
+				if err := emit(chromeEvent{
+					Name: "recorder counters", Cat: "obs", Ph: "C", Pid: recPid, Tid: 0,
+					Ts: float64(t) * usPerPs, Args: args,
+				}); err != nil {
+					return err
+				}
+			}
+			if len(liveG) > 0 {
+				args := make(map[string]any, len(liveG))
+				for _, g := range liveG {
+					args[g.String()] = s.Gauge(g)[i]
+				}
+				if err := emit(chromeEvent{
+					Name: "recorder gauges", Cat: "obs", Ph: "C", Pid: recPid, Tid: 0,
+					Ts: float64(t) * usPerPs, Args: args,
+				}); err != nil {
+					return err
+				}
+			}
+		}
+		for _, m := range s.Marks {
+			if err := emit(chromeEvent{
+				Name: m.Label, Cat: "obs", Ph: "i", Scope: "g",
+				Pid: recPid, Tid: 0, Ts: float64(m.At) * usPerPs,
+			}); err != nil {
+				return err
+			}
 		}
 	}
 

@@ -271,6 +271,61 @@ func (h *Histogram) Quantile(q float64) uint64 {
 	return h.Max
 }
 
+// QuantileInterp estimates the q-quantile (0 <= q <= 1) by linear
+// interpolation of the rank within the log2 bucket containing it,
+// assuming observations are uniform inside a bucket. Against Quantile's
+// bucket-upper-edge bound this trades a worst-case 2x overestimate for a
+// typical error of a few percent — the p99/p999 numbers the reports
+// surface. The top bucket is clamped to Max, so q=1 returns the exact
+// maximum.
+func (h *Histogram) QuantileInterp(q float64) uint64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return h.Max
+	}
+	if q < 0 {
+		q = 0
+	}
+	pos := q * float64(h.Count-1) // continuous rank in [0, Count-1]
+	var seen uint64
+	for i, n := range h.Buckets {
+		if n == 0 {
+			continue
+		}
+		if pos < float64(seen+n) {
+			if i == 0 {
+				return 0 // bucket 0 holds only the value 0
+			}
+			lo := uint64(1) << uint(i-1)
+			hi := uint64(1)<<uint(i) - 1
+			if hi > h.Max {
+				hi = h.Max
+			}
+			if lo > hi {
+				lo = hi
+			}
+			frac := (pos - float64(seen)) / float64(n)
+			return lo + uint64(frac*float64(hi-lo)+0.5)
+		}
+		seen += n
+	}
+	return h.Max
+}
+
+// Delta returns the observations h has accumulated since prev (an
+// earlier copy of the same histogram): Count, Sum and Buckets subtract;
+// Max carries over from h, since a maximum cannot be windowed. The
+// flight recorder derives per-window rates and quantiles this way.
+func (h *Histogram) Delta(prev *Histogram) Histogram {
+	d := Histogram{Count: h.Count - prev.Count, Sum: h.Sum - prev.Sum, Max: h.Max}
+	for i := range d.Buckets {
+		d.Buckets[i] = h.Buckets[i] - prev.Buckets[i]
+	}
+	return d
+}
+
 // Merge adds o's observations into h (snapshot aggregation; Max is the
 // pairwise max, quantiles stay exact to bucket width).
 func (h *Histogram) Merge(o *Histogram) {

@@ -267,7 +267,7 @@ func TestWriteChromeTrace(t *testing.T) {
 	r.Node(0).Add(CtrSpinSkippedPs, 12345)
 	events := []trace.Event{{At: 42 * sim.Nanosecond, Node: 1, Kind: trace.IRQ, A: 0, B: 7}}
 	var b strings.Builder
-	if err := WriteChromeTrace(&b, 2, r.CompletedSpans(), events, r.Snapshot().Nodes); err != nil {
+	if err := WriteChromeTrace(&b, 2, r.CompletedSpans(), events, r.Snapshot().Nodes, nil); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()

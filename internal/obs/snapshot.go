@@ -28,13 +28,15 @@ type NodeSnapshot struct {
 	Hists    map[string]HistSnapshot `json:"histograms,omitempty"`
 }
 
-// HistSnapshot summarizes one histogram: count, mean and bucket-width
-// quantiles.
+// HistSnapshot summarizes one histogram: count, mean and interpolated
+// log2-bucket quantiles (see Histogram.QuantileInterp).
 type HistSnapshot struct {
 	Count uint64  `json:"count"`
 	Mean  float64 `json:"mean"`
 	P50   uint64  `json:"p50"`
+	P90   uint64  `json:"p90"`
 	P99   uint64  `json:"p99"`
+	P999  uint64  `json:"p999"`
 	Max   uint64  `json:"max"`
 }
 
@@ -42,8 +44,10 @@ func histSnapshot(h *Histogram) HistSnapshot {
 	return HistSnapshot{
 		Count: h.Count,
 		Mean:  h.Mean(),
-		P50:   h.Quantile(0.50),
-		P99:   h.Quantile(0.99),
+		P50:   h.QuantileInterp(0.50),
+		P90:   h.QuantileInterp(0.90),
+		P99:   h.QuantileInterp(0.99),
+		P999:  h.QuantileInterp(0.999),
 		Max:   h.Max,
 	}
 }
@@ -114,18 +118,19 @@ func (r *Registry) WriteStageTable(w io.Writer) error {
 		_, err := fmt.Fprintln(w, "metrics disabled (Config.Metrics = false)")
 		return err
 	}
-	if _, err := fmt.Fprintln(w, "| stage | spans | mean | p50 | p99 | max |"); err != nil {
+	if _, err := fmt.Fprintln(w, "| stage | spans | mean | p50 | p90 | p99 | p999 | max |"); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintln(w, "|---|---|---|---|---|---|"); err != nil {
+	if _, err := fmt.Fprintln(w, "|---|---|---|---|---|---|---|---|"); err != nil {
 		return err
 	}
 	for _, h := range stageHists {
 		agg := r.StageHist(h)
-		if _, err := fmt.Fprintf(w, "| %s | %d | %v | %v | %v | %v |\n",
+		if _, err := fmt.Fprintf(w, "| %s | %d | %v | %v | %v | %v | %v | %v |\n",
 			h, agg.Count,
-			sim.Time(agg.Mean()), sim.Time(agg.Quantile(0.50)),
-			sim.Time(agg.Quantile(0.99)), sim.Time(agg.Max)); err != nil {
+			sim.Time(agg.Mean()), sim.Time(agg.QuantileInterp(0.50)),
+			sim.Time(agg.QuantileInterp(0.90)), sim.Time(agg.QuantileInterp(0.99)),
+			sim.Time(agg.QuantileInterp(0.999)), sim.Time(agg.Max)); err != nil {
 			return err
 		}
 	}

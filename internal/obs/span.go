@@ -91,11 +91,11 @@ type Span struct {
 // to its capacity (it is not preallocated: a 1,024-node machine would
 // otherwise pay capacity × nodes up front).
 type spanShard struct {
-	active   []Span
-	freeList []int32 // slots returned by finished spans
-	nextID   uint64
+	active    []Span
+	freeList  []int32 // slots returned by finished spans
+	nextID    uint64
 	truncated uint64 // spans not tracked because the shard was full
-	capacity int
+	capacity  int
 }
 
 // spanTable is the per-node shards plus the bounded ring of completed

@@ -106,6 +106,12 @@ type Cluster struct {
 	// Parallel disables the goroutine fan-out when false (set for
 	// single-partition clusters); rounds still run, inline.
 	parallel bool
+
+	// pacer, when non-nil, observes the canonical global event order at
+	// its deadlines (see pacer.go). The coordinator paces before rounds
+	// and exact steps and caps windowed rounds at the next deadline, so
+	// the cut matches a sequential engine's exactly.
+	pacer Pacer
 }
 
 // NewCluster builds a cluster over the given partition engines and the
@@ -323,6 +329,13 @@ func (c *Cluster) windowEdge(T Time) Time {
 			w = edge
 		}
 	}
+	if c.pacer != nil {
+		// Never fire an event at/after a pending observation deadline:
+		// end the window there so the pacer sees the exact cut.
+		if d := c.pacer.NextDeadline(); d < w {
+			w = d
+		}
+	}
 	return w
 }
 
@@ -332,6 +345,9 @@ func (c *Cluster) round() bool {
 	T := c.nextTime()
 	if T == Forever {
 		return false
+	}
+	if c.pacer != nil {
+		pace(c.pacer, T)
 	}
 	if w := c.windowEdge(T); w > T {
 		c.windowRound(w)
@@ -461,6 +477,9 @@ func (c *Cluster) stepBounded(callerBound Time) bool {
 	e := c.pick()
 	if e == nil {
 		return false
+	}
+	if c.pacer != nil {
+		pace(c.pacer, c.nextTime())
 	}
 	// The stepped engine must treat other engines' next events the way a
 	// shared heap would: a run-ahead component may advance strictly up to

@@ -167,6 +167,9 @@ type Engine struct {
 	failure error
 	failAt  Time
 	failDom Domain
+	// pacer, when non-nil, is consulted before each event fires (see
+	// pacer.go). It observes but never perturbs; Reset keeps it wired.
+	pacer Pacer
 }
 
 // NewEngine returns an Engine starting at time zero.
@@ -366,6 +369,9 @@ func (e *Engine) siftDown(ev event) {
 func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
+	}
+	if e.pacer != nil {
+		pace(e.pacer, e.events[0].at)
 	}
 	ev := e.pop()
 	e.now = ev.at

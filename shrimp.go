@@ -33,6 +33,8 @@
 package shrimp
 
 import (
+	"io"
+
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/fault"
@@ -130,7 +132,25 @@ type (
 	// Span is one transfer's causal record: snoop → outgoing FIFO →
 	// mesh → deposit timestamps.
 	Span = obs.Span
+	// RecorderConfig arms the flight recorder (Config.Recorder): a
+	// zero-allocation sampler that snapshots the registry into a ring at
+	// a fixed simulated cadence. Requires Config.Metrics.
+	RecorderConfig = obs.RecorderConfig
+	// Recorder is the armed flight recorder, on Machine.Rec.
+	Recorder = obs.Recorder
+	// WatchdogConfig arms the progress watchdog (Config.Watchdog): stall
+	// and retry-storm detection surfaced as machine checks. Requires
+	// Config.Metrics.
+	WatchdogConfig = core.WatchdogConfig
+	// OpenMetricsOptions tunes the OpenMetrics exposition writers.
+	OpenMetricsOptions = obs.OpenMetricsOptions
 )
+
+// WriteOpenMetrics writes a snapshot in OpenMetrics text exposition
+// format (machines expose the same via Machine.WriteOpenMetrics).
+func WriteOpenMetrics(w io.Writer, s MetricsSnapshot, now Time) error {
+	return obs.WriteOpenMetrics(w, s, now)
+}
 
 // Simulated time.
 type Time = sim.Time
