@@ -20,13 +20,21 @@ go run -race ./cmd/shrimp-bench -parallel 4 -iters 2 -only sweep -o /dev/null
 # mesh so real cluster goroutines cross the rendezvous under -race.
 GOMAXPROCS=1 go test -race -count 1 -run 'TestPartition|TestTable1Partition' ./internal/core ./internal/msg
 GOMAXPROCS=8 go test -race -count 1 -run 'TestPartition|TestTable1Partition' ./internal/core ./internal/msg
-go run -race ./cmd/shrimp-bench -iters 1 -only mesh/par -mesh 8x8 -partitions 1,4 -o /dev/null
+go run -race ./cmd/shrimp-bench -iters 1 -only mesh/par -mesh 8x8 -partitions 1,4,8 -o /dev/null
+# Rendezvous allocation guards, unconditional (they hold on any host,
+# unlike the speedup gate below): the typed post/message path through
+# the cluster must not touch the heap, and the partitioned allreduce
+# must allocate within 2x of the sequential machine per op (BENCH_7's
+# regression was a 29x blowup that only an >= 8-CPU host would have
+# caught via the speedup gate).
+go test -run '^$' -bench 'BenchmarkClusterPost' -benchtime 1000x -benchmem ./internal/sim | grep 'BenchmarkClusterPost' | grep -q ' 0 allocs/op'
+go run ./cmd/shrimp-bench -iters 2 -only mesh/par -mesh 16x16 -partitions 1,8 -allocratio mesh/par/1,mesh/par/8,2.0 -o /dev/null
 # Intra-machine speedup gate: the 32x32 allreduce with 8 partitions
-# must run >= 3x faster than with 1 partition (BENCH_7.json is the
+# must run >= 4x faster than with 1 partition (BENCH_9.json is the
 # committed snapshot of this pair). Meaningless without cores for the
-# partition goroutines to land on, so skipped on hosts with < 8 CPUs.
+# gang workers to land on, so skipped on hosts with < 8 CPUs.
 if [ "$(getconf _NPROCESSORS_ONLN)" -ge 8 ]; then
-	go run ./cmd/shrimp-bench -iters 3 -only mesh/par -partitions 1,8 -speedup mesh/par/1,mesh/par/8,3.0 -o /dev/null
+	go run ./cmd/shrimp-bench -iters 3 -only mesh/par -partitions 1,8 -speedup mesh/par/1,mesh/par/8,4.0 -o /dev/null
 fi
 # Observability guard: the metrics registry and causal spans must stay
 # allocation-free on the hot path (counters, gauges, histograms, span

@@ -37,8 +37,11 @@ func main() {
 	compare := flag.String("compare", "", "baseline report JSON; exit 1 on events/sec or allocs/op regressions beyond -tol")
 	tol := flag.Float64("tol", 0.10, "fractional regression tolerance for -compare")
 	speedup := flag.String("speedup", "", "A,B,minX: exit 1 unless benchmark B ran at least minX times faster (wall ns/op) than benchmark A")
+	allocratio := flag.String("allocratio", "", "A,B,maxX: exit 1 if benchmark B allocated more than maxX times benchmark A's allocs/op")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the benchmark run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
+	blockprofile := flag.String("blockprofile", "", "write a pprof blocking profile (channel/sync waits: rendezvous parks) to this file")
+	mutexprofile := flag.String("mutexprofile", "", "write a pprof mutex-contention profile to this file")
 	flag.Parse()
 
 	workers := *parallel
@@ -68,6 +71,19 @@ func main() {
 			os.Exit(1)
 		}
 		defer pprof.StopCPUProfile()
+	}
+	// Block and mutex profiling cover what the CPU profile cannot: time
+	// partition workers and the coordinator spend parked on the gang
+	// barrier (channel waits) and any lock contention. Rates are set
+	// before any benchmark runs so the whole run is covered; the
+	// profiles are written on the way out.
+	if *blockprofile != "" {
+		runtime.SetBlockProfileRate(1)
+		defer writeProfile("block", *blockprofile)
+	}
+	if *mutexprofile != "" {
+		runtime.SetMutexProfileFraction(1)
+		defer writeProfile("mutex", *mutexprofile)
 	}
 
 	rep := perf.NewReport("Virtual Memory Mapped Network Interface for the SHRIMP Multicomputer")
@@ -99,7 +115,9 @@ func main() {
 	// ratio is the intra-machine parallel speedup. BENCH_7.json is the
 	// committed snapshot of this pair.
 	for _, p := range partsList {
-		run(fmt.Sprintf("mesh/par/%d", p), allreduceSample(meshW, meshH, p))
+		fn, done := allreduceSample(meshW, meshH, p)
+		run(fmt.Sprintf("mesh/par/%d", p), fn)
+		done() // stop the dropped machine's worker gang before the next count builds
 		runtime.GC()
 	}
 
@@ -236,6 +254,38 @@ func main() {
 			parts[1], got, parts[0], minX)
 	}
 
+	if *allocratio != "" {
+		parts := strings.Split(*allocratio, ",")
+		if len(parts) != 3 {
+			fmt.Fprintln(os.Stderr, "bad -allocratio: want A,B,maxX")
+			os.Exit(1)
+		}
+		maxX, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -allocratio factor: %v\n", err)
+			os.Exit(1)
+		}
+		find := func(name string) perf.Result {
+			for _, r := range rep.Results {
+				if r.Name == name {
+					return r
+				}
+			}
+			fmt.Fprintf(os.Stderr, "-allocratio: benchmark %q did not run\n", name)
+			os.Exit(1)
+			panic("unreachable")
+		}
+		a, b := find(parts[0]), find(parts[1])
+		got := b.AllocsPerOp / a.AllocsPerOp
+		if got > maxX {
+			fmt.Fprintf(os.Stderr, "alloc gate: %s allocates %.2fx %s (%.0f vs %.0f allocs/op), want <= %.2fx\n",
+				parts[1], got, parts[0], b.AllocsPerOp, a.AllocsPerOp, maxX)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "alloc gate: %s allocates %.2fx %s (<= %.2fx)\n",
+			parts[1], got, parts[0], maxX)
+	}
+
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
 		if err != nil {
@@ -248,6 +298,20 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	}
+}
+
+// writeProfile dumps a named runtime profile (block, mutex) to path.
+func writeProfile(name, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }
 
@@ -564,15 +628,24 @@ func (a *allreducer) round() perf.Sample {
 
 // allreduceSample defers machine construction to the first call —
 // Measure's untimed warm-up — so the build cost of a big partitioned
-// machine stays out of both the timing and the allocation counts.
-func allreduceSample(w, h, parts int) func() perf.Sample {
+// machine stays out of both the timing and the allocation counts. The
+// returned done func stops the machine's worker gang once the pair of
+// runs is over (idle workers would self-reap anyway; this just keeps
+// goroutine accounting exact between partition counts).
+func allreduceSample(w, h, parts int) (fn func() perf.Sample, done func()) {
 	var a *allreducer
-	return func() perf.Sample {
+	fn = func() perf.Sample {
 		if a == nil {
 			a = newAllreducer(w, h, parts)
 		}
 		return a.round()
 	}
+	done = func() {
+		if a != nil {
+			a.m.Close()
+		}
+	}
+	return fn, done
 }
 
 func neighborLinks(w, h int) [][2]int {

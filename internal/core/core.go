@@ -141,6 +141,9 @@ type Machine struct {
 	Clu    *sim.Cluster  // nil unless Cfg.Partitions > 1
 	Parts  []*sim.Engine // partition engines; nil sequentially
 	PartOf []int         // node id → partition index; nil sequentially
+
+	partNodes [][]int  // partition index → node ids (probe scan order)
+	glue      *cluGlue // typed post/message decoder; nil sequentially
 	Cfg    Config
 	Net    *mesh.Network
 	Nodes  []*Node
@@ -178,7 +181,17 @@ func New(cfg Config) *Machine {
 			m.Parts[i] = sim.NewEngine()
 		}
 		m.PartOf = partitionNodes(cfg.NodeCount(), cfg.Partitions, cfg.PartitionSeed)
+		m.partNodes = make([][]int, cfg.Partitions)
+		for id, p := range m.PartOf {
+			m.partNodes[p] = append(m.partNodes[p], id)
+		}
 		m.Clu = sim.NewCluster(m.Parts, eng, cfg.Mesh.Lookahead())
+		m.glue = &cluGlue{
+			mesh:    net,
+			eps:     make([]mesh.Endpoint, cfg.NodeCount()),
+			injFree: make([]func(), cfg.NodeCount()),
+		}
+		m.Clu.SetDispatch(m.glue)
 	}
 	if cfg.TraceCapacity > 0 {
 		m.Tracer = trace.New(eng, cfg.TraceCapacity)
@@ -200,8 +213,8 @@ func New(cfg Config) *Machine {
 		if m.Clu != nil {
 			nodeEng = m.Parts[m.PartOf[id]]
 			nodeNet = &partNet{
-				clu: m.Clu, mesh: net, hub: eng, eng: nodeEng,
-				part: m.PartOf[id], dom: sim.DomNode(id),
+				clu: m.Clu, mesh: net, glue: m.glue, eng: nodeEng,
+				node: id, part: m.PartOf[id], dom: sim.DomNode(id),
 			}
 		}
 		mem := phys.NewMemory(cfg.MemPagesPerNode)
@@ -246,7 +259,8 @@ func New(cfg Config) *Machine {
 		})
 	}
 	if m.Clu != nil {
-		m.Clu.SetProbe(m.earliestPost)
+		m.Clu.SetPartProbes(m.partProbes)
+		m.Clu.SetPairLookahead(m.pairLookahead())
 	}
 	if cfg.Recorder.Interval > 0 {
 		m.Rec = obs.NewRecorder(m.Obs, cfg.Recorder)
@@ -429,6 +443,17 @@ func (m *Machine) RunFor(d sim.Time) {
 		return
 	}
 	m.Eng.RunFor(d)
+}
+
+// Close stops the partitioned machine's persistent worker gang (a
+// no-op sequentially). The machine remains usable — the next parallel
+// round restarts the gang — and idle workers self-reap on their own, so
+// Close is a courtesy for deterministic goroutine accounting (tests,
+// benchmark harnesses cycling machines), not a requirement.
+func (m *Machine) Close() {
+	if m.Clu != nil {
+		m.Clu.Close()
+	}
 }
 
 // MaxPending returns the deepest any engine's queue has been.

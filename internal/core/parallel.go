@@ -13,9 +13,31 @@ import (
 // talks to the mesh through a partNet proxy that turns node→fabric
 // calls into cluster posts and fabric→node calls into deferred
 // messages, so the mesh (on the hub engine) and the nodes (on their
-// partition engines) never touch each other's state mid-phase. See
-// internal/sim's Cluster for the rendezvous protocol and the
-// determinism argument, and DESIGN.md §11 for the overview.
+// partition engines) never touch each other's state mid-phase. Posts
+// and messages are typed records — kind plus preextracted arguments,
+// decoded by cluGlue — so the steady-state rendezvous path allocates
+// nothing. See internal/sim's Cluster for the rendezvous protocol and
+// the determinism argument, and DESIGN.md §11/§13 for the overview.
+
+// Post kinds (node→fabric), decoded by cluGlue.ApplyPost.
+const (
+	pkInject   uint8 = iota + 1 // A=packed src coord, B=wire, Ptr=*packet.Packet
+	pkRelease                   // A=packed coord, B=wire|droppedBit, U=span
+	pkDropSpan                  // U=span
+	pkSetDead                   // A=packed coord
+)
+
+// Message kinds (fabric→node), decoded by cluGlue.ApplyMsg.
+const (
+	mkDeliver uint8 = iota + 1 // A=node id, B=wire, Ptr=*packet.Packet
+	mkInjFree                  // A=node id
+)
+
+const releaseDropped = int64(1) << 32 // dropped flag riding above the wire index
+
+// packCoord/unpackCoord fold a mesh coordinate into one post argument.
+func packCoord(c packet.Coord) int64   { return int64(c.X) | int64(c.Y)<<32 }
+func unpackCoord(v int64) packet.Coord { return packet.Coord{X: int(int32(v)), Y: int(v >> 32)} }
 
 // partitionNodes assigns nodes to parts partitions: contiguous blocks
 // (near-equal, remainders to the low partitions) by default, or a
@@ -45,75 +67,172 @@ func partitionNodes(nodes, parts int, seed uint64) []int {
 	return assign
 }
 
-// earliestPost is the cluster's lookahead probe: a lower bound on the
-// earliest simulated time any node could post to the fabric. Posts come
-// only from NIC activity (injections and FIFO releases — crash
-// notifications ride on already-bounded node events), so the minimum of
-// the NICs' pipeline floors bounds them all.
-func (m *Machine) earliestPost() sim.Time {
-	t := sim.Forever
-	for _, n := range m.Nodes {
-		if p := n.NIC.EarliestPost(); p < t {
-			t = p
+// partProbes is the cluster's per-partition lookahead probe: lower
+// bounds on the earliest simulated time the partition's nodes could
+// inject a packet or release FIFO space. Posts come only from NIC
+// activity (crash notifications ride on already-bounded node events and
+// have no timed node-visible consequence), so the NICs' pipeline floors
+// bound them all. The cluster caches the result per partition and the
+// worker that ran the partition's phase refreshes it, so the scan
+// parallelizes instead of costing the coordinator O(nodes) per round.
+func (m *Machine) partProbes(part int) (inj, rel sim.Time) {
+	inj, rel = sim.Forever, sim.Forever
+	for _, id := range m.partNodes[part] {
+		n := m.Nodes[id].NIC
+		if p := n.EarliestInject(); p < inj {
+			inj = p
+		}
+		if r := n.EarliestRelease(); r < rel {
+			rel = r
 		}
 	}
-	return t
+	return inj, rel
+}
+
+// pairLookahead builds the partition-pair lookahead table: entry [i][j]
+// is the mesh's minimum inject→consequence latency from partition i to
+// partition j, derived from the minimum hop distance between the two
+// partitions' node sets (XY routing distance is Manhattan distance).
+// The diagonal is the zero-hop floor — it must also cover a worm
+// freeing its own injector, which lands on the source partition
+// regardless of the destination's distance.
+func (m *Machine) pairLookahead() [][]sim.Time {
+	P := len(m.Parts)
+	minH := make([][]int, P)
+	for i := range minH {
+		minH[i] = make([]int, P)
+		for j := range minH[i] {
+			minH[i][j] = -1
+		}
+	}
+	n := m.Cfg.NodeCount()
+	for a := 0; a < n; a++ {
+		ca := m.Cfg.CoordOf(packet.NodeID(a))
+		pa := m.PartOf[a]
+		for b := 0; b < n; b++ {
+			cb := m.Cfg.CoordOf(packet.NodeID(b))
+			h := absInt(ca.X-cb.X) + absInt(ca.Y-cb.Y)
+			if pb := m.PartOf[b]; minH[pa][pb] < 0 || h < minH[pa][pb] {
+				minH[pa][pb] = h
+			}
+		}
+	}
+	table := make([][]sim.Time, P)
+	for i := range table {
+		table[i] = make([]sim.Time, P)
+		for j := range table[i] {
+			h := minH[i][j]
+			if i == j {
+				h = 0
+			}
+			if h < 0 {
+				table[i][j] = sim.Forever // empty partition: it never posts
+				continue
+			}
+			table[i][j] = m.Cfg.Mesh.InjectLookahead(h)
+		}
+	}
+	return table
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// cluGlue decodes the typed post/message records back into mesh and
+// endpoint calls. It is the machine's sim.Dispatcher.
+type cluGlue struct {
+	mesh    *mesh.Network
+	eps     []mesh.Endpoint // raw NIC endpoints, by node id
+	injFree []func()        // node-side injector-free callbacks, by node id
+}
+
+func (g *cluGlue) ApplyPost(p sim.Post) {
+	switch p.Kind {
+	case pkInject:
+		g.mesh.Inject(unpackCoord(p.A), p.Ptr.(*packet.Packet), int(p.B))
+	case pkRelease:
+		g.mesh.Release(unpackCoord(p.A), int(int32(p.B)), p.U, p.B&releaseDropped != 0)
+	case pkDropSpan:
+		g.mesh.DropSpan(p.U)
+	case pkSetDead:
+		g.mesh.SetDead(unpackCoord(p.A))
+	default:
+		panic("core: unknown post kind")
+	}
+}
+
+func (g *cluGlue) ApplyMsg(m sim.Msg) {
+	switch m.Kind {
+	case mkDeliver:
+		g.eps[m.A].Deliver(m.Ptr.(*packet.Packet), int(m.B))
+	case mkInjFree:
+		g.injFree[m.A]()
+	default:
+		panic("core: unknown message kind")
+	}
 }
 
 // partNet adapts one node's nic.Network calls to the cluster protocol.
-// Node→fabric actions become posts stamped with the node's clock and
-// domain; fabric→node actions (via partEndpoint) become deferred
-// messages that replay the hub's current domain on the node engine, so
-// every scheduled event carries the same (time, domain) key a
-// sequential machine would have given it.
+// Node→fabric actions become typed posts stamped with the node's clock
+// and domain; fabric→node actions (via partEndpoint) become typed
+// deferred messages that replay the hub's current domain on the node
+// engine, so every scheduled event carries the same (time, domain) key
+// a sequential machine would have given it.
 type partNet struct {
 	clu  *sim.Cluster
 	mesh *mesh.Network
-	hub  *sim.Engine // fabric engine (mesh side)
+	glue *cluGlue
 	eng  *sim.Engine // owning partition's engine (node side)
+	node int
 	part int
 	dom  sim.Domain
 }
 
-// post buffers fn for replay on the hub at the node's current instant.
-func (pn *partNet) post(fn func()) {
-	pn.clu.PostTo(pn.part, sim.Post{At: pn.eng.Now(), Dom: pn.dom, Fn: fn})
-}
-
-// deferNode records fn to run on the node side after the hub phase,
-// under the domain the hub event chain carried (which is what the
-// scheduling would have inherited had everything shared one engine).
-func (pn *partNet) deferNode(fn func()) {
-	dom := pn.hub.Domain()
-	pn.clu.Defer(pn.part, func() {
-		prev := pn.eng.EnterDomain(dom)
-		fn()
-		pn.eng.EnterDomain(prev)
-	})
-}
-
 func (pn *partNet) Attach(c packet.Coord, ep mesh.Endpoint) {
+	pn.glue.eps[pn.node] = ep
 	pn.mesh.Attach(c, &partEndpoint{pn: pn, ep: ep})
 }
 
 func (pn *partNet) OnInjectorFree(c packet.Coord, fn func()) {
-	pn.mesh.OnInjectorFree(c, func() { pn.deferNode(fn) })
+	pn.glue.injFree[pn.node] = fn
+	node := int64(pn.node)
+	pn.mesh.OnInjectorFree(c, func() {
+		pn.clu.DeferMsg(pn.part, sim.Msg{Kind: mkInjFree, A: node})
+	})
 }
 
 func (pn *partNet) Inject(src packet.Coord, p *packet.Packet, wire int) {
-	pn.post(func() { pn.mesh.Inject(src, p, wire) })
+	pn.clu.PostTo(pn.part, sim.Post{
+		At: pn.eng.Now(), Dom: pn.dom, Kind: pkInject,
+		A: packCoord(src), B: int64(wire), Ptr: p,
+	})
 }
 
 func (pn *partNet) Release(c packet.Coord, wire int, span uint64, dropped bool) {
-	pn.post(func() { pn.mesh.Release(c, wire, span, dropped) })
+	b := int64(wire)
+	if dropped {
+		b |= releaseDropped
+	}
+	pn.clu.PostTo(pn.part, sim.Post{
+		At: pn.eng.Now(), Dom: pn.dom, Kind: pkRelease,
+		A: packCoord(c), B: b, U: span,
+	})
 }
 
 func (pn *partNet) DropSpan(span uint64) {
-	pn.post(func() { pn.mesh.DropSpan(span) })
+	pn.clu.PostTo(pn.part, sim.Post{
+		At: pn.eng.Now(), Dom: pn.dom, Kind: pkDropSpan, U: span,
+	})
 }
 
 func (pn *partNet) SetDead(c packet.Coord) {
-	pn.post(func() { pn.mesh.SetDead(c) })
+	pn.clu.PostTo(pn.part, sim.Post{
+		At: pn.eng.Now(), Dom: pn.dom, Kind: pkSetDead, A: packCoord(c),
+	})
 }
 
 // partEndpoint wraps the NIC's mesh endpoint for a partitioned node.
@@ -130,5 +249,7 @@ func (pe *partEndpoint) Accept(p *packet.Packet, wire int) bool { return pe.ep.A
 func (pe *partEndpoint) Credit(wire int)                        { pe.ep.Credit(wire) }
 
 func (pe *partEndpoint) Deliver(p *packet.Packet, wire int) {
-	pe.pn.deferNode(func() { pe.ep.Deliver(p, wire) })
+	pe.pn.clu.DeferMsg(pe.pn.part, sim.Msg{
+		Kind: mkDeliver, A: int64(pe.pn.node), B: int64(wire), Ptr: p,
+	})
 }

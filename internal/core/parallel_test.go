@@ -2,8 +2,10 @@ package core
 
 import (
 	"reflect"
+	"runtime"
 	"sort"
 	"testing"
+	"time"
 
 	"repro/internal/fault"
 	"repro/internal/nic"
@@ -222,6 +224,32 @@ func TestPartitionResetReuse(t *testing.T) {
 		if got := normLatency(measureStoreLatencyOn(m, 0, 15)); got != want {
 			t.Fatalf("round %d: got %+v want %+v", round, got, want)
 		}
+	}
+}
+
+// TestPartitionMachineClose pins the worker-gang lifecycle at the
+// machine level: Close returns the process to its goroutine baseline
+// (no leak), and a closed machine keeps producing the sequential
+// reference result — the next parallel drain restarts the gang.
+func TestPartitionMachineClose(t *testing.T) {
+	want := normLatency(measureStoreLatencyOn(New(partCfg(1, 0)), 0, 15))
+	base := runtime.NumGoroutine()
+	m := New(partCfg(4, 42))
+	for round := 0; round < 2; round++ {
+		if round > 0 {
+			m.Reset()
+		}
+		if got := normLatency(measureStoreLatencyOn(m, 0, 15)); got != want {
+			t.Fatalf("round %d: got %+v want %+v", round, got, want)
+		}
+		m.Close()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && runtime.NumGoroutine() > base {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base {
+		t.Fatalf("goroutine count %d never returned to baseline %d after Close", n, base)
 	}
 }
 

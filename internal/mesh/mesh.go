@@ -65,6 +65,22 @@ func DefaultConfig(w, h int) Config {
 // lookahead for a partitioned simulation.
 func (c Config) Lookahead() sim.Time { return c.FlitCycle }
 
+// InjectLookahead returns the minimum simulated delay between a packet
+// injection and any node-visible consequence at a destination hops links
+// away: the head crosses the injection channel plus hops link channels
+// (RouterLatency+FlitCycle each), pays the final router's arrival
+// latency, and the earliest consequence — the worm draining into the
+// ejection port, or freeing its injector — streams at least one more
+// flit (WireTime >= FlitCycle). Contention and parking only delay a
+// worm beyond this unimpeded floor, and a consequence at a node nearer
+// than the worm's own destination does not exist (XY wormholes release
+// channels only when the tail drains), so the bound is safe per
+// partition pair when hops is the minimum distance between the two
+// partitions' node sets.
+func (c Config) InjectLookahead(hops int) sim.Time {
+	return sim.Time(hops+1)*(c.RouterLatency+c.FlitCycle) + c.RouterLatency + c.FlitCycle
+}
+
 // Endpoint is the node-side consumer attached to a router's processor
 // port (the SHRIMP network interface).
 //

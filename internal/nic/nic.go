@@ -397,14 +397,38 @@ func (n *NIC) SetDead() {
 // bound is required: underestimates shrink the window, overestimates
 // would break it.
 func (n *NIC) EarliestPost() sim.Time {
+	t := n.EarliestInject()
+	if r := n.EarliestRelease(); r < t {
+		t = r
+	}
+	return t
+}
+
+// EarliestInject lower-bounds the next instant this NIC can invoke
+// Network.Inject: the armed injection instant when a worm is scheduled
+// and unfired, else a fresh injection's floor (a node event >= now plus
+// the FIFO+setup latency). The partitioned machine pairs this floor
+// with the mesh hop distance between partitions (mesh.Config's
+// InjectLookahead) to widen windows between distant partitions.
+func (n *NIC) EarliestInject() sim.Time {
 	t := n.eng.Now() + n.cfg.OutFIFOLatency + n.cfg.InjectSetup
 	if n.out.injecting && !n.out.injectFired && n.out.injectAt < t {
 		t = n.out.injectAt
 	}
-	if n.in.depositing && n.in.nextAt < t {
-		t = n.in.nextAt
-	}
 	return t
+}
+
+// EarliestRelease lower-bounds the next instant this NIC can invoke
+// Network.Release. Releases happen only from the deposit pipeline
+// (finishDeposit/finishControl), whose next event is in.nextAt while
+// depositing; an idle pipeline cannot release until a packet delivery —
+// a hub→node message, which dirties the partition's cached floor —
+// restarts it, so Forever is sound when idle.
+func (n *NIC) EarliestRelease() sim.Time {
+	if n.in.depositing {
+		return n.in.nextAt
+	}
+	return sim.Forever
 }
 
 // Dead reports whether the node has been crashed by fault injection.

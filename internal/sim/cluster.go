@@ -22,29 +22,52 @@
 //     by the coordinator, which is exactly where a single engine would
 //     have run them inline.
 //
+// Both directions carry typed records (Post.Kind / Msg.Kind with
+// preextracted arguments) dispatched through the Dispatcher installed by
+// the machine glue, so the steady-state rendezvous allocates nothing:
+// no closure per post, no closure per delivery, and the hub-side replay
+// events come from a free list. Kind 0 falls back to a plain func() for
+// harness code and tests.
+//
 // # Conservative lookahead
 //
 // The rendezvous is a bounded-horizon barrier (conservative PDES in the
 // Chandy–Misra–Bryant tradition). Each round computes
 //
 //	T = min next event over all engines
-//	W = min(hub's next event, probe() + lookahead)
+//	W_j = min(hub's next event,
+//	          relFloor + lookahead,
+//	          min_i injFloor_i + pairLook[i][j],
+//	          pacer deadline)
 //
-// where probe() lower-bounds the earliest future post any partition can
-// make (the NICs' pipeline floors plus the fault plan's next crash) and
-// lookahead is the minimum post→consequence latency through the mesh
-// (one flit time). If W > T the round is a window: every partition runs
-// its node phase to W in parallel, then the hub drains to W; no message
-// can land inside the window, which the coordinator asserts. Otherwise
-// the round is a tick: partitions fire only events at exactly T (run
-// bound pinned to T, the same yield a sequential engine with a pending
-// event at T takes), the hub drains T, and messages are run — repeating
-// until the instant is exhausted.
+// per partition j, where injFloor_i lower-bounds the earliest future
+// packet injection partition i can make (the NICs' pipeline floors),
+// relFloor lower-bounds the earliest FIFO release anywhere, and
+// pairLook[i][j] is the minimum inject→consequence latency from any
+// node of partition i to any node of partition j through the mesh (hop
+// distance between the partitions' node sets; see SetPairLookahead).
+// The floors are cached per partition and recomputed by the worker that
+// just ran the partition's phase — or lazily when a delivered message
+// dirties a partition — instead of rescanning every NIC every round.
+// If min_j W_j > T the round is a window: every partition runs its node
+// phase to its own W_j in parallel, then the hub drains to min_j W_j;
+// no message can land inside the window, which the coordinator asserts.
+// Otherwise the round is a tick: partitions fire only events at exactly
+// T (run bound pinned to T, the same yield a sequential engine with a
+// pending event at T takes), the hub drains T, and messages are run —
+// repeating until the instant is exhausted.
 //
-// Parallelism is a WaitGroup fan-out per node phase; partition state
-// needs no locks because partitions are disjoint and the hub/message
-// phases run only while node phases are quiescent (the barrier provides
-// the happens-before edges).
+// Without a per-partition probe (SetProbe instead of SetPartProbes) the
+// edge collapses to the uniform probe() + lookahead of PR 7, which
+// remains the path for bare sim-level clusters.
+//
+// Parallelism is a persistent worker gang (see gang.go): one goroutine
+// per partition beyond the first, alive for the Cluster's lifetime,
+// driven by an atomic epoch barrier that spins briefly and then parks.
+// A round costs two atomic phases instead of P goroutine spawns.
+// Partition state needs no locks because partitions are disjoint and
+// the hub/message phases run only while node phases are quiescent (the
+// barrier's atomics provide the happens-before edges).
 //
 // # Exact single-step mode
 //
@@ -67,45 +90,108 @@ package sim
 
 import (
 	"fmt"
-	"sort"
-	"sync"
+	"time"
 )
 
-// Post is one node→hub action: run fn on the hub engine at time At in
+// PostFunc is the Post/Msg kind that carries a plain func() instead of a
+// typed record — the cold-path and test fallback.
+const PostFunc uint8 = 0
+
+// Post is one node→hub action, replayed on the hub engine at time At in
 // domain Dom (the posting node's domain, so replay order matches the
-// sequential interleaving).
+// sequential interleaving). Kind selects the fabric call and A/B/U/Ptr
+// carry its preextracted arguments, decoded by the Dispatcher; Kind
+// PostFunc runs Fn instead.
 type Post struct {
-	At  Time
-	Dom Domain
-	Fn  func()
+	At   Time
+	Dom  Domain
+	Kind uint8
+	A, B int64
+	U    uint64
+	Ptr  any
+	Fn   func()
+}
+
+// Msg is one hub→node action (a packet delivery or injector-free
+// callback), decoded by the Dispatcher; Kind PostFunc runs Fn.
+type Msg struct {
+	Kind uint8
+	A, B int64
+	Ptr  any
+	Fn   func()
+}
+
+// Dispatcher decodes typed posts and messages into machine calls. The
+// core glue installs one; clusters without a dispatcher may only carry
+// PostFunc records.
+type Dispatcher interface {
+	ApplyPost(Post)
+	ApplyMsg(Msg)
 }
 
 // deferred is one hub→node message, run after the hub phase that
-// produced it.
+// produced it under the domain the hub event chain carried.
 type deferred struct {
 	part int
 	at   Time
-	fn   func()
+	dom  Domain
+	m    Msg
+}
+
+// postEvent is a pooled hub-engine event that applies one replayed post.
+// The free list is coordinator-only state (replays are scheduled and
+// fired between node phases), so it needs no lock.
+type postEvent struct {
+	c    *Cluster
+	p    Post
+	next *postEvent
+}
+
+func (ev *postEvent) Fire() {
+	c, p := ev.c, ev.p
+	ev.p = Post{}
+	ev.next = c.freeEv
+	c.freeEv = ev
+	if p.Kind == PostFunc {
+		p.Fn()
+	} else {
+		c.disp.ApplyPost(p)
+	}
 }
 
 // Cluster runs one machine partitioned across several engines.
 type Cluster struct {
 	parts []*Engine
 	hub   *Engine
-	look  Time // minimum post→node-consequence latency (mesh flit time)
+	look  Time // minimum release→node-consequence latency (mesh flit time)
 	probe func() Time
+	disp  Dispatcher
+
+	// Adaptive per-partition lookahead (SetPartProbes/SetPairLookahead).
+	partProbe func(part int) (inj, rel Time)
+	pairLook  [][]Time // [from][to] inject→consequence floor; nil → uniform
+	injProbe  []Time   // cached per-partition injection floors
+	relProbe  []Time   // cached per-partition release floors
+	dirty     []bool   // partition probe caches needing recomputation
+	edges     []Time   // per-partition window edges for the current round
 
 	posts  [][]Post // per-partition post buffers (only owner appends)
-	merged []Post   // coordinator scratch for the sorted replay
+	heads  []int    // k-way merge cursors into posts
 	msgs   []deferred
+	freeEv *postEvent
 
 	// Sequential forces DrainBudget onto the exact single-step path
 	// (differential testing); Step/RunWhile/RunUntil always use it.
 	Sequential bool
 
-	// Parallel disables the goroutine fan-out when false (set for
+	// Parallel disables the worker gang when false (set for
 	// single-partition clusters); rounds still run, inline.
 	parallel bool
+
+	// gang holds the persistent node-phase workers, started lazily on
+	// the first parallel round and kept across Reset; Close stops it.
+	gang     *gang
+	gangIdle time.Duration // park timeout before a worker self-reaps
 
 	// pacer, when non-nil, observes the canonical global event order at
 	// its deadlines (see pacer.go). The coordinator paces before rounds
@@ -126,15 +212,53 @@ func NewCluster(parts []*Engine, hub *Engine, look Time) *Cluster {
 		hub:      hub,
 		look:     look,
 		posts:    make([][]Post, len(parts)),
+		heads:    make([]int, len(parts)),
+		injProbe: make([]Time, len(parts)),
+		relProbe: make([]Time, len(parts)),
+		dirty:    make([]bool, len(parts)),
+		edges:    make([]Time, len(parts)),
 		parallel: len(parts) > 1,
+		gangIdle: 250 * time.Millisecond,
 	}
+	c.markDirty()
 	return c
 }
 
-// SetProbe installs the lookahead probe: a lower bound on the earliest
-// simulated time any partition could make its next post. It is called
-// only between phases (never concurrently with node phases).
+// SetProbe installs the uniform lookahead probe: a lower bound on the
+// earliest simulated time any partition could make its next post. It is
+// called only between phases (never concurrently with node phases).
+// SetPartProbes supersedes it when installed.
 func (c *Cluster) SetProbe(f func() Time) { c.probe = f }
+
+// SetPartProbes installs the per-partition probe: lower bounds on the
+// earliest future packet injection (inj) and FIFO release (rel) the
+// partition's nodes can post. Results are cached; the cache for a
+// partition is refreshed by the worker that finishes its node phase and
+// invalidated when a message is delivered to it.
+func (c *Cluster) SetPartProbes(f func(part int) (inj, rel Time)) {
+	c.partProbe = f
+	c.markDirty()
+}
+
+// SetPairLookahead installs the partition-pair lookahead table:
+// table[i][j] lower-bounds the simulated delay between a packet
+// injection by partition i and any consequence visible to partition j
+// (derived from the mesh hop distance between the partitions' node
+// sets). The table must be square with one row per partition.
+func (c *Cluster) SetPairLookahead(table [][]Time) {
+	if len(table) != len(c.parts) {
+		panic("sim: pair lookahead table must have one row per partition")
+	}
+	for _, row := range table {
+		if len(row) != len(c.parts) {
+			panic("sim: pair lookahead table must be square")
+		}
+	}
+	c.pairLook = table
+}
+
+// SetDispatch installs the typed post/message decoder.
+func (c *Cluster) SetDispatch(d Dispatcher) { c.disp = d }
 
 // Parts returns the partition engines (for per-component wiring).
 func (c *Cluster) Parts() []*Engine { return c.parts }
@@ -149,11 +273,26 @@ func (c *Cluster) PostTo(part int, p Post) {
 	c.posts[part] = append(c.posts[part], p)
 }
 
-// Defer records a hub→node message for partition part at the hub's
-// current time; the coordinator runs it after the hub phase. Only hub
-// events may call it.
-func (c *Cluster) Defer(part int, fn func()) {
-	c.msgs = append(c.msgs, deferred{part: part, at: c.hub.Now(), fn: fn})
+// DeferMsg records a hub→node message for partition part at the hub's
+// current time and domain; the coordinator runs it after the hub phase.
+// Only hub events may call it.
+func (c *Cluster) DeferMsg(part int, m Msg) {
+	c.msgs = append(c.msgs, deferred{part: part, at: c.hub.Now(), dom: c.hub.Domain(), m: m})
+}
+
+// Defer records a plain-func message (see DeferMsg).
+func (c *Cluster) Defer(part int, fn func()) { c.DeferMsg(part, Msg{Fn: fn}) }
+
+// Close stops the persistent worker gang, if one was started. The
+// cluster remains usable — the next parallel round starts a fresh gang —
+// so Close is safe to call at any quiescent point. Idle workers also
+// self-reap after gangIdle, so an abandoned Cluster does not leak
+// goroutines forever even without Close.
+func (c *Cluster) Close() {
+	if c.gang != nil {
+		c.gang.stop()
+		c.gang = nil
+	}
 }
 
 // Now returns the cluster's observable time: the furthest any engine
@@ -224,16 +363,28 @@ func (c *Cluster) Failed() error {
 func (c *Cluster) Fail(err error) { c.hub.Fail(err) }
 
 // Reset returns every engine to time zero and discards buffered posts
-// and messages.
+// and messages. The worker gang, if started, survives — it holds wiring,
+// not simulated state — so a reused Machine pays the spawn cost once.
 func (c *Cluster) Reset() {
 	c.hub.Reset()
 	for _, e := range c.parts {
 		e.Reset()
 	}
 	for i := range c.posts {
+		clear(c.posts[i])
 		c.posts[i] = c.posts[i][:0]
+		c.heads[i] = 0
 	}
+	clear(c.msgs)
 	c.msgs = c.msgs[:0]
+	c.markDirty()
+}
+
+// markDirty invalidates every partition's cached probe floors.
+func (c *Cluster) markDirty() {
+	for i := range c.dirty {
+		c.dirty[i] = true
+	}
 }
 
 // nextTime returns the earliest pending event time across all engines.
@@ -247,96 +398,208 @@ func (c *Cluster) nextTime() Time {
 	return t
 }
 
+// schedulePost schedules one replayed post on the hub heap through the
+// pooled event free list — no allocation in steady state.
+func (c *Cluster) schedulePost(p Post) {
+	ev := c.freeEv
+	if ev == nil {
+		ev = &postEvent{c: c}
+	} else {
+		c.freeEv = ev.next
+		ev.next = nil
+	}
+	ev.p = p
+	c.hub.ScheduleDom(p.Dom, p.At, ev)
+}
+
 // flushPosts replays buffered posts onto the hub engine in canonical
-// order: (time, domain) sorted, creation order within a domain (the sort
-// is stable and each partition's buffer is already in creation order;
-// one domain never spans partitions). The hub heap's (at, dom, seq) key
-// then interleaves them with fabric events exactly as a single shared
-// heap would have.
+// order: (time, domain) sorted, creation order within a domain. Each
+// partition's buffer is already in that order on its own — an engine
+// fires events in nondecreasing (at, dom) order and one domain never
+// spans partitions — so the replay is an allocation-free k-way merge
+// over the per-partition buffers (lowest partition index wins exact
+// (time, domain) ties, matching what a stable sort of the concatenated
+// buffers produced). The hub heap's (at, dom, seq) key then interleaves
+// the replays with fabric events exactly as a single shared heap would.
 func (c *Cluster) flushPosts() {
-	m := c.merged[:0]
+	total := 0
 	for i := range c.posts {
-		m = append(m, c.posts[i]...)
-		c.posts[i] = c.posts[i][:0]
+		total += len(c.posts[i])
 	}
-	if len(m) == 0 {
-		c.merged = m
-		return
-	}
-	sort.SliceStable(m, func(a, b int) bool {
-		if m[a].At != m[b].At {
-			return m[a].At < m[b].At
+	for n := 0; n < total; n++ {
+		best := -1
+		var ba Time
+		var bd Domain
+		for i := range c.posts {
+			h := c.heads[i]
+			if h >= len(c.posts[i]) {
+				continue
+			}
+			p := &c.posts[i][h]
+			if best < 0 || p.At < ba || (p.At == ba && p.Dom < bd) {
+				best, ba, bd = i, p.At, p.Dom
+			}
 		}
-		return m[a].Dom < m[b].Dom
-	})
-	for i := range m {
-		c.hub.AtDom(m[i].Dom, m[i].At, m[i].Fn)
+		c.schedulePost(c.posts[best][c.heads[best]])
+		c.heads[best]++
 	}
-	clear(m)
-	c.merged = m[:0]
+	for i := range c.posts {
+		clear(c.posts[i])
+		c.posts[i] = c.posts[i][:0]
+		c.heads[i] = 0
+	}
+}
+
+// applyMsg runs one decoded hub→node message body.
+func (c *Cluster) applyMsg(m Msg) {
+	if m.Kind == PostFunc {
+		m.Fn()
+	} else {
+		c.disp.ApplyMsg(m)
+	}
 }
 
 // flushMsgs runs buffered hub→node messages in hub execution order,
 // advancing the target partition's clock to the message time first (safe:
 // nothing earlier can be pending, the message time is the current global
-// instant).
+// instant) and entering the domain the hub chain carried. Each delivery
+// dirties its partition's probe cache — a delivered packet can start the
+// deposit pipeline, lowering the release floor.
 func (c *Cluster) flushMsgs() {
 	for i := 0; i < len(c.msgs); i++ {
-		m := c.msgs[i]
-		e := c.parts[m.part]
-		e.AdvanceTo(m.at)
-		m.fn()
+		d := c.msgs[i]
+		e := c.parts[d.part]
+		e.AdvanceTo(d.at)
+		prev := e.EnterDomain(d.dom)
+		c.applyMsg(d.m)
+		e.EnterDomain(prev)
+		c.dirty[d.part] = true
 	}
+	clear(c.msgs)
 	c.msgs = c.msgs[:0]
 }
 
-// nodePhase runs fn over every partition engine — concurrently when the
-// cluster is parallel, inline otherwise. It is the only place goroutines
-// touch partition state; the WaitGroup barrier publishes everything back
-// to the coordinator.
-func (c *Cluster) nodePhase(fn func(*Engine)) {
+// runPhase executes one partition's node phase — runWindow to its own
+// edge or runAt the tick instant — then refreshes the partition's probe
+// cache in place. It runs on the owning gang worker (or the coordinator
+// for partition 0 and inline phases), which parallelizes the NIC floor
+// scan that a single coordinator used to pay for every round.
+func (c *Cluster) runPhase(i int, op uint32, tickT Time) {
+	e := c.parts[i]
+	if op == opWindow {
+		e.runWindow(c.edges[i])
+	} else {
+		e.runAt(tickT)
+	}
+	if c.partProbe != nil {
+		c.injProbe[i], c.relProbe[i] = c.partProbe(i)
+		c.dirty[i] = false
+	}
+}
+
+// nodePhase runs one phase over every partition engine — through the
+// persistent gang when the cluster is parallel (the coordinator takes
+// partition 0 itself), inline otherwise.
+func (c *Cluster) nodePhase(op uint32, tickT Time) {
 	if !c.parallel {
-		for _, e := range c.parts {
-			fn(e)
+		for i := range c.parts {
+			c.runPhase(i, op, tickT)
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	for _, e := range c.parts {
-		wg.Add(1)
-		go func(e *Engine) {
-			defer wg.Done()
-			fn(e)
-		}(e)
+	if c.gang == nil {
+		c.gang = newGang(c)
 	}
-	wg.Wait()
+	e := c.gang.dispatch(op, tickT)
+	c.runPhase(0, op, tickT)
+	c.gang.waitDone(e)
 }
 
-// windowEdge returns the horizon W for a round starting at global time
-// T: events strictly before W can fire without rendezvous. W > T selects
-// a windowed round; W == T a tick round.
-func (c *Cluster) windowEdge(T Time) Time {
-	w := c.hub.NextEventAt()
-	p := Forever
-	if c.probe != nil {
-		p = c.probe()
+// satAdd is a Forever-saturating Time addition.
+func satAdd(a, b Time) Time {
+	if a > Forever-b {
+		return Forever
 	}
-	if p < T {
-		p = T // a probe may lag; posts can never be scheduled in the past
-	}
-	if p < Forever-c.look {
-		if edge := p + c.look; edge < w {
-			w = edge
-		}
-	}
+	return a + b
+}
+
+// windowEdges computes each partition's horizon W_j for a round starting
+// at global time T and returns the minimum; events strictly before W_j
+// can fire on partition j without rendezvous. min > T selects a windowed
+// round; min == T a tick round. Probe floors are clamped at T (a cached
+// floor may lag; posts can never be scheduled in the past).
+func (c *Cluster) windowEdges(T Time) Time {
+	hubNext := c.hub.NextEventAt()
+	deadline := Forever
 	if c.pacer != nil {
 		// Never fire an event at/after a pending observation deadline:
 		// end the window there so the pacer sees the exact cut.
-		if d := c.pacer.NextDeadline(); d < w {
-			w = d
+		deadline = c.pacer.NextDeadline()
+	}
+	if c.partProbe == nil || c.pairLook == nil {
+		// Uniform mode: one probe, one lookahead, one shared edge.
+		w := hubNext
+		p := Forever
+		if c.probe != nil {
+			p = c.probe()
+		}
+		if p < T {
+			p = T
+		}
+		if edge := satAdd(p, c.look); edge < w {
+			w = edge
+		}
+		if deadline < w {
+			w = deadline
+		}
+		for i := range c.edges {
+			c.edges[i] = w
+		}
+		return w
+	}
+	for i := range c.parts {
+		if c.dirty[i] {
+			c.injProbe[i], c.relProbe[i] = c.partProbe(i)
+			c.dirty[i] = false
 		}
 	}
-	return w
+	// FIFO releases unblock parked worms anywhere in the mesh, so their
+	// floor stays global: consequence >= earliest release + one flit.
+	rel := Forever
+	for i := range c.parts {
+		r := c.relProbe[i]
+		if r < T {
+			r = T
+		}
+		if r < rel {
+			rel = r
+		}
+	}
+	relEdge := satAdd(rel, c.look)
+	wmin := Forever
+	for j := range c.parts {
+		w := hubNext
+		if relEdge < w {
+			w = relEdge
+		}
+		for i := range c.parts {
+			p := c.injProbe[i]
+			if p < T {
+				p = T
+			}
+			if edge := satAdd(p, c.pairLook[i][j]); edge < w {
+				w = edge
+			}
+		}
+		if deadline < w {
+			w = deadline
+		}
+		c.edges[j] = w
+		if w < wmin {
+			wmin = w
+		}
+	}
+	return wmin
 }
 
 // round executes one rendezvous round; it reports false when no events
@@ -349,7 +612,7 @@ func (c *Cluster) round() bool {
 	if c.pacer != nil {
 		pace(c.pacer, T)
 	}
-	if w := c.windowEdge(T); w > T {
+	if w := c.windowEdges(T); w > T {
 		c.windowRound(w)
 	} else {
 		c.tickRound(T)
@@ -357,21 +620,22 @@ func (c *Cluster) round() bool {
 	return true
 }
 
-// windowRound fires every node event strictly before w in parallel, then
-// drains the hub to w. The lookahead bound guarantees the hub cannot
-// produce node-side work inside the window.
-func (c *Cluster) windowRound(w Time) {
-	c.nodePhase(func(e *Engine) { e.runWindow(w) })
+// windowRound fires every node event strictly before its partition's
+// edge in parallel, then drains the hub to the minimum edge. The
+// lookahead bounds guarantee the hub cannot produce node-side work
+// inside any partition's window.
+func (c *Cluster) windowRound(wmin Time) {
+	c.nodePhase(opWindow, 0)
 	c.flushPosts()
 	for {
 		at, _, ok := c.hub.headKey()
-		if !ok || at >= w || c.hub.failure != nil {
+		if !ok || at >= wmin || c.hub.failure != nil {
 			break
 		}
 		c.hub.Step()
 	}
 	if len(c.msgs) != 0 {
-		panic(fmt.Sprintf("sim: cluster lookahead violated: %d message(s) produced inside window ending %v", len(c.msgs), w))
+		panic(fmt.Sprintf("sim: cluster lookahead violated: %d message(s) produced inside window ending %v", len(c.msgs), wmin))
 	}
 }
 
@@ -381,7 +645,7 @@ func (c *Cluster) windowRound(w Time) {
 // delivery, thaw), hence the loop.
 func (c *Cluster) tickRound(T Time) {
 	for {
-		c.nodePhase(func(e *Engine) { e.runAt(T) })
+		c.nodePhase(opTick, T)
 		c.flushPosts()
 		for {
 			at, _, ok := c.hub.headKey()
@@ -498,6 +762,9 @@ func (c *Cluster) stepBounded(callerBound Time) bool {
 		consider(o)
 	}
 	c.stepOn(e, limit)
+	// Exact steps bypass the per-phase probe refresh; a later round must
+	// rescan every partition.
+	c.markDirty()
 	return true
 }
 

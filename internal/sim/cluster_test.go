@@ -1,0 +1,325 @@
+package sim
+
+import (
+	"math/rand"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+)
+
+// orderDispatcher records the order typed posts and messages are
+// applied in (by their A argument).
+type orderDispatcher struct {
+	posts []int64
+	msgs  []int64
+}
+
+func (d *orderDispatcher) ApplyPost(p Post) { d.posts = append(d.posts, p.A) }
+func (d *orderDispatcher) ApplyMsg(m Msg)   { d.msgs = append(d.msgs, m.A) }
+
+// TestKWayMergeMatchesStableSort property-tests the allocation-free
+// k-way replay merge against the reference it replaced: a stable sort
+// by (time, domain) over the concatenated per-partition buffers. The
+// streams deliberately include equal-time and equal-(time, domain)
+// cross-partition ties — a real machine never produces the latter (a
+// domain lives on one partition), but the merge must still break them
+// like the stable sort did: lowest partition index first.
+func TestKWayMergeMatchesStableSort(t *testing.T) {
+	type rec struct {
+		at  Time
+		dom Domain
+		id  int64
+	}
+	for _, P := range []int{2, 3, 5, 8} {
+		for seed := int64(1); seed <= 3; seed++ {
+			rng := rand.New(rand.NewSource(seed*100 + int64(P)))
+			parts := make([]*Engine, P)
+			for i := range parts {
+				parts[i] = NewEngine()
+			}
+			hub := NewEngine()
+			c := NewCluster(parts, hub, 10)
+			d := &orderDispatcher{}
+			c.SetDispatch(d)
+
+			var id int64
+			streams := make([][]rec, P)
+			for p := range streams {
+				// Every stream opens with the same (time, domain) record,
+				// forcing exact cross-partition ties.
+				streams[p] = append(streams[p], rec{at: 5, dom: 2})
+				at := Time(rng.Intn(4))
+				for k := 0; k < 20+rng.Intn(60); k++ {
+					at += Time(rng.Intn(3)) // frequent equal-time collisions
+					streams[p] = append(streams[p], rec{at: at, dom: Domain(1 + rng.Intn(4))})
+				}
+				// A partition buffer arrives in its engine's firing order:
+				// nondecreasing (at, dom), creation order within a key.
+				sort.SliceStable(streams[p], func(a, b int) bool {
+					if streams[p][a].at != streams[p][b].at {
+						return streams[p][a].at < streams[p][b].at
+					}
+					return streams[p][a].dom < streams[p][b].dom
+				})
+				for k := range streams[p] {
+					streams[p][k].id = id
+					id++
+				}
+			}
+
+			// Reference: stable sort of the concatenated buffers.
+			var all []rec
+			for p := range streams {
+				all = append(all, streams[p]...)
+			}
+			sort.SliceStable(all, func(a, b int) bool {
+				if all[a].at != all[b].at {
+					return all[a].at < all[b].at
+				}
+				return all[a].dom < all[b].dom
+			})
+
+			for p := range streams {
+				for _, r := range streams[p] {
+					c.PostTo(p, Post{At: r.at, Dom: r.dom, Kind: 99, A: r.id})
+				}
+			}
+			c.flushPosts()
+			for hub.Step() {
+			}
+
+			if len(d.posts) != len(all) {
+				t.Fatalf("P=%d seed=%d: replayed %d posts, want %d", P, seed, len(d.posts), len(all))
+			}
+			for i := range all {
+				if d.posts[i] != all[i].id {
+					t.Fatalf("P=%d seed=%d: replay[%d] = id %d, want %d (at=%v dom=%v)",
+						P, seed, i, d.posts[i], all[i].id, all[i].at, all[i].dom)
+				}
+			}
+		}
+	}
+}
+
+// waitGoroutines polls until the process goroutine count returns to (or
+// under) base, failing the test after a generous deadline.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("goroutine count %d never returned to baseline %d", runtime.NumGoroutine(), base)
+}
+
+// gangCluster builds a P-partition cluster with per-partition counters
+// and a schedule func that loads rounds of node events onto each
+// partition (starting strictly after the engines' current clocks).
+func gangCluster(p int) (c *Cluster, counts []int, schedule func(rounds int)) {
+	parts := make([]*Engine, p)
+	for i := range parts {
+		parts[i] = NewEngine()
+		parts[i].EnterDomain(DomNode(i))
+	}
+	hub := NewEngine()
+	hub.EnterDomain(DomHub)
+	c = NewCluster(parts, hub, 10)
+	counts = make([]int, p)
+	schedule = func(rounds int) {
+		for i := range parts {
+			i := i
+			base := parts[i].Now()
+			for k := 1; k <= rounds; k++ {
+				parts[i].At(base+Time(k*100+i), func() { counts[i]++ })
+			}
+		}
+	}
+	return c, counts, schedule
+}
+
+// TestGangCleanShutdown: Close terminates every worker (goleak-style
+// count check) and the cluster keeps working afterwards — the next
+// parallel round starts a fresh gang.
+func TestGangCleanShutdown(t *testing.T) {
+	base := runtime.NumGoroutine()
+	c, counts, schedule := gangCluster(4)
+	schedule(5)
+	if err := c.DrainBudget(1000); err != nil {
+		t.Fatal(err)
+	}
+	if c.gang == nil {
+		t.Fatal("parallel drain did not start the worker gang")
+	}
+	c.Close()
+	if c.gang != nil {
+		t.Fatal("Close left the gang installed")
+	}
+	waitGoroutines(t, base)
+
+	schedule(3)
+	if err := c.DrainBudget(1000); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range counts {
+		if n != 8 {
+			t.Fatalf("partition %d fired %d events, want 8", i, n)
+		}
+	}
+	c.Close()
+	waitGoroutines(t, base)
+}
+
+// TestGangIdleSelfReap: without Close, parked workers reap themselves
+// after the idle timeout, and the next round transparently respawns
+// them.
+func TestGangIdleSelfReap(t *testing.T) {
+	base := runtime.NumGoroutine()
+	c, counts, schedule := gangCluster(4)
+	c.gangIdle = 5 * time.Millisecond
+	schedule(5)
+	if err := c.DrainBudget(1000); err != nil {
+		t.Fatal(err)
+	}
+	waitGoroutines(t, base) // self-reap, no Close
+
+	schedule(5) // respawn on demand
+	if err := c.DrainBudget(1000); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range counts {
+		if n != 10 {
+			t.Fatalf("partition %d fired %d events, want 10", i, n)
+		}
+	}
+	c.Close()
+	waitGoroutines(t, base)
+}
+
+// TestGangSurvivesReset: Machine.Reset reuses the cluster; the gang is
+// wiring, not simulated state, so it must survive and the reset cluster
+// must replay the identical workload.
+func TestGangSurvivesReset(t *testing.T) {
+	c, counts, schedule := gangCluster(3)
+	schedule(4)
+	if err := c.DrainBudget(1000); err != nil {
+		t.Fatal(err)
+	}
+	g := c.gang
+	if g == nil {
+		t.Fatal("gang not started")
+	}
+	c.Reset()
+	if c.gang != g {
+		t.Fatal("Reset replaced the gang")
+	}
+	schedule(4)
+	if err := c.DrainBudget(1000); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range counts {
+		if n != 8 {
+			t.Fatalf("partition %d fired %d events across reuse, want 8", i, n)
+		}
+	}
+	c.Close()
+}
+
+// TestGangPacerDeadlineWindowEdge: with the gang engaged, a pacer
+// deadline that lands exactly on a window edge caps the round there —
+// workers park and wake across the cut and the pacer observes the same
+// canonical cuts the sequential step path produces.
+func TestGangPacerDeadlineWindowEdge(t *testing.T) {
+	parts := []*Engine{NewEngine(), NewEngine(), NewEngine()}
+	for i, e := range parts {
+		e.EnterDomain(DomNode(i))
+	}
+	hub := NewEngine()
+	hub.EnterDomain(DomHub)
+	c := NewCluster(parts, hub, 10)
+
+	fired := make([]int, 3)
+	for i := range parts {
+		i := i
+		for _, at := range []Time{3 + Time(i), 13 + Time(i), 23 + Time(i), 33 + Time(i)} {
+			parts[i].At(at, func() { fired[i]++ })
+		}
+	}
+	total := func() uint64 { return uint64(fired[0] + fired[1] + fired[2]) }
+	p := newRecordingPacer(10, total)
+	c.SetPacer(p)
+	if err := c.DrainBudget(1000); err != nil {
+		t.Fatal(err)
+	}
+	if c.gang == nil {
+		t.Fatal("gang not started")
+	}
+	// Twelve events at 3..5, 13..15, 23..25, 33..35; deadlines 10, 20,
+	// 30 land on the window edges and cut after 3, 6, 9 events.
+	want := []cut{{10, 0, 3}, {20, 0, 6}, {30, 0, 9}}
+	if len(p.cuts) != len(want) {
+		t.Fatalf("cuts %+v", p.cuts)
+	}
+	for i := range want {
+		got := p.cuts[i]
+		if got.deadline != want[i].deadline || got.state != want[i].state {
+			t.Fatalf("cut %d = %+v, want deadline %v state %d", i, got, want[i].deadline, want[i].state)
+		}
+		if got.head < got.deadline {
+			t.Fatalf("cut %d head %v precedes deadline %v", i, got.head, got.deadline)
+		}
+	}
+	if total() != 12 {
+		t.Fatalf("fired %d events, want 12", total())
+	}
+	c.Close()
+}
+
+// countDispatcher is the zero-alloc benchmark's decoder: preallocated,
+// counts applications.
+type countDispatcher struct {
+	posts, msgs int
+}
+
+func (d *countDispatcher) ApplyPost(p Post) { d.posts++ }
+func (d *countDispatcher) ApplyMsg(m Msg)   { d.msgs++ }
+
+// BenchmarkClusterPost drives the full typed rendezvous data path —
+// per-partition PostTo, k-way merge replay through the pooled hub
+// events, hub drain, and a typed deferred message — and must allocate
+// nothing in steady state (ci.sh greps for 0 allocs/op).
+func BenchmarkClusterPost(b *testing.B) {
+	parts := make([]*Engine, 4)
+	for i := range parts {
+		parts[i] = NewEngine()
+		parts[i].EnterDomain(DomNode(i))
+	}
+	hub := NewEngine()
+	hub.EnterDomain(DomHub)
+	c := NewCluster(parts, hub, 10)
+	d := &countDispatcher{}
+	c.SetDispatch(d)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	at := Time(1)
+	for n := 0; n < b.N; n++ {
+		for p := range parts {
+			c.PostTo(p, Post{At: at, Dom: DomNode(p), Kind: 99, A: int64(p)})
+			c.PostTo(p, Post{At: at + 1, Dom: DomNode(p), Kind: 99, A: int64(p)})
+		}
+		c.flushPosts()
+		for hub.Step() {
+		}
+		c.DeferMsg(0, Msg{Kind: 99, A: 1})
+		c.flushMsgs()
+		at += 2
+	}
+	b.StopTimer()
+	if d.posts != 8*b.N || d.msgs != b.N {
+		b.Fatalf("dispatched %d posts / %d msgs, want %d / %d", d.posts, d.msgs, 8*b.N, b.N)
+	}
+}

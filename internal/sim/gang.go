@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// The persistent worker gang: one goroutine per partition beyond the
+// first, alive across rounds (and across Machine.Reset), driven by an
+// atomic epoch barrier. The coordinator publishes the phase (op, tick
+// instant, per-partition window edges — all plain fields written before
+// the epoch bump, read after the epoch load; sequentially consistent
+// atomics give the happens-before edges) and bumps the epoch; each
+// worker spins briefly on the epoch, then parks on a channel. A round
+// therefore costs two atomic phases — dispatch and join — instead of P
+// goroutine spawns and a WaitGroup.
+//
+// Lifecycle: workers are spawned lazily by the first parallel round,
+// stopped by Cluster.Close (opExit), and self-reap after sitting parked
+// for gangIdle — an abandoned Cluster (a benchmark harness dropping a
+// Machine between partition counts) stops costing goroutines without a
+// finalizer. The dispatcher respawns reaped workers on the next round,
+// so reaping is invisible apart from a one-off spawn cost.
+
+// Phase opcodes, published in gang.op (and consumed by Cluster.runPhase).
+const (
+	opWindow uint32 = iota + 1 // runWindow(edges[i])
+	opTick                     // runAt(tickT)
+	opExit                     // terminate the worker
+)
+
+// Worker states for the park/reap handshake.
+const (
+	wRun    int32 = iota // processing or spinning on the epoch
+	wParked              // blocked on park (or about to be)
+	wDead                // self-reaped after an idle timeout
+)
+
+type gangWorker struct {
+	state atomic.Int32
+	done  atomic.Uint64 // last epoch fully processed
+	park  chan struct{} // wake token, capacity 1
+	timer *time.Timer
+	_     [64]byte // keep hot done/state words off shared cache lines
+}
+
+type gang struct {
+	c     *Cluster
+	epoch atomic.Uint64
+	op    uint32 // published by the epoch bump
+	tickT Time   // published by the epoch bump
+
+	coordParked atomic.Bool
+	coordPark   chan struct{}
+
+	spin    int // epoch spin budget before parking (0 on 1-CPU hosts)
+	idle    time.Duration
+	workers []gangWorker // index 0 unused: the coordinator runs partition 0
+}
+
+func newGang(c *Cluster) *gang {
+	g := &gang{
+		c:         c,
+		coordPark: make(chan struct{}, 1),
+		idle:      c.gangIdle,
+		workers:   make([]gangWorker, len(c.parts)),
+	}
+	if runtime.GOMAXPROCS(0) > 1 {
+		g.spin = 4096
+	}
+	for i := 1; i < len(g.workers); i++ {
+		w := &g.workers[i]
+		w.park = make(chan struct{}, 1)
+		w.timer = time.NewTimer(g.idle)
+		if !w.timer.Stop() {
+			<-w.timer.C
+		}
+		go g.work(i, g.epoch.Load())
+	}
+	return g
+}
+
+// dispatch publishes one phase and wakes (or respawns) every worker,
+// returning the new epoch. Only the coordinator calls it, strictly
+// alternating with waitDone.
+func (g *gang) dispatch(op uint32, tickT Time) uint64 {
+	g.op, g.tickT = op, tickT
+	e := g.epoch.Add(1)
+	for i := 1; i < len(g.workers); i++ {
+		w := &g.workers[i]
+		s := w.state.Load()
+		if s == wParked {
+			if w.state.CompareAndSwap(wParked, wRun) {
+				// The park channel is empty whenever a worker is parked
+				// (every token is consumed before the next park), so
+				// this send cannot block.
+				w.park <- struct{}{}
+				continue
+			}
+			s = w.state.Load() // lost the claim to the idle reaper
+		}
+		if s == wDead {
+			w.state.Store(wRun)
+			w.done.Store(e - 1)
+			go g.work(i, e-1)
+		}
+		// s == wRun: the worker is spinning and will observe the epoch.
+	}
+	return e
+}
+
+// waitDone joins the phase: blocks until every worker has processed
+// epoch e. After dispatch, no worker can park before finishing e (the
+// epoch check precedes every park), so waiting on done alone suffices.
+func (g *gang) waitDone(e uint64) {
+	for i := 1; i < len(g.workers); i++ {
+		w := &g.workers[i]
+		if w.done.Load() >= e {
+			continue
+		}
+		for s := 0; s < g.spin; s++ {
+			if w.done.Load() >= e {
+				break
+			}
+			if s&63 == 63 {
+				runtime.Gosched()
+			}
+		}
+		for w.done.Load() < e {
+			g.coordParked.Store(true)
+			if w.done.Load() >= e {
+				g.coordParked.Store(false)
+				break
+			}
+			<-g.coordPark
+		}
+	}
+}
+
+// wake unparks the coordinator if it declared intent to park. A stale
+// token (the coordinator saw done and broke without receiving) is
+// consumed as a spurious wakeup by the next park loop, so the CAS plus
+// capacity-1 buffer never deadlocks.
+func (g *gang) wake() {
+	if g.coordParked.CompareAndSwap(true, false) {
+		select {
+		case g.coordPark <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// stop terminates every worker (used by Cluster.Close). Respawned-dead
+// and parked workers are handled by dispatch; join via waitDone since
+// exiting workers publish done like any phase.
+func (g *gang) stop() {
+	e := g.dispatch(opExit, 0)
+	g.waitDone(e)
+}
+
+// work is one worker's loop: await an epoch, run the published phase on
+// partition i, publish done, repeat.
+func (g *gang) work(i int, last uint64) {
+	w := &g.workers[i]
+	for {
+		e, ok := g.await(w, last)
+		if !ok {
+			return // idle self-reap; dispatch respawns on demand
+		}
+		last = e
+		if g.op == opExit {
+			w.done.Store(e)
+			g.wake()
+			return
+		}
+		g.c.runPhase(i, g.op, g.tickT)
+		w.done.Store(e)
+		g.wake()
+	}
+}
+
+// await blocks until the epoch moves past last, spinning briefly before
+// parking. It returns ok=false when the worker reaped itself after
+// sitting parked for the idle timeout.
+func (g *gang) await(w *gangWorker, last uint64) (uint64, bool) {
+	for s := 0; s < g.spin; s++ {
+		if e := g.epoch.Load(); e != last {
+			return e, true
+		}
+		if s&63 == 63 {
+			runtime.Gosched()
+		}
+	}
+	for {
+		w.state.Store(wParked)
+		if e := g.epoch.Load(); e != last {
+			if !w.state.CompareAndSwap(wParked, wRun) {
+				// The dispatcher claimed us concurrently and sent (or is
+				// about to send) a token; drain it so it cannot alias a
+				// future park.
+				<-w.park
+			}
+			return e, true
+		}
+		w.timer.Reset(g.idle)
+		select {
+		case <-w.park:
+			// The dispatcher set wRun before sending; loop to load the
+			// new epoch.
+			w.timer.Stop()
+		case <-w.timer.C:
+			if w.state.CompareAndSwap(wParked, wDead) {
+				return 0, false
+			}
+			// Lost the race with a concurrent dispatch: consume its
+			// token and continue.
+			<-w.park
+		}
+	}
+}
