@@ -67,6 +67,21 @@ go run ./cmd/shrimp-faults -workers 1 -bytes 32768 > /tmp/shrimp-faults-b.txt
 cmp /tmp/shrimp-faults-a.txt /tmp/shrimp-faults-b.txt
 go test -run '^$' -bench 'BenchmarkStore' -benchtime 1000x -benchmem ./internal/nic | grep 'BenchmarkStore' | awk '!/ 0 allocs\/op/ {bad=1} END {exit bad}'
 go run ./cmd/shrimp-bench -iters 3 -only faults -compare BENCH_5.json -tol 0.5 -o /dev/null
+# Crash-survival guards. The chaos soak (16 nodes, two staggered
+# mid-workload crashes, Survivable armed) and the rest of the
+# degraded-mode suite run under the race detector at both ends of the
+# scheduler-parallelism range; the availability sweep must print
+# byte-identically run to run and across partition counts; and the
+# peer-down emit suppression (the degraded-mode hot path) must stay
+# allocation-free.
+GOMAXPROCS=1 go test -race -count 1 -run 'TestCrashSurvival|TestSurvivable|TestHeartbeat|TestShootdownCrash|TestDestroyProcessSurvives|TestReestablishDegrades' ./internal/core
+GOMAXPROCS=8 go test -race -count 1 -run 'TestCrashSurvival|TestSurvivable|TestHeartbeat|TestShootdownCrash|TestDestroyProcessSurvives|TestReestablishDegrades' ./internal/core
+go run -race ./cmd/shrimp-faults -avail 0,1,2 -w 4 -h 4 > /tmp/shrimp-avail-a.txt
+go run ./cmd/shrimp-faults -avail 0,1,2 -w 4 -h 4 > /tmp/shrimp-avail-b.txt
+go run ./cmd/shrimp-faults -avail 0,1,2 -w 4 -h 4 -partitions 4 > /tmp/shrimp-avail-p.txt
+cmp /tmp/shrimp-avail-a.txt /tmp/shrimp-avail-b.txt
+cmp /tmp/shrimp-avail-a.txt /tmp/shrimp-avail-p.txt
+go test -run '^$' -bench 'BenchmarkStorePeerDown' -benchtime 1000x -benchmem ./internal/nic | grep 'BenchmarkStorePeerDown' | grep -q ' 0 allocs/op'
 # Simulator-performance regression gate: rerun the benchmark suite and
 # compare events/sec and allocs/op against the committed BENCH_3.json
 # snapshot. Few iterations keep this a smoke test; BENCH_4.json is the

@@ -9,6 +9,14 @@
 //	shrimp-faults                          # default ladder to 5% loss
 //	shrimp-faults -drops 0,10000,100000    # custom ppm ladder
 //	shrimp-faults -seed 7 -w 4 -h 4        # corner-to-corner on a 4x4 mesh
+//	shrimp-faults -avail 0,1,2 -w 4 -h 4   # availability vs crashed nodes
+//
+// The -avail mode swaps the loss ladder for a crash ladder: a ring
+// workload runs with Survivable mode armed while the fault plan crashes
+// 0, 1, 2... nodes mid-run, and each point reports the survivors'
+// verified goodput, the failure-detector and teardown accounting, and a
+// checksum of every surviving receive page (bit-identical across runs,
+// partition counts, and resets).
 package main
 
 import (
@@ -31,11 +39,22 @@ func main() {
 	transfer := flag.Int("transfer", 1024, "bytes per deliberate-update transfer")
 	total := flag.Int("bytes", 128*1024, "total payload bytes per point")
 	workers := flag.Int("workers", 1, "sweep worker-pool size (0 = GOMAXPROCS)")
+	avail := flag.String("avail", "", "availability mode: comma-separated crashed-node counts (e.g. 0,1,2)")
+	rounds := flag.Int("rounds", 6, "availability mode: write rounds per flow")
+	words := flag.Int("words", 64, "availability mode: words per round per flow")
+	partitions := flag.Int("partitions", 0, "availability mode: simulation engine partitions (0/1 = sequential)")
+	crashAt := flag.Int("crashat", 450, "availability mode: first crash time in microseconds")
+	stagger := flag.Int("stagger", 120, "availability mode: gap between crashes in microseconds")
 	flag.Parse()
 
 	g := shrimp.GenXpress
 	if *gen == "eisa" {
 		g = shrimp.GenEISAPrototype
+	}
+	if *avail != "" {
+		availMode(*w, *h, g, *seed, *avail, *rounds, *words, *partitions, *workers,
+			shrimp.Time(*crashAt)*shrimp.Microsecond, shrimp.Time(*stagger)*shrimp.Microsecond)
+		return
 	}
 	ladder, err := parsePPM(*drops)
 	if err != nil {
@@ -71,6 +90,72 @@ func main() {
 			p.FaultDrops, p.Dups,
 			fmt.Sprintf("  %4d rexmit %4d ack %3d nack %3d dupdrop",
 				p.Retransmits, p.AcksSent, p.NacksSent, p.DupDrops),
+			p.LatP50, p.LatP99, p.LatP999)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// availMode runs the crash-survival availability sweep: same machine,
+// same printing discipline (two runs with the same flags are
+// byte-identical), but the ladder is crashed-node counts instead of
+// loss rates.
+func availMode(w, h int, g shrimp.Generation, seed uint64, counts string, rounds, words, partitions, workers int,
+	crashBase, crashStagger shrimp.Time) {
+	var crashes []int
+	for _, f := range strings.Split(counts, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.Atoi(f)
+		if err != nil || v < 0 || v > 2 {
+			fmt.Fprintf(os.Stderr, "shrimp-faults: bad crash count %q (want 0..2)\n", f)
+			os.Exit(1)
+		}
+		crashes = append(crashes, v)
+	}
+	if len(crashes) == 0 {
+		fmt.Fprintln(os.Stderr, "shrimp-faults: -avail is empty")
+		os.Exit(1)
+	}
+
+	cfg := shrimp.ConfigFor(w, h, g)
+	cfg.Metrics = true
+	cfg.Partitions = partitions
+	cfg.Faults = shrimp.FaultConfig{
+		Seed:       seed,
+		Reliable:   true,
+		Survivable: true,
+		Heartbeat:  200 * shrimp.Microsecond,
+		// A short budget and timeout keep detection latency small
+		// relative to the workload without changing its semantics.
+		RetryBudget: 6,
+		AckTimeout:  10 * shrimp.Microsecond,
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("availability sweep: %dx%d %s mesh, ring flows, %d rounds x %d words, crashes at %v +%v, seed %d\n",
+		w, h, g, rounds, words, crashBase, crashStagger, seed)
+	fmt.Println()
+	fmt.Printf("  %-8s %-12s %-16s %-36s %-18s %s\n",
+		"crashes", "flows", "verified", "failure detector", "memsum", "latency p50/p99/p999")
+	fmt.Printf("  %-8s %-12s %-16s %-36s %-18s %s\n",
+		"-------", "-----", "--------", "----------------", "------", "--------------------")
+	failed := false
+	for _, p := range shrimp.AvailabilitySweep(cfg, crashes, crashBase, crashStagger, rounds, words, workers) {
+		if p.Err != "" {
+			failed = true
+			fmt.Printf("  %7d  FAILED: %s\n", p.Crashes, p.Err)
+			continue
+		}
+		fmt.Printf("  %7d  %3d/%-3d good %8d words  %3d peer-downs %5d drops %4d torn  %016x  %v / %v / %v\n",
+			p.Crashes, p.GoodFlows, p.Flows, p.GoodWords,
+			p.PeerDowns, p.PeerDownDrops, p.MapsTorn, p.MemSum,
 			p.LatP50, p.LatP99, p.LatP999)
 	}
 	if failed {

@@ -187,6 +187,7 @@ func New(cfg Config) *Machine {
 		}
 		m.Clu = sim.NewCluster(m.Parts, eng, cfg.Mesh.Lookahead())
 		m.glue = &cluGlue{
+			m:       m,
 			mesh:    net,
 			eps:     make([]mesh.Endpoint, cfg.NodeCount()),
 			injFree: make([]func(), cfg.NodeCount()),
@@ -245,6 +246,15 @@ func New(cfg Config) *Machine {
 		if m.Faults != nil {
 			nicDev.SetFaults(m.Faults)
 			k.SetRingCRC(cfg.Faults.Reliable)
+			if cfg.Faults.Survivable {
+				// Crash survival: the NIC's failure detector feeds the
+				// kernel's quarantine pass, and the kernel's completed
+				// teardown pins a mark on the flight recorder timeline.
+				k.SetSurvivable(true)
+				nicDev.OnPeerDown = k.HandlePeerDown
+				observer := id
+				k.OnPeerDown = func(pd *fault.PeerDown) { m.notePeerDown(observer, pd) }
+			}
 		}
 		if m.Clu != nil {
 			// Harness syscalls must be timestamped at the cluster's

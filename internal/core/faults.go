@@ -48,6 +48,25 @@ func (m *Machine) applyFaults() {
 			}
 		}
 	}
+	// Survivable-mode heartbeat: per-node liveness sweeps, installed only
+	// when the plan actually crashes someone. Each sweep stops once every
+	// planned crash has been detected by its node (or the node itself is
+	// dead), so an otherwise-idle machine still quiesces and a plan with
+	// no crashes stays bit-identical to one without the heartbeat.
+	if fc.Survivable && fc.Heartbeat > 0 {
+		var targets []int
+		for _, nf := range fc.Nodes {
+			if nf.Kind == fault.NodeCrash {
+				targets = append(targets, nf.Node)
+			}
+		}
+		if len(targets) > 0 {
+			for id, node := range m.Nodes {
+				node.Eng.ScheduleDom(sim.DomNode(id), fc.Heartbeat,
+					&heartbeatEvent{node: node, period: fc.Heartbeat, targets: targets})
+			}
+		}
+	}
 }
 
 // nodeFaultEvent fires one scheduled node fault: crash (NIC dead + CPU
@@ -68,6 +87,56 @@ func (ev *nodeFaultEvent) Fire() {
 	default:
 		ev.node.CPU.Freeze()
 	}
+}
+
+// heartbeatEvent drives one node's periodic liveness sweep (Survivable
+// mode). Each firing pings every peer not yet declared dead; a crashed
+// receiver never acknowledges, so the reliable layer's retry budget
+// exhausts and the failure detector fires with a bounded detection time
+// even when no data traffic targets the dead node.
+type heartbeatEvent struct {
+	node    *Node
+	period  sim.Time
+	targets []int // node ids the fault plan crashes
+}
+
+func (ev *heartbeatEvent) Fire() {
+	n := ev.node
+	if n.NIC.Dead() {
+		return
+	}
+	undetected := false
+	for _, t := range ev.targets {
+		if t != int(n.ID) && !n.K.PeerIsDown(packet.NodeID(t)) {
+			undetected = true
+			break
+		}
+	}
+	if !undetected {
+		return // every planned crash detected: the sweep's job is done
+	}
+	n.K.Heartbeat()
+	n.Eng.ScheduleAfterDom(sim.DomNode(int(n.ID)), ev.period, ev)
+}
+
+// notePeerDown pins one failure-detector declaration to the flight
+// recorder timeline. The teardown already ran node-locally; only the
+// mark crosses to the recorder, and on a partitioned machine it rides a
+// typed post so the hub applies it in canonical order (mark sequences
+// stay bit-identical across partition counts).
+func (m *Machine) notePeerDown(observer int, pd *fault.PeerDown) {
+	if m.Rec == nil {
+		return
+	}
+	if m.Clu != nil {
+		node := m.Nodes[observer]
+		m.Clu.PostTo(m.PartOf[observer], sim.Post{
+			At: node.Eng.Now(), Dom: sim.DomNode(observer), Kind: pkPeerDown,
+			A: int64(observer), Ptr: pd,
+		})
+		return
+	}
+	m.Rec.MarkAt(pd.At, fmt.Sprintf("node %d: peer down: node %d", observer, pd.Node))
 }
 
 // FaultPoint is one point of a fault sweep: a deliberate-update stream
@@ -148,11 +217,19 @@ func measureFaultyTransferOn(m *Machine, src, dst, transferBytes, totalBytes int
 	before := s.dst.NIC.Stats()
 	netBefore := m.Net.Stats()
 	start := m.Now()
+stream:
 	for i := 0; i < transfers && res.Err == ""; i++ {
 		for {
 			if err := m.Failed(); err != nil {
 				res.Err = err.Error()
 				break
+			}
+			if s.src.K.PeerIsDown(s.dst.ID) {
+				// Degraded mode (Survivable): the destination was declared
+				// dead and the teardown revoked the mapping, so no further
+				// command can be accepted. Stop streaming; the partial
+				// goodput is the measurement.
+				break stream
 			}
 			_, swapped, _ := s.src.LockedCmpxchg(tr.PA, 0, words)
 			if swapped {

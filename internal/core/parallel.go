@@ -1,8 +1,10 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 
+	"repro/internal/fault"
 	"repro/internal/mesh"
 	"repro/internal/packet"
 	"repro/internal/sim"
@@ -25,6 +27,7 @@ const (
 	pkRelease                   // A=packed coord, B=wire|droppedBit, U=span
 	pkDropSpan                  // U=span
 	pkSetDead                   // A=packed coord
+	pkPeerDown                  // A=observer node, Ptr=*fault.PeerDown (recorder mark only)
 )
 
 // Message kinds (fabric→node), decoded by cluGlue.ApplyMsg.
@@ -145,6 +148,7 @@ func absInt(v int) int {
 // cluGlue decodes the typed post/message records back into mesh and
 // endpoint calls. It is the machine's sim.Dispatcher.
 type cluGlue struct {
+	m       *Machine
 	mesh    *mesh.Network
 	eps     []mesh.Endpoint // raw NIC endpoints, by node id
 	injFree []func()        // node-side injector-free callbacks, by node id
@@ -160,6 +164,12 @@ func (g *cluGlue) ApplyPost(p sim.Post) {
 		g.mesh.DropSpan(p.U)
 	case pkSetDead:
 		g.mesh.SetDead(unpackCoord(p.A))
+	case pkPeerDown:
+		// Recorder-only: the teardown itself already ran node-locally.
+		// Applying the mark at the hub in canonical post order keeps the
+		// mark sequence identical across partition counts.
+		pd := p.Ptr.(*fault.PeerDown)
+		g.m.Rec.MarkAt(pd.At, fmt.Sprintf("node %d: peer down: node %d", p.A, pd.Node))
 	default:
 		panic("core: unknown post kind")
 	}

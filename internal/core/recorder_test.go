@@ -296,3 +296,73 @@ func TestFaultPointTailLatency(t *testing.T) {
 		t.Fatalf("fault point not deterministic:\n got  %+v\n want %+v", again, p)
 	}
 }
+
+// TestWatchdogRearm: with Rearm set a pathology trip does not disarm
+// the watchdog. It keeps checking, waits for the machine to show
+// recovery (a delivery anywhere), re-arms with fresh baselines and a
+// recorder mark, and can then trip again on a second pathology. The
+// failure surface still keeps only the first machine check, and Rearm
+// off keeps the one-shot semantics.
+func TestWatchdogRearm(t *testing.T) {
+	cfg := recCfg(ConfigFor(2, 1, nic.GenEISAPrototype))
+	cfg.Watchdog = WatchdogConfig{
+		Interval: 10 * sim.Microsecond, Windows: 3, StallBytes: 512, Rearm: true,
+	}
+	m := New(cfg)
+	pace := func(n int) {
+		for i := 0; i < n; i++ {
+			m.wd.Pace(m.wd.NextDeadline(), m.wd.NextDeadline())
+		}
+	}
+
+	// First pathology: a node pinned at the stall threshold trips after
+	// `windows` checks — but the watchdog stays armed.
+	m.Obs.Node(1).Set(obs.GaugeOutFIFOBytes, 600)
+	pace(3)
+	var mc *fault.MachineCheck
+	if err := m.Failed(); !errors.As(err, &mc) || mc.Kind != fault.CheckFIFOStall {
+		t.Fatalf("expected a fifo-stall machine check, got %v", m.Failed())
+	}
+	first := mc
+	if m.wd.NextDeadline() == sim.Forever {
+		t.Fatal("re-armable watchdog disarmed after the trip")
+	}
+
+	// No recovery yet: further checks neither re-trip nor re-arm.
+	pace(2)
+	if marks := m.Rec.Series().Marks; len(marks) != 1 {
+		t.Fatalf("marks before recovery: %+v", marks)
+	}
+
+	// Recovery: the stall clears and a packet is delivered somewhere.
+	m.Obs.Node(1).Set(obs.GaugeOutFIFOBytes, 0)
+	m.Obs.Node(0).Inc(obs.CtrPacketsIn)
+	pace(1)
+	marks := m.Rec.Series().Marks
+	if len(marks) != 2 || marks[1].Label != "watchdog: re-armed" {
+		t.Fatalf("expected a re-arm mark, got %+v", marks)
+	}
+
+	// Second pathology after re-arm: trips again (fresh mark), while the
+	// failure surface still reports the first machine check.
+	m.Obs.Node(1).Set(obs.GaugeOutFIFOBytes, 700)
+	pace(3)
+	marks = m.Rec.Series().Marks
+	if len(marks) != 3 || marks[2].Label != "watchdog: fifo-stall" {
+		t.Fatalf("expected a second trip mark, got %+v", marks)
+	}
+	if err := m.Failed(); !errors.As(err, &mc) || mc != first {
+		t.Fatalf("failure surface no longer holds the first check: %v", err)
+	}
+
+	// Rearm off: the same pathology disarms the watchdog at the trip.
+	cfg.Watchdog.Rearm = false
+	m2 := New(cfg)
+	m2.Obs.Node(1).Set(obs.GaugeOutFIFOBytes, 600)
+	for i := 0; i < 3; i++ {
+		m2.wd.Pace(m2.wd.NextDeadline(), m2.wd.NextDeadline())
+	}
+	if m2.Failed() == nil || m2.wd.NextDeadline() != sim.Forever {
+		t.Fatal("one-shot watchdog did not disarm at the trip")
+	}
+}

@@ -110,6 +110,17 @@ func (c Config) validateFaults() error {
 	if f.RetryBudget < 0 || f.AckTimeout < 0 || f.StallTime < 0 {
 		return fmt.Errorf("core: fault tunables must be non-negative")
 	}
+	if f.Survivable && !f.Reliable {
+		return fmt.Errorf("core: Faults.Survivable requires Reliable delivery; " +
+			"the retry budget is the failure detector")
+	}
+	if f.Heartbeat < 0 {
+		return fmt.Errorf("core: heartbeat period %v negative", f.Heartbeat)
+	}
+	if f.Heartbeat > 0 && !f.Survivable {
+		return fmt.Errorf("core: Faults.Heartbeat is the Survivable-mode liveness sweep; " +
+			"set Survivable (and Reliable) to use it")
+	}
 	n := c.NodeCount()
 	if f.LinkDownAt > 0 {
 		if f.LinkFrom < 0 || f.LinkFrom >= n || f.LinkTo < 0 || f.LinkTo >= n {

@@ -40,6 +40,15 @@ type WatchdogConfig struct {
 	// workload must have quiesced; the first check at or after it trips
 	// CheckDeadline.
 	Deadline sim.Time
+	// Rearm, when set, lets the watchdog fire more than once per run:
+	// after a trip it keeps checking, waits for recovery (a packet
+	// delivery anywhere), then re-arms with fresh baselines and a
+	// recorder mark instead of disarming until Reset. Useful in
+	// Survivable fault plans, where a retry storm against a crashing
+	// peer resolves itself once the failure detector declares the peer
+	// dead and the run continues. The deadline check never re-arms, and
+	// the failure surface still keeps only the first machine check.
+	Rearm bool
 }
 
 // watchdog holds the per-window progress baselines. All state lives in
@@ -53,6 +62,8 @@ type watchdog struct {
 
 	next    sim.Time
 	tripped bool
+	rearm   bool // WatchdogConfig.Rearm
+	await   bool // tripped re-armably; waiting for a delivery to re-arm
 
 	prevIn    uint64   // machine-total packets delivered
 	prevRetr  []uint64 // per-node rel-retransmits
@@ -78,6 +89,7 @@ func newWatchdog(m *Machine, cfg WatchdogConfig) *watchdog {
 		windows:   win,
 		stall:     stall,
 		deadline:  cfg.Deadline,
+		rearm:     cfg.Rearm,
 		next:      cfg.Interval,
 		prevRetr:  make([]uint64, n),
 		prevOut:   make([]uint64, n),
@@ -104,7 +116,17 @@ func (w *watchdog) Pace(deadline, head sim.Time) {
 // trip records the machine check on the machine's failure surface and
 // pins a mark to the flight recorder timeline (if one is armed).
 func (w *watchdog) trip(mc *fault.MachineCheck) {
-	w.tripped = true
+	if w.rearm && mc.Kind != fault.CheckDeadline {
+		// Re-armable trip: keep checking, but hold further pathology
+		// detection until the machine shows recovery, so one wedge
+		// trips once rather than once per window.
+		w.await = true
+		w.stormRuns = 0
+		w.stormNode = -1
+		clear(w.stallRuns)
+	} else {
+		w.tripped = true
+	}
 	w.m.Rec.MarkAt(mc.At, "watchdog: "+mc.Kind.String())
 	if w.m.Clu != nil {
 		w.m.Clu.Fail(mc)
@@ -125,6 +147,23 @@ func (w *watchdog) check(at sim.Time) {
 	}
 	reg := w.m.Obs
 	in := reg.Total(obs.CtrPacketsIn)
+	if w.await {
+		// Tripped re-armably: watch only for recovery. On the first
+		// delivery, refresh every baseline so the pathology counters
+		// restart from the recovered state.
+		if in != w.prevIn {
+			w.await = false
+			w.m.Rec.MarkAt(at, "watchdog: re-armed")
+			for id := range w.prevRetr {
+				w.prevRetr[id] = reg.Node(id).Counter(obs.CtrRelRetransmits)
+			}
+			for id := range w.prevOut {
+				w.prevOut[id] = reg.Node(id).Counter(obs.CtrPacketsOut)
+			}
+		}
+		w.prevIn = in
+		return
+	}
 	delivered := in != w.prevIn
 	w.prevIn = in
 
@@ -181,6 +220,7 @@ func (w *watchdog) reset() {
 	}
 	w.next = w.interval
 	w.tripped = false
+	w.await = false
 	w.prevIn = 0
 	clear(w.prevRetr)
 	clear(w.prevOut)

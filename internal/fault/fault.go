@@ -93,6 +93,23 @@ type Config struct {
 	// DefaultAckTimeout).
 	AckTimeout sim.Time
 
+	// Survivable converts reliable-delivery retry-budget exhaustion
+	// from a terminal MachineCheck into a structured PeerDown event:
+	// the sender's NIC quarantines the flow (retained payloads freed,
+	// RTO timers disarmed), the kernel tears down every mapping to and
+	// from the declared-dead peer, and the survivors keep running. Off
+	// (the default) preserves the fail-stop semantics bit-identically.
+	// Requires Reliable.
+	Survivable bool
+	// Heartbeat, when positive, is the period of the kernels' liveness
+	// sweep in Survivable mode: each node periodically sends a tiny
+	// ping record to every peer it still believes alive, so a crashed
+	// node is detected within one retry budget even by nodes whose
+	// workload never targets it. The sweep runs only while the fault
+	// plan schedules node crashes that are not yet detected, so an
+	// otherwise-idle machine still quiesces. Requires Survivable.
+	Heartbeat sim.Time
+
 	// Link outage: the mesh channel from node LinkFrom toward the
 	// XY-adjacent node LinkTo goes down at LinkDownAt. LinkRepairAt == 0
 	// leaves it down forever. Worms routed across the dead window are

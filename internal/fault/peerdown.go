@@ -1,0 +1,34 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// ErrPeerDown is the sentinel every *PeerDown matches through
+// errors.Is. Kernel RPC futures and per-connection send paths resolve
+// with an error wrapping it when the failure detector has declared the
+// destination dead (Config.Survivable mode).
+var ErrPeerDown = errors.New("peer down")
+
+// PeerDown is the structured membership event raised when a node's
+// failure detector declares a peer dead: the Survivable-mode analogue
+// of the CheckRetryBudget machine check. It is local knowledge — each
+// surviving node declares independently, driven by its own reliable
+// flow to the peer exhausting its retry budget (workload traffic or
+// the heartbeat sweep). It implements error so RPC futures can carry
+// it directly.
+type PeerDown struct {
+	Node  int      // the peer declared dead
+	At    sim.Time // when the local failure detector declared it
+	Cause string
+}
+
+func (e *PeerDown) Error() string {
+	return fmt.Sprintf("peer down: node %d at %v (%s)", e.Node, e.At, e.Cause)
+}
+
+// Is makes errors.Is(err, ErrPeerDown) match any *PeerDown.
+func (e *PeerDown) Is(target error) bool { return target == ErrPeerDown }

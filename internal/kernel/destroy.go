@@ -1,8 +1,10 @@
 package kernel
 
 import (
+	"errors"
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/packet"
 	"repro/internal/phys"
 )
@@ -20,11 +22,17 @@ func (k *Kernel) DestroyProcess(p *Process) *Future {
 		return fut
 	}
 
-	// Outstanding remote round trips to wait for.
-	outstanding := 0
+	// Outstanding remote round trips to wait for. The count starts at 1
+	// (a seal released after every request is issued) so a request that
+	// resolves synchronously — its destination already declared dead —
+	// cannot drain the count to zero and reap mid-loop.
+	outstanding := 1
 	var firstErr error
 	done := func(err error) {
-		if err != nil && firstErr == nil {
+		// A peer declared dead mid-teardown implicitly acknowledges: its
+		// mapped-in state died with it (HandlePeerDown on the survivors,
+		// oblivion on the crashed node), so the future must still resolve.
+		if err != nil && !errors.Is(err, fault.ErrPeerDown) && firstErr == nil {
 			firstErr = err
 		}
 		outstanding--
@@ -79,10 +87,9 @@ func (k *Kernel) DestroyProcess(p *Process) *Future {
 		k.nic.Table().Entry(frame).MappedIn = false
 	}
 
-	if outstanding == 0 {
-		k.reapProcess(p)
-		fut.resolve(nil, nil)
-	}
+	// Release the seal; if nothing remote was outstanding (or everything
+	// resolved synchronously) this reaps and resolves right here.
+	done(nil)
 	return fut
 }
 

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/bus"
 	"repro/internal/cache"
+	"repro/internal/fault"
 	"repro/internal/isa"
 	"repro/internal/nic"
 	"repro/internal/obs"
@@ -82,6 +83,9 @@ type Stats struct {
 	RingRecordsSent   uint64
 	RingRecordsRcvd   uint64
 	ContextSwitches   uint64
+	PeerDowns         uint64 // peers this kernel has declared dead
+	PeerMapsTorn      uint64 // mapping records quarantined by peer-down teardown
+	PingsSent         uint64 // heartbeat probes issued (Survivable mode)
 }
 
 // Kernel is one node's operating system.
@@ -104,12 +108,22 @@ type Kernel struct {
 	swap    map[swapKey][]byte
 
 	peers     map[packet.NodeID]*peer
+	peerOrder []packet.NodeID                // AddPeer order (ascending at boot): deterministic sweeps
 	ringOwner map[phys.PageNum]packet.NodeID // inbox frame -> peer
 	pending   map[uint32]*Future
-	nextReq   uint32
+	// pendingDst records each pending RPC's destination so a peer-down
+	// declaration can resolve exactly the futures that will never be
+	// acknowledged (HandlePeerDown).
+	pendingDst map[uint32]packet.NodeID
+	nextReq    uint32
 	// ringCRC selects the fault-mode record layout (see ring.go); set
 	// once at boot, it survives Reset like the rest of the config.
 	ringCRC bool
+	// survivable mirrors fault.Config.Survivable; down is this kernel's
+	// membership view — peers the local failure detector has declared
+	// dead (see peerdown.go).
+	survivable bool
+	down       map[packet.NodeID]*fault.PeerDown
 
 	// imports: which remote nodes map INTO each local frame (so the
 	// §4.4 invalidation protocol knows whom to shoot down).
@@ -122,6 +136,9 @@ type Kernel struct {
 	// for user pages (message libraries use it to dispatch receive
 	// interrupts).
 	OnUserRecvIRQ func(page phys.PageNum)
+	// OnPeerDown, when set, fires after HandlePeerDown finishes tearing
+	// down a dead peer's mappings (core uses it for recorder marks).
+	OnPeerDown func(pd *fault.PeerDown)
 	// Tracer, when set, records kernel events (nil-safe).
 	Tracer *trace.Tracer
 	// Obs, when set, is this node's metrics scope for kernel page
@@ -153,11 +170,13 @@ func New(eng *sim.Engine, cfg Config, id packet.NodeID, coord packet.Coord,
 		procs:     make(map[int]*Process),
 		nextPID:   1,
 		swap:      make(map[swapKey][]byte),
-		peers:     make(map[packet.NodeID]*peer),
-		ringOwner: make(map[phys.PageNum]packet.NodeID),
-		pending:   make(map[uint32]*Future),
-		imports:   make(map[phys.PageNum]map[packet.NodeID]int),
-		exports:   make(map[exportKey][]*OutMapping),
+		peers:      make(map[packet.NodeID]*peer),
+		ringOwner:  make(map[phys.PageNum]packet.NodeID),
+		pending:    make(map[uint32]*Future),
+		pendingDst: make(map[uint32]packet.NodeID),
+		down:       make(map[packet.NodeID]*fault.PeerDown),
+		imports:    make(map[phys.PageNum]map[packet.NodeID]int),
+		exports:    make(map[exportKey][]*OutMapping),
 	}
 	n.OnIRQ = k.handleNICIRQ
 	n.OnOutFull = k.handleOutFull
@@ -179,8 +198,11 @@ func (k *Kernel) Reset() {
 	k.free = nil
 	clear(k.swap)
 	clear(k.peers)
+	k.peerOrder = k.peerOrder[:0]
 	clear(k.ringOwner)
 	clear(k.pending)
+	clear(k.pendingDst)
+	clear(k.down)
 	k.nextReq = 0
 	clear(k.imports)
 	clear(k.exports)

@@ -1,8 +1,10 @@
 package kernel
 
 import (
+	"errors"
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/nipt"
 	"repro/internal/obs"
 	"repro/internal/packet"
@@ -153,6 +155,10 @@ func (k *Kernel) Map(p *Process, sendVA vm.VAddr, bytes int, dst packet.NodeID, 
 	}
 	if dst == k.id {
 		fut.resolve(fmt.Errorf("kernel: self-mappings are not supported"), nil)
+		return m, fut
+	}
+	if k.down[dst] != nil {
+		fut.resolve(k.peerDownErr(dst), nil)
 		return m, fut
 	}
 	segs, err := planSegments(sendVA, recvVA, bytes)
@@ -319,7 +325,15 @@ func (k *Kernel) Unmap(m *Mapping) *Future {
 	}
 	k.stats.Unmaps++
 	req := k.sendUnmapInReq(m.Dst, m.remoteFrames)
-	req.OnDone(func(r *Future) { fut.resolve(r.Err(), nil) })
+	req.OnDone(func(r *Future) {
+		err := r.Err()
+		if errors.Is(err, fault.ErrPeerDown) {
+			// The local teardown above is complete, and the remote
+			// mapped-in state died with the peer: unmap succeeded.
+			err = nil
+		}
+		fut.resolve(err, nil)
+	})
 	return fut
 }
 

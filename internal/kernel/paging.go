@@ -1,8 +1,10 @@
 package kernel
 
 import (
+	"errors"
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/isa"
 	"repro/internal/nipt"
 	"repro/internal/obs"
@@ -55,8 +57,11 @@ func (k *Kernel) EvictPage(p *Process, vpn vm.VPN) *Future {
 	for node := range importers {
 		req := k.sendInvalidateReq(node, frame)
 		req.OnDone(func(r *Future) {
-			if r.Err() != nil {
-				fut.resolve(r.Err(), nil)
+			// An importer declared dead mid-shootdown acknowledges
+			// implicitly: its NIPT died with it, so the frame is just as
+			// safe to reuse as after an explicit ack.
+			if err := r.Err(); err != nil && !errors.Is(err, fault.ErrPeerDown) {
+				fut.resolve(err, nil)
 				return
 			}
 			remaining--
@@ -169,8 +174,28 @@ func (k *Kernel) HandleFault(c *isa.CPU, f *vm.Fault) isa.FaultAction {
 			rec := rec
 			req := k.sendMapInReq(rec.Dst, rec.DstPID, rec.DstVPN, 1)
 			req.OnDone(func(r *Future) {
-				if r.Err() != nil {
-					panic(fmt.Sprintf("kernel%d: re-establish failed: %v", k.id, r.Err()))
+				if err := r.Err(); err != nil {
+					if !errors.Is(err, fault.ErrPeerDown) {
+						panic(fmt.Sprintf("kernel%d: re-establish failed: %v", k.id, err))
+					}
+					// Degraded mode: the destination is dead, so the
+					// mapping cannot come back. Drop the record and let
+					// the page fall through to plain local writability —
+					// stores land in local memory and propagate nowhere.
+					k.dropExportRecord(rec)
+					list := p.outMaps[vpn]
+					for i, pr := range list {
+						if pr == rec {
+							p.outMaps[vpn] = append(list[:i], list[i+1:]...)
+							break
+						}
+					}
+					remaining--
+					if remaining == 0 {
+						p.AS.SetWritable(vpn, true)
+						c.Thaw()
+					}
+					return
 				}
 				k.dropExportRecord(rec)
 				rec.Seg.DstPage = r.Frames()[0]

@@ -90,6 +90,7 @@ func (k *Kernel) AddPeer(node packet.NodeID, coord packet.Coord, outFrame, inFra
 	}
 	p := &peer{node: node, coord: coord, outFrame: outFrame, inFrame: inFrame, wseq: 1, rseq: 1}
 	k.peers[node] = p
+	k.peerOrder = append(k.peerOrder, node)
 	k.ringOwner[inFrame] = node
 }
 
@@ -107,6 +108,13 @@ func (k *Kernel) Peers() []packet.NodeID {
 func (k *Kernel) ringSend(p *peer, payload []byte, bypass bool) {
 	if len(payload)+int(k.ringHeader()) > maxRecordBytes {
 		panic(fmt.Sprintf("kernel%d: ring record too large (%d bytes)", k.id, len(payload)))
+	}
+	// Records to a declared-dead peer go nowhere: its inbox stopped
+	// existing when it crashed, and writing them would only re-arm the
+	// reliable layer we just quarantined. Callers that need an answer
+	// fast-fail before reaching here (deadRequest).
+	if k.down[p.node] != nil {
+		return
 	}
 	if !bypass && len(p.backlog) > 0 {
 		p.backlog = append(p.backlog, payload)

@@ -26,6 +26,11 @@ const (
 	mtInvalidateReq
 	mtInvalidateAck
 	mtCredit
+	// mtPing is the Survivable-mode heartbeat probe: no payload beyond
+	// the type byte and no reply. Its only job is to exercise the
+	// reliable layer toward an otherwise-idle peer so the retry budget
+	// detects a crash that no data traffic would trip over.
+	mtPing
 )
 
 // Status codes carried in responses.
@@ -88,11 +93,21 @@ func (f *Future) resolve(err error, frames []phys.PageNum) {
 	f.cbs = nil
 }
 
-func (k *Kernel) newRequest() (uint32, *Future) {
+func (k *Kernel) newRequest(dst packet.NodeID) (uint32, *Future) {
 	k.nextReq++
 	f := &Future{}
 	k.pending[k.nextReq] = f
+	k.pendingDst[k.nextReq] = dst
 	return k.nextReq, f
+}
+
+// deadRequest short-circuits an RPC whose destination this kernel has
+// already declared dead: the future resolves immediately (callers see
+// fault.ErrPeerDown via errors.Is) without touching the ring.
+func (k *Kernel) deadRequest(dst packet.NodeID) *Future {
+	f := &Future{}
+	f.resolve(k.peerDownErr(dst), nil)
+	return f
 }
 
 func (k *Kernel) peerOf(node packet.NodeID) *peer {
@@ -141,7 +156,10 @@ func (r *reader) u64() uint64 {
 // process dstPID starting at vpn, mark them mapped in (pinning per its
 // policy), and return their physical frames.
 func (k *Kernel) sendMapInReq(dst packet.NodeID, dstPID int, vpn vm.VPN, count int) *Future {
-	id, fut := k.newRequest()
+	if k.down[dst] != nil {
+		return k.deadRequest(dst)
+	}
+	id, fut := k.newRequest(dst)
 	w := newWire(mtMapInReq).u32(id).u32(uint32(k.id)).u32(uint32(dstPID)).u32(uint32(vpn)).u32(uint32(count))
 	k.ringSend(k.peerOf(dst), w.b, false)
 	return fut
@@ -150,7 +168,10 @@ func (k *Kernel) sendMapInReq(dst packet.NodeID, dstPID int, vpn vm.VPN, count i
 // sendUnmapInReq tells the peer kernel this node no longer maps into the
 // given frames.
 func (k *Kernel) sendUnmapInReq(dst packet.NodeID, frames []phys.PageNum) *Future {
-	id, fut := k.newRequest()
+	if k.down[dst] != nil {
+		return k.deadRequest(dst)
+	}
+	id, fut := k.newRequest(dst)
 	w := newWire(mtUnmapInReq).u32(id).u32(uint32(k.id)).u32(uint32(len(frames)))
 	for _, f := range frames {
 		w.u32(uint32(f))
@@ -162,7 +183,10 @@ func (k *Kernel) sendUnmapInReq(dst packet.NodeID, frames []phys.PageNum) *Futur
 // sendInvalidateReq asks the peer kernel to invalidate every outgoing
 // mapping it has targeting local frame page (§4.4).
 func (k *Kernel) sendInvalidateReq(dst packet.NodeID, page phys.PageNum) *Future {
-	id, fut := k.newRequest()
+	if k.down[dst] != nil {
+		return k.deadRequest(dst)
+	}
+	id, fut := k.newRequest(dst)
 	w := newWire(mtInvalidateReq).u32(id).u32(uint32(k.id)).u32(uint32(page))
 	k.ringSend(k.peerOf(dst), w.b, false)
 	k.stats.InvalidatesSent++
@@ -193,6 +217,8 @@ func (k *Kernel) dispatch(from *peer, payload []byte) {
 		k.handleSimpleResp(r, "invalidate")
 	case mtCredit:
 		k.ringAck(from, r.u64())
+	case mtPing:
+		// Heartbeat probe: delivery itself was the point.
 	default:
 		panic(fmt.Sprintf("kernel%d: unknown ring message from node %d", k.id, from.node))
 	}
@@ -256,6 +282,7 @@ func (k *Kernel) handleMapInResp(r *reader) {
 		return
 	}
 	delete(k.pending, id)
+	delete(k.pendingDst, id)
 	st := r.u8()
 	n := int(r.u32())
 	frames := make([]phys.PageNum, n)
@@ -310,6 +337,7 @@ func (k *Kernel) handleSimpleResp(r *reader, what string) {
 		return
 	}
 	delete(k.pending, id)
+	delete(k.pendingDst, id)
 	fut.resolve(statusErr(r.u8(), what), nil)
 }
 

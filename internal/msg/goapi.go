@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/kernel"
 	"repro/internal/nipt"
 	"repro/internal/phys"
@@ -75,9 +76,29 @@ func NewChannel(m *core.Machine, snd, rcv Endpoint, pages int) (*Channel, error)
 	return c, nil
 }
 
-// await steps the simulation until cond holds.
+// await steps the simulation until cond holds. In Survivable fault
+// plans it also watches both kernels' membership views: a channel
+// endpoint declared dead can never set the flag being waited on, so the
+// wait surfaces fault.ErrPeerDown promptly instead of spinning until
+// the queues drain.
 func (c *Channel) await(cond func() bool) error {
-	if ok := c.m.RunWhile(func() bool { return !cond() }); !ok && !cond() {
+	down := func() error {
+		if c.snd.Node.K.PeerIsDown(c.rcv.Node.ID) {
+			return fmt.Errorf("msg: channel to node %d: %w", c.rcv.Node.ID, fault.ErrPeerDown)
+		}
+		if c.rcv.Node.K.PeerIsDown(c.snd.Node.ID) {
+			return fmt.Errorf("msg: channel from node %d: %w", c.snd.Node.ID, fault.ErrPeerDown)
+		}
+		return nil
+	}
+	ok := c.m.RunWhile(func() bool { return !cond() && down() == nil })
+	if cond() {
+		return nil
+	}
+	if err := down(); err != nil {
+		return err
+	}
+	if !ok {
 		return fmt.Errorf("msg: channel deadlock: nothing left to simulate")
 	}
 	return nil

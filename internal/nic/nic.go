@@ -138,6 +138,8 @@ type Stats struct {
 	RelNacksSent   uint64 // gap-report NACK control packets sent
 	RelDupDrops    uint64 // duplicate reliable data packets discarded
 	AUSeqGaps      uint64 // automatic-update sequence gaps observed
+	PeerDowns      uint64 // peers this node's failure detector declared dead
+	PeerDownDrops  uint64 // outbound packets suppressed against a dead peer
 }
 
 // Network is the routing backplane as the NIC sees it. *mesh.Network
@@ -218,6 +220,15 @@ type NIC struct {
 	inj  *fault.Injector
 	rel  *relState
 	dead bool
+
+	// Survivable-mode failure detector (nil/zero outside that mode):
+	// peers this node has declared dead after reliable-delivery retry-
+	// budget exhaustion. downCount != 0 is the only check the emit hot
+	// path pays. OnPeerDown is the kernel's membership hook, fired once
+	// per declared peer from the declaring node's own event stream.
+	downPeers  map[packet.Coord]*fault.PeerDown
+	downCount  int
+	OnPeerDown func(pd *fault.PeerDown)
 
 	out   outState
 	in    inState
@@ -380,12 +391,46 @@ func (n *NIC) SetFabricEngine(e *sim.Engine) { n.fab = e }
 
 // SetDead marks the node as crashed: the NIC stops delivering arriving
 // packets (the fabric bit-buckets its worms so the mesh cannot
-// deadlock) and sends nothing further. Senders with reliable delivery
-// exhaust their retry budget against a dead peer and raise a machine
-// check.
+// deadlock) and sends nothing further. Its own reliable-delivery state
+// is quarantined — retained payloads freed, every pending RTO and
+// delayed-ACK timer disarmed — so the dead node stops churning the
+// event queue. Senders with reliable delivery exhaust their retry
+// budget against the dead peer and raise a machine check, or, in
+// Survivable mode, declare it down and keep running.
 func (n *NIC) SetDead() {
 	n.dead = true
+	n.rel.quarantineAll()
 	n.net.SetDead(n.coord)
+}
+
+// declarePeerDown is the Survivable-mode failure detector's output: the
+// peer's flow is quarantined, further packets to it are suppressed at
+// emit, and the kernel (via OnPeerDown) tears down every mapping to and
+// from it. Idempotent per peer.
+func (n *NIC) declarePeerDown(dstNode int, dst packet.Coord, cause string) {
+	if n.downPeers[dst] != nil {
+		return
+	}
+	if n.downPeers == nil {
+		n.downPeers = make(map[packet.Coord]*fault.PeerDown)
+	}
+	pd := &fault.PeerDown{Node: dstNode, At: n.eng.Now(), Cause: cause}
+	n.downPeers[dst] = pd
+	n.downCount++
+	n.stats.PeerDowns++
+	n.scope.Inc(obs.CtrPeerDowns)
+	n.Tracer.Record(int(n.node), trace.Drop, trace.DropPeerDown, uint64(dstNode))
+	n.rel.quarantine(dst)
+	if n.OnPeerDown != nil {
+		n.OnPeerDown(pd)
+	}
+}
+
+// PeerDeclaredDown reports whether this node's failure detector has
+// declared the peer at coordinate c dead (always false outside
+// Survivable mode).
+func (n *NIC) PeerDeclaredDown(c packet.Coord) bool {
+	return n.downCount != 0 && n.downPeers[c] != nil
 }
 
 // EarliestPost lower-bounds the next instant this NIC can invoke a
@@ -508,6 +553,8 @@ func (n *NIC) Reset() {
 	n.merge.timerArmed = false
 	n.rel.reset()
 	n.dead = false
+	clear(n.downPeers)
+	n.downCount = 0
 	n.stats = Stats{}
 }
 
@@ -558,6 +605,18 @@ func (n *NIC) emit(m *nipt.OutMapping, remote phys.PAddr, payload []byte, srcPag
 	start sim.Time, kind obs.SpanKind) {
 	if n.dead {
 		return // a crashed node sends nothing further
+	}
+	if n.downCount != 0 && n.downPeers[m.Dst] != nil {
+		// The destination was declared dead: suppress the packet before
+		// it costs a pool allocation or FIFO space. Reached only by
+		// traffic whose mapping record predates the teardown (a DMA
+		// command already in flight); post-teardown stores fault at the
+		// write-protected page instead. The downCount guard keeps the
+		// no-peers-down path to one integer compare.
+		n.stats.PeerDownDrops++
+		n.scope.Inc(obs.CtrPeerDownDrops)
+		n.Tracer.Record(int(n.node), trace.Drop, trace.DropPeerDown, uint64(srcPage))
+		return
 	}
 	e := n.table.Entry(srcPage)
 	p := packet.Get()

@@ -102,6 +102,54 @@ func (rs *relState) reset() {
 	rs.freeBuf = rs.freeBuf[:0]
 }
 
+// quarantine fast-fails the flow to one declared-dead peer: retained
+// payloads return to the buffer pool, the pending RTO timer is
+// disarmed (the generation bump makes an already-scheduled fire a
+// no-op), and any delayed ACK toward the peer is cancelled. The flow
+// object stays in the map so a straggling ACK from before the
+// declaration is still absorbed harmlessly. Nil-safe.
+func (rs *relState) quarantine(dst packet.Coord) {
+	if rs == nil {
+		return
+	}
+	if f := rs.flows[dst]; f != nil {
+		f.release()
+	}
+	if rc := rs.rcv[dst]; rc != nil {
+		rc.ackArmed = false
+		rc.gen++
+	}
+}
+
+// quarantineAll is SetDead's half of the same cleanup: a crashed node
+// frees every retained payload and disarms every pending RTO and
+// delayed-ACK timer, so nothing keeps firing into the bit-bucket.
+// Nil-safe.
+func (rs *relState) quarantineAll() {
+	if rs == nil {
+		return
+	}
+	for _, f := range rs.flows {
+		f.release()
+	}
+	for _, rc := range rs.rcv {
+		rc.ackArmed = false
+		rc.gen++
+	}
+}
+
+// release frees a flow's retained payloads and disarms its timer.
+func (f *relFlow) release() {
+	for i := range f.unacked {
+		f.n.rel.putBuf(f.unacked[i].payload)
+		f.unacked[i] = retained{}
+	}
+	f.unacked = f.unacked[:0]
+	f.armed = false
+	f.gen++
+	f.retries = 0
+}
+
 // idle reports whether no flow is awaiting an acknowledgement;
 // nil-safe (no reliable layer is trivially idle).
 func (rs *relState) idle() bool {
@@ -331,10 +379,19 @@ func (f *relFlow) fire() {
 	}
 	f.retries++
 	if f.retries > n.inj.Config().RetryBudgetOrDefault() {
+		detail := fmt.Sprintf("flow to node %d %v: %d retransmit timeouts without progress, seq %d unacknowledged",
+			f.dstNode, f.dst, f.retries-1, f.unacked[0].seq)
+		if n.inj.Config().Survivable {
+			// Survivable mode: the peer is declared dead instead of the
+			// run. The declaration quarantines this flow (freeing the
+			// retained payloads whose ACKs will never come) and hands the
+			// kernel its membership event.
+			n.declarePeerDown(f.dstNode, f.dst, detail)
+			return
+		}
 		n.eng.Fail(&fault.MachineCheck{
 			Node: int(n.node), Kind: fault.CheckRetryBudget, At: n.eng.Now(),
-			Detail: fmt.Sprintf("flow to node %d %v: %d retransmit timeouts without progress, seq %d unacknowledged",
-				f.dstNode, f.dst, f.retries-1, f.unacked[0].seq),
+			Detail: detail,
 		})
 		return
 	}

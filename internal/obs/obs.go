@@ -96,6 +96,10 @@ const (
 	CtrRelDups        // duplicate data packets discarded by the receiver
 	CtrRelBackoffs    // retransmit-timeout escalations at the sender
 	CtrAUSeqGaps      // automatic-update per-page sequence gaps (lost stores)
+
+	// Survivable-mode failure detector (crash survival).
+	CtrPeerDowns     // peers this node's failure detector declared dead
+	CtrPeerDownDrops // outbound packets suppressed against a declared-dead peer
 	numCounters
 )
 
@@ -116,6 +120,7 @@ var counterNames = [...]string{
 	"fault-stalls",
 	"rel-retransmits", "rel-acks", "rel-nacks", "rel-dups", "rel-backoffs",
 	"au-seq-gaps",
+	"peer-downs", "peer-down-drops",
 }
 
 // Compile-time guards: counterNames must list exactly numCounters names.

@@ -78,11 +78,12 @@ const (
 	DropRelDup   // reliable-delivery duplicate discarded
 	DropRelGap   // reliable-delivery out-of-order packet discarded (NACKed)
 	DropNodeDead // arrived at a crashed node's NIC
+	DropPeerDown // suppressed at the sender: the destination was declared dead
 )
 
 var dropReasonNames = [...]string{
 	"not-mapped-in", "wrong-dest", "crc", "fault", "rel-dup", "rel-gap",
-	"node-dead",
+	"node-dead", "peer-down",
 }
 
 // dropReason renders a Drop event's A argument without trusting it:

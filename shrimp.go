@@ -365,7 +365,17 @@ type (
 	// FaultPoint is one fault-sweep measurement: goodput under loss
 	// plus the recovery machinery's accounting.
 	FaultPoint = core.FaultPoint
+	// PeerDown is the failure detector's structured declaration that a
+	// peer crashed (Survivable mode): who, when, and why.
+	PeerDown = fault.PeerDown
+	// AvailabilityPoint is one crash-survival measurement: survivor
+	// goodput, teardown accounting, and the surviving-memory checksum.
+	AvailabilityPoint = core.AvailabilityPoint
 )
+
+// ErrPeerDown is the sentinel matched (via errors.Is) by every error a
+// Survivable-mode kernel or channel returns for a declared-dead peer.
+var ErrPeerDown = fault.ErrPeerDown
 
 // Node fault kinds.
 const (
@@ -390,6 +400,27 @@ func MeasureFaultyTransfer(cfg Config, src, dst, transferBytes, totalBytes int) 
 // delivery on, fanned across the deterministic worker pool.
 func FaultSweep(cfg Config, dropsPPM []uint32, transferBytes, totalBytes, workers int) []FaultPoint {
 	return core.FaultSweep(cfg, dropsPPM, transferBytes, totalBytes, workers)
+}
+
+// CrashPlan builds a deterministic staggered node-crash plan for
+// Config.Faults.Nodes: k distinct victims crashing at base,
+// base+stagger, ...
+func CrashPlan(n, k int, base, stagger Time) [2]NodeFault {
+	return core.CrashPlan(n, k, base, stagger)
+}
+
+// MeasureAvailability runs the crash-survival ring workload under the
+// config's fault plan (Survivable mode) and reports survivor goodput
+// and teardown accounting.
+func MeasureAvailability(cfg Config, rounds, wordsPerRound int) AvailabilityPoint {
+	return core.MeasureAvailability(cfg, rounds, wordsPerRound)
+}
+
+// AvailabilitySweep measures availability across crash counts with
+// reliable delivery and Survivable mode forced on.
+func AvailabilitySweep(cfg Config, crashes []int, crashBase, crashStagger Time,
+	rounds, wordsPerRound, workers int) []AvailabilityPoint {
+	return core.AvailabilitySweep(cfg, crashes, crashBase, crashStagger, rounds, wordsPerRound, workers)
 }
 
 // CPUBoundResult is one run of the pure instruction-interpretation
